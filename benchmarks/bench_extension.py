@@ -1,0 +1,78 @@
+"""Extension bench — the conclusion's multi-error EMT at deep scaling.
+
+The paper closes with: "For voltages <0.55 V, EMTs for multiple errors
+correction must be used to guarantee a reliable medical output."  This
+bench evaluates the implemented composition (DREAM-first masking +
+Hamming SEC/DED, ``repro.emt.DreamSecDedEMT``) against both parents at
+the deep end of the sweep, quality and energy together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.emt import make_emt
+from repro.energy import EnergySystemModel, TECH_32NM_LP
+from repro.energy.accounting import Workload
+from repro.exp.common import ExperimentConfig, load_corpus, run_monte_carlo
+
+EMT_NAMES = ("none", "dream", "secded", "dream_secded")
+
+
+def test_multi_error_emt_at_deep_scaling(benchmark, report_sink, bench_config):
+    app = make_app("dwt")
+    config = ExperimentConfig(
+        records=bench_config.records,
+        duration_s=bench_config.duration_s,
+        n_runs=max(4, bench_config.n_runs // 2),
+    )
+    corpus = load_corpus(config)
+    emts = {name: make_emt(name) for name in EMT_NAMES}
+    workload = Workload(n_reads=100_000, n_writes=100_000, duration_s=3e-3)
+
+    def sweep():
+        rows = []
+        for voltage in (0.60, 0.55, 0.50):
+            ber = TECH_32NM_LP.ber(voltage)
+            point = run_monte_carlo(
+                app, emts, ber, config, corpus, grid_seed=int(voltage * 1000)
+            )
+            baseline = EnergySystemModel(emts["none"]).evaluate(
+                voltage, workload
+            )
+            overheads = {
+                name: EnergySystemModel(emts[name])
+                .evaluate(voltage, workload)
+                .overhead_vs(baseline)
+                for name in EMT_NAMES
+            }
+            rows.append((voltage, point, overheads))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Extension — multi-error EMT (DREAM+SEC/DED) below 0.60 V, DWT:",
+        "   V   " + "".join(f"{name:>16s}" for name in EMT_NAMES),
+    ]
+    for voltage, point, overheads in rows:
+        lines.append(
+            f"  {voltage:.2f} "
+            + "".join(f"{point.snr_mean_db[n]:13.1f} dB" for n in EMT_NAMES)
+        )
+        lines.append(
+            "  ovh%  "
+            + "".join(f"{overheads[n] * 100:15.1f}%" for n in EMT_NAMES)
+        )
+    report_sink.add("extension_multi_error_emt", "\n".join(lines))
+
+    # The composition must dominate both parents on quality at 0.50 V.
+    deep = rows[-1][1]
+    assert deep.snr_mean_db["dream_secded"] > deep.snr_mean_db["dream"]
+    assert deep.snr_mean_db["dream_secded"] > deep.snr_mean_db["secded"]
+    # ... at an energy overhead that is the sum of its parts.
+    deep_overheads = rows[-1][2]
+    assert deep_overheads["dream_secded"] > deep_overheads["secded"]
+    assert deep_overheads["dream_secded"] < 1.10  # still ~2x, not runaway

@@ -1,0 +1,74 @@
+"""Micro-benchmarks: EMT codec throughput (design decision D1).
+
+The quality experiments push millions of words through the EMT codecs;
+these benches measure the vectorised paths' throughput and document the
+gap to the bit-serial reference implementations the tests validate them
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emt import DreamEMT, NoProtection, ParityEMT, SecDedEMT
+
+N_WORDS = 65_536
+
+
+@pytest.fixture(scope="module")
+def payload():
+    rng = np.random.default_rng(42)
+    return rng.integers(0, 1 << 16, size=N_WORDS, dtype=np.int64)
+
+
+@pytest.mark.parametrize(
+    "emt_cls", [NoProtection, ParityEMT, DreamEMT, SecDedEMT],
+    ids=lambda c: c.name,
+)
+def test_encode_throughput(benchmark, emt_cls, payload):
+    emt = emt_cls()
+    benchmark(emt.encode, payload)
+
+
+@pytest.mark.parametrize(
+    "emt_cls", [NoProtection, ParityEMT, DreamEMT, SecDedEMT],
+    ids=lambda c: c.name,
+)
+def test_decode_throughput(benchmark, emt_cls, payload):
+    emt = emt_cls()
+    stored, side = emt.encode(payload)
+    corrupted = stored ^ 0x10  # one mid-word fault everywhere
+    benchmark(emt.decode, corrupted, side)
+
+
+@pytest.mark.parametrize("emt_cls", [DreamEMT, SecDedEMT], ids=lambda c: c.name)
+def test_bit_serial_reference_encode(benchmark, emt_cls, payload):
+    """D1 baseline: the scalar hardware-transcription path (1k words)."""
+    emt = emt_cls()
+    words = [int(w) for w in payload[:1024]]
+
+    def encode_all():
+        return [emt.encode_word(w) for w in words]
+
+    benchmark(encode_all)
+
+
+def test_fault_injection_throughput(benchmark, payload):
+    """Corrupting a full 32 kB memory image is two bitwise ops."""
+    from repro.mem import sample_fault_map
+
+    fm = sample_fault_map(N_WORDS, 16, 1e-3, np.random.default_rng(1))
+    benchmark(fm.apply, payload)
+
+
+def test_fabric_roundtrip_throughput(benchmark, payload):
+    """A full store+load round trip through the DREAM-protected fabric."""
+    from repro.mem import MemoryFabric, MemoryGeometry, sample_fault_map
+
+    geometry = MemoryGeometry(n_words=N_WORDS, word_bits=16, n_banks=16)
+    fm = sample_fault_map(N_WORDS, 16, 1e-3, np.random.default_rng(2))
+    fabric = MemoryFabric(DreamEMT(), fault_map=fm, geometry=geometry)
+    values = payload - 32768  # signed
+
+    benchmark(fabric.roundtrip, "bench", values)

@@ -1,0 +1,32 @@
+"""E5 — regenerate the Section V / Formula 2 memory-overhead comparison.
+
+Published values for 16-bit words: DREAM 1 + log2(16) = 5 extra bits per
+word (in the error-free mask memory), ECC SEC/DED 2 + log2(16) = 6 extra
+bits (in the faulty memory).
+"""
+
+from __future__ import annotations
+
+from repro.exp.overheads import formula2_dream, formula2_secded, overhead_table
+from repro.exp.report import format_overheads
+
+
+def test_overhead_table(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        lambda: overhead_table(word_sizes=(8, 16, 32)), rounds=1, iterations=1
+    )
+    report_sink.add("overheads_section_v", format_overheads(rows))
+
+    indexed = {(r.emt_name, r.data_bits): r for r in rows}
+    assert indexed[("dream", 16)].extra_bits == 5
+    assert indexed[("secded", 16)].extra_bits == 6
+    # Formula 2 holds at every implemented word size.
+    for bits in (8, 16, 32):
+        assert indexed[("dream", bits)].extra_bits == formula2_dream(bits)
+        assert indexed[("secded", bits)].extra_bits == formula2_secded(bits)
+    # DREAM's extra bits all live in the safe mask memory; ECC's all in
+    # the faulty array.
+    assert indexed[("dream", 16)].safe_bits == 5
+    assert indexed[("dream", 16)].faulty_bits == 0
+    assert indexed[("secded", 16)].safe_bits == 0
+    assert indexed[("secded", 16)].faulty_bits == 6

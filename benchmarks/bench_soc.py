@@ -1,0 +1,55 @@
+"""Platform benches: crossbar scaling on the VirtualSOC-lite substrate.
+
+The paper's platform supports up to 16 cores behind a 16-bank crossbar;
+this bench replays a real DWT memory trace on 1-16 cores and reports the
+cycle counts and bank-conflict rates — the performance face of the
+shared-memory substrate (Fig 1's block scheme in action).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_app
+from repro.emt import NoProtection
+from repro.mem import MemoryFabric
+from repro.signals import load_record
+from repro.soc import SoCConfig, SoCSimulator, tasks_from_fabric
+
+
+@pytest.fixture(scope="module")
+def dwt_trace_fabric():
+    fabric = MemoryFabric(NoProtection(), record_trace=True)
+    record = load_record("100", duration_s=4.0)
+    make_app("dwt").run(record.samples, fabric)
+    return fabric
+
+
+@pytest.mark.parametrize("n_cores", [1, 2, 4, 8, 16])
+def test_crossbar_scaling(benchmark, n_cores, dwt_trace_fabric, report_sink):
+    config = SoCConfig(n_cores=n_cores)
+    tasks = tasks_from_fabric(dwt_trace_fabric, config)
+    report = benchmark.pedantic(
+        lambda: SoCSimulator(config).run(tasks), rounds=1, iterations=1
+    )
+
+    rows = report_sink.shared.setdefault("soc_rows", {})
+    rows[n_cores] = (
+        f"  {n_cores:2d} cores: {report.cycles:8d} cycles, "
+        f"{report.conflicts:6d} conflicts, "
+        f"{report.accesses_per_cycle:.3f} acc/cycle, "
+        f"{report.duration_s * 1e3:.2f} ms @ 200 MHz"
+    )
+    lines = ["DWT trace replay on the 16-bank crossbar:"]
+    lines += [rows[k] for k in sorted(rows)]
+    report_sink.add("soc_crossbar_scaling", "\n".join(lines))
+
+    assert report.n_accesses == (
+        dwt_trace_fabric.stats.data_reads + dwt_trace_fabric.stats.data_writes
+    )
+    if n_cores > 1:
+        single = report_sink.shared.get("soc_single_core_cycles")
+        if single:
+            assert report.cycles < single  # parallelism must help
+    else:
+        report_sink.shared["soc_single_core_cycles"] = report.cycles

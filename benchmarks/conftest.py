@@ -1,0 +1,90 @@
+"""Shared machinery of the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation and
+deposits its rows/series in the session :class:`ReportSink`; when the
+session ends the sink writes ``results/<experiment>.txt`` files and
+prints every report, so ``pytest benchmarks/ --benchmark-only`` leaves
+both timing data and the paper-comparable tables behind.
+
+Scale knobs (environment):
+
+* ``REPRO_RUNS`` — Monte-Carlo runs per Fig 4 grid point (default 12
+  here; the paper uses 200 — set ``REPRO_RUNS=200`` for full fidelity).
+* ``REPRO_BENCH_DURATION`` — seconds of each record to process
+  (default 8).
+* ``REPRO_BENCH_RECORDS`` — comma-separated record names
+  (default ``100,106``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.exp.common import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_runs(default: int = 12) -> int:
+    """Monte-Carlo run count for the quality benches."""
+    return int(os.environ.get("REPRO_RUNS", default))
+
+
+def bench_records() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_RECORDS", "100,106")
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def bench_duration() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", "8.0"))
+
+
+class ReportSink:
+    """Collects experiment reports; flushed at session end."""
+
+    def __init__(self) -> None:
+        self.reports: dict[str, str] = {}
+        self.shared: dict[str, object] = {}
+
+    def add(self, name: str, text: str) -> None:
+        self.reports[name] = text
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        for name, text in sorted(self.reports.items()):
+            (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+_ACTIVE_SINK = ReportSink()
+
+
+@pytest.fixture(scope="session")
+def report_sink(request):
+    request.addfinalizer(_ACTIVE_SINK.flush)
+    return _ACTIVE_SINK
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every regenerated table after pytest's capture ends."""
+    if not _ACTIVE_SINK.reports:
+        return
+    banner = "=" * 72
+    for name, text in sorted(_ACTIVE_SINK.reports.items()):
+        terminalreporter.write_line(banner)
+        terminalreporter.write_line(f"[{name}]")
+        terminalreporter.write_line(text)
+    terminalreporter.write_line(banner)
+    terminalreporter.write_line(f"reports written to {RESULTS_DIR}/")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The quality-experiment configuration used by the benches."""
+    return ExperimentConfig(
+        records=bench_records(),
+        duration_s=bench_duration(),
+        n_runs=bench_runs(),
+    )

@@ -1,0 +1,54 @@
+"""Quickstart: protect an ECG buffer in a voltage-scaled memory.
+
+Loads a synthetic MIT-BIH-like record, stores it in the 32 kB faulty
+data memory at a scaled supply voltage, and compares what survives under
+the paper's three protection schemes — the library's core loop in ~40
+lines.
+
+Run:  python examples/quickstart.py [voltage]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.emt import DreamEMT, NoProtection, SecDedEMT
+from repro.energy import TECH_32NM_LP
+from repro.mem import MemoryFabric, sample_fault_map
+from repro.mem.layout import PAPER_GEOMETRY
+from repro.signals import load_record, snr_db
+
+
+def main(voltage: float = 0.60) -> None:
+    record = load_record("106", duration_s=10.0)  # PVC-rich record
+    ber = TECH_32NM_LP.ber(voltage)
+    print(f"record 106: {len(record.samples)} samples, "
+          f"{len(record.labels)} beats")
+    print(f"memory at {voltage:.2f} V -> BER = {ber:.2e}\n")
+
+    rng = np.random.default_rng(2016)
+    # One defect sample, shared across EMTs (the paper's fair-comparison
+    # protocol): drawn at the widest codeword, restricted per technique.
+    shared = sample_fault_map(PAPER_GEOMETRY.n_words, 22, ber, rng)
+
+    print(f"{'EMT':12s} {'extra bits':>10s} {'SNR (dB)':>9s} "
+          f"{'corrected':>9s} {'detected':>9s}")
+    for emt in (NoProtection(), DreamEMT(), SecDedEMT()):
+        fault_map = shared.restricted_to(emt.stored_bits)
+        fabric = MemoryFabric(emt, fault_map=fault_map)
+        survived = fabric.roundtrip("ecg", record.samples)
+        quality = snr_db(record.samples, survived)
+        stats = fabric.stats.decode
+        print(
+            f"{emt.name:12s} {emt.extra_bits:10d} {quality:9.1f} "
+            f"{stats.corrected:9d} {stats.detected_uncorrectable:9d}"
+        )
+
+    print("\nDREAM corrects every fault under the per-word MSB mask at a")
+    print("fraction of SEC/DED's energy (see examples/voltage_sweep.py).")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.60)

@@ -1,0 +1,38 @@
+"""Bit-significance analysis — the paper's Fig 2 in miniature.
+
+Injects a stuck-at fault at each bit position of all data buffers and
+measures the output SNR of two contrasting applications, showing the two
+findings that motivate DREAM (Section III):
+
+1. errors on MSB positions degrade the output far more than LSB errors;
+2. matrix filtering is far more fragile than sample-wise pipelines,
+   because each output element depends on a full row and column.
+
+Run:  python examples/significance_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.exp.common import ExperimentConfig
+from repro.exp.fig2 import run_fig2
+from repro.exp.report import format_fig2
+
+
+def main() -> None:
+    config = ExperimentConfig(records=("100", "106"), duration_s=8.0)
+    result = run_fig2(app_names=("dwt", "matrix_filter"), config=config)
+    print(format_fig2(result))
+
+    print("\nReading the table:")
+    for app in ("dwt", "matrix_filter"):
+        series = result.series(app, 1)
+        print(
+            f"  {app:14s} LSB (bit 0) error: {series[0]:6.1f} dB"
+            f"   MSB (bit 15) error: {series[15]:6.1f} dB"
+        )
+    print("\nLSB faults are tolerable; MSB faults are catastrophic —")
+    print("so DREAM spends its 5 extra bits/word guarding the MSB run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim enabling editable installs in offline environments.
+
+The modern PEP 660 editable path requires the ``wheel`` package, which is
+not available in this offline environment; ``setup.py develop`` is not
+subject to that requirement.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of Duch et al., "Energy vs. Reliability Trade-offs
+Exploration in Biomedical Ultra-Low Power Devices" (DATE 2016).
+
+The package implements the paper's contribution — the DREAM error
+mitigation technique — together with every substrate its evaluation
+depends on:
+
+* :mod:`repro.emt` — DREAM, ECC SEC/DED, parity, and the hybrid
+  voltage-triggered policy;
+* :mod:`repro.mem` — the bit-accurate faulty (voltage-scaled) data
+  memory: stuck-at fault maps, banked SRAM, the application-facing
+  memory fabric;
+* :mod:`repro.apps` — the five biomedical case studies (DWT, matrix
+  filtering, compressed sensing, morphological filtering, wavelet
+  delineation) plus the heartbeat classifier;
+* :mod:`repro.signals` — the synthetic MIT-BIH-like ECG corpus;
+* :mod:`repro.energy` — BER(V), CACTI-lite SRAM and codec-logic models;
+* :mod:`repro.soc` — the VirtualSOC-lite MPSoC platform;
+* :mod:`repro.exp` — drivers regenerating every figure and table.
+
+Quickstart::
+
+    import numpy as np
+    from repro.emt import DreamEMT
+    from repro.mem import MemoryFabric, sample_fault_map
+    from repro.signals import load_record, snr_db
+
+    record = load_record("106", duration_s=10.0)
+    emt = DreamEMT()
+    faults = sample_fault_map(16384, emt.stored_bits, ber=1e-3,
+                              rng=np.random.default_rng(7))
+    fabric = MemoryFabric(emt, fault_map=faults)
+    stored = fabric.roundtrip("ecg", record.samples)
+    print(snr_db(record.samples, stored))
+"""
+
+from . import apps, emt, energy, exp, mem, signals, soc
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "emt",
+    "energy",
+    "exp",
+    "mem",
+    "signals",
+    "soc",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""The paper's five biomedical case-study applications (Section II).
+
+Every application processes 16-bit ECG samples and parks its input,
+intermediate and output buffers in the (possibly faulty) data memory
+through a :class:`repro.mem.fabric.MemoryFabric` — exactly the exposure
+model of the paper's characterisation and Monte-Carlo experiments.
+
+* :mod:`repro.apps.dwt` — multi-scale Discrete Wavelet Transform
+  (à-trous quadratic-spline filterbank, the one used in WBSN delineators),
+* :mod:`repro.apps.matrix_filter` — filtering as repeated matrix
+  multiplication,
+* :mod:`repro.apps.compressed_sensing` — 50 % lossy compressed sensing
+  with sparse-binary sensing and an OMP gateway reconstructor,
+* :mod:`repro.apps.morphology` — morphological (erosion/dilation)
+  filtering for baseline and noise removal,
+* :mod:`repro.apps.delineation` — wavelet delineation emitting P, Q, R,
+  S, T fiducial points,
+
+plus :mod:`repro.apps.classifier`, the heartbeat classifier the paper
+mentions as the downstream consumer with statistical output (Section III).
+"""
+
+from .base import BiomedicalApp
+from .classifier import HeartbeatClassifierApp
+from .compressed_sensing import CompressedSensingApp
+from .delineation import WaveletDelineationApp
+from .dwt import DwtApp
+from .matrix_filter import MatrixFilterApp
+from .morphology import MorphologicalFilterApp
+from .registry import EXTENSION_APPS, PAPER_APPS, make_app
+
+__all__ = [
+    "BiomedicalApp",
+    "DwtApp",
+    "MatrixFilterApp",
+    "CompressedSensingApp",
+    "MorphologicalFilterApp",
+    "WaveletDelineationApp",
+    "HeartbeatClassifierApp",
+    "PAPER_APPS",
+    "EXTENSION_APPS",
+    "make_app",
+]

@@ -1,0 +1,97 @@
+"""Common protocol of the biomedical applications.
+
+An application is a pure function from 16-bit samples to an integer
+output buffer, *except* that every buffer it materialises along the way
+round-trips through a :class:`~repro.mem.fabric.MemoryFabric` — the
+voltage-scaled data memory.  Running the same app against a defect-free
+fabric yields the "theoretical" output of the paper's Formula 1; running
+it against a faulty fabric yields the "experimental" output, and
+:meth:`BiomedicalApp.output_snr` compares the two.
+
+Applications whose natural quality reference is not their own clean
+output (compressed sensing measures quality on the *reconstructed*
+signal) override :meth:`output_snr`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..emt.base import NoProtection
+from ..errors import SignalError
+from ..fixedpoint import Q15
+from ..mem.fabric import MemoryFabric
+from ..signals.metrics import SNR_CAP_DB, snr_db
+
+__all__ = ["BiomedicalApp", "clean_fabric"]
+
+
+def clean_fabric() -> MemoryFabric:
+    """A defect-free, unprotected fabric for theoretical runs."""
+    return MemoryFabric(NoProtection())
+
+
+class BiomedicalApp(ABC):
+    """Base class of the paper's case-study applications.
+
+    Subclasses set :attr:`name` (registry key) and implement :meth:`run`.
+    They must be *deterministic* given their constructor arguments: the
+    experiment harness relies on a clean run and a faulty run computing
+    the same thing apart from memory corruption.
+    """
+
+    #: Registry key; overridden by subclasses.
+    name: str = "abstract"
+
+    #: Human-readable summary for reports.
+    description: str = ""
+
+    def __init__(self) -> None:
+        self._reference_cache: dict[bytes, np.ndarray] = {}
+
+    # -- core ----------------------------------------------------------------
+
+    @abstractmethod
+    def run(self, samples: np.ndarray, fabric: MemoryFabric) -> np.ndarray:
+        """Process ``samples`` with all buffers living in ``fabric``.
+
+        Args:
+            samples: signed 16-bit ECG samples (raw integers).
+            fabric: the (possibly faulty) data-memory fabric.
+
+        Returns:
+            The application's output buffer as signed ``int64`` values.
+        """
+
+    def _check_samples(self, samples: np.ndarray) -> np.ndarray:
+        arr = np.asarray(samples, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise SignalError("samples must be a non-empty 1-D array")
+        if int(arr.min()) < Q15.min_int or int(arr.max()) > Q15.max_int:
+            raise SignalError("samples must be 16-bit signed values")
+        return arr
+
+    # -- quality evaluation ----------------------------------------------------
+
+    def reference_output(self, samples: np.ndarray) -> np.ndarray:
+        """The error-free ("theoretical") output for ``samples``, cached."""
+        arr = self._check_samples(samples)
+        key = arr.tobytes()
+        if key not in self._reference_cache:
+            self._reference_cache[key] = self.run(arr, clean_fabric())
+        return self._reference_cache[key]
+
+    def output_snr(
+        self,
+        samples: np.ndarray,
+        corrupted_output: np.ndarray,
+        cap_db: float = SNR_CAP_DB,
+    ) -> float:
+        """Formula 1 SNR of a corrupted output against the clean one."""
+        reference = self.reference_output(samples)
+        return snr_db(reference, corrupted_output, cap_db=cap_db)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,139 @@
+"""Heartbeat classifier — the statistical-output consumer of Section III.
+
+The paper motivates relaxed reliability with the Heartbeat Classifier of
+[9] (wavelet delineation + compressed sensing): beats are "sorted out
+according to different classes of morphologies", a coarse-grained
+decision that tolerates imprecision.  This module implements that
+downstream stage as a nearest-centroid classifier over per-beat features
+derived from the delineation output:
+
+* QRS width (S - Q, in samples),
+* normalised R amplitude,
+* RR-interval ratio to the running mean (prematurity).
+
+It is not one of the five Fig 2/Fig 4 case studies; it powers the WBSN
+pipeline example and the extension benches, and demonstrates class-label
+stability as an application-level quality metric (fraction of beats whose
+class survives memory corruption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SignalError
+from ..mem.fabric import MemoryFabric
+from .base import BiomedicalApp
+from .delineation import NO_POINT, WaveletDelineationApp
+
+__all__ = ["BeatClass", "HeartbeatClassifierApp", "CLASS_CENTROIDS"]
+
+
+@dataclass(frozen=True)
+class BeatClass:
+    """One morphology class with its feature centroid."""
+
+    label: str
+    index: int
+    qrs_width_s: float
+    r_amplitude: float
+    rr_ratio: float
+
+
+#: Feature centroids (textbook values): normal, ventricular, atrial.
+CLASS_CENTROIDS = (
+    BeatClass("N", 0, qrs_width_s=0.08, r_amplitude=0.45, rr_ratio=1.0),
+    BeatClass("V", 1, qrs_width_s=0.16, r_amplitude=0.75, rr_ratio=0.75),
+    BeatClass("A", 2, qrs_width_s=0.08, r_amplitude=0.40, rr_ratio=0.80),
+)
+
+
+class HeartbeatClassifierApp(BiomedicalApp):
+    """Delineation followed by nearest-centroid morphology classification.
+
+    The output buffer holds one int per beat slot: the class index, or
+    ``NO_POINT`` for empty slots — a *statistical* output in the paper's
+    sense.
+    """
+
+    name = "classifier"
+    description = "nearest-centroid heartbeat morphology classifier"
+
+    def __init__(
+        self,
+        fs_hz: float = 360.0,
+        window: int = 1024,
+        slots_per_window: int = 8,
+    ) -> None:
+        super().__init__()
+        self.fs_hz = fs_hz
+        self.delineator = WaveletDelineationApp(
+            fs_hz=fs_hz, window=window, slots_per_window=slots_per_window
+        )
+
+    def run(self, samples: np.ndarray, fabric: MemoryFabric) -> np.ndarray:
+        arr = self._check_samples(samples)
+        annotations = self.delineator.run(arr, fabric).reshape(-1, 5)
+        labels = self._classify(arr, annotations)
+        return fabric.roundtrip("classifier.output", labels)
+
+    def _classify(
+        self, samples: np.ndarray, annotations: np.ndarray
+    ) -> np.ndarray:
+        """Map each annotated beat to its nearest centroid."""
+        r_indices = annotations[:, 2]
+        valid = r_indices != NO_POINT
+        labels = np.full(annotations.shape[0], NO_POINT, dtype=np.int64)
+        valid_rows = np.flatnonzero(valid)
+        if valid_rows.size == 0:
+            return labels
+
+        r_values = r_indices[valid_rows]
+        rr = np.diff(r_values.astype(np.float64), prepend=r_values[0])
+        mean_rr = float(rr[1:].mean()) if rr.size > 1 else self.fs_hz * 0.8
+        if mean_rr <= 0:
+            mean_rr = self.fs_hz * 0.8
+        peak_scale = float(np.percentile(np.abs(samples), 99.5)) or 1.0
+
+        for row_position, row in enumerate(valid_rows):
+            p, q, r, s, t = annotations[row]
+            width_s = (
+                (s - q) / self.fs_hz
+                if q != NO_POINT and s != NO_POINT and s > q
+                else 0.10
+            )
+            r_in_window = int(r)
+            if not 0 <= r_in_window < samples.size:
+                continue
+            amplitude = abs(float(samples[r_in_window])) / peak_scale
+            ratio = (
+                float(rr[row_position]) / mean_rr if row_position > 0 else 1.0
+            )
+            labels[row] = self._nearest(width_s, amplitude, ratio)
+        return labels
+
+    @staticmethod
+    def _nearest(width_s: float, amplitude: float, rr_ratio: float) -> int:
+        """Nearest centroid in the (scaled) feature space."""
+        best_index, best_distance = 0, float("inf")
+        for centroid in CLASS_CENTROIDS:
+            distance = (
+                ((width_s - centroid.qrs_width_s) / 0.08) ** 2
+                + (amplitude - centroid.r_amplitude) ** 2
+                + ((rr_ratio - centroid.rr_ratio) / 0.5) ** 2
+            )
+            if distance < best_distance:
+                best_index, best_distance = centroid.index, distance
+        return best_index
+
+    def class_stability(
+        self, samples: np.ndarray, corrupted_output: np.ndarray
+    ) -> float:
+        """Fraction of slots whose class label survives corruption."""
+        reference = self.reference_output(samples)
+        corrupted = np.asarray(corrupted_output, dtype=np.int64)
+        if reference.shape != corrupted.shape:
+            raise SignalError("output shapes differ between runs")
+        return float(np.mean(reference == corrupted))

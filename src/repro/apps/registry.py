@@ -1,0 +1,44 @@
+"""Application registry used by the experiment drivers.
+
+``PAPER_APPS`` holds the five Section II case studies in the order the
+paper presents them; ``EXTENSION_APPS`` the additional consumers built on
+top (not part of Fig 2 / Fig 4).
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .base import BiomedicalApp
+from .classifier import HeartbeatClassifierApp
+from .compressed_sensing import CompressedSensingApp
+from .delineation import WaveletDelineationApp
+from .dwt import DwtApp
+from .matrix_filter import MatrixFilterApp
+from .morphology import MorphologicalFilterApp
+
+__all__ = ["PAPER_APPS", "EXTENSION_APPS", "make_app"]
+
+
+#: The paper's five case studies (Section II), keyed by registry name.
+PAPER_APPS: dict[str, type[BiomedicalApp]] = {
+    "dwt": DwtApp,
+    "matrix_filter": MatrixFilterApp,
+    "compressed_sensing": CompressedSensingApp,
+    "morphology": MorphologicalFilterApp,
+    "delineation": WaveletDelineationApp,
+}
+
+#: Applications built on top of the case studies (Section III narrative).
+EXTENSION_APPS: dict[str, type[BiomedicalApp]] = {
+    "classifier": HeartbeatClassifierApp,
+}
+
+
+def make_app(name: str, **kwargs) -> BiomedicalApp:
+    """Instantiate a registered application by name."""
+    registry = {**PAPER_APPS, **EXTENSION_APPS}
+    if name not in registry:
+        raise ExperimentError(
+            f"unknown application {name!r}; available: {sorted(registry)}"
+        )
+    return registry[name](**kwargs)

@@ -1,0 +1,241 @@
+"""Command-line interface: regenerate any of the paper's artefacts.
+
+Usage (installed as a module)::
+
+    python -m repro fig2 --apps dwt,morphology
+    python -m repro fig4 --runs 25 --apps dwt
+    python -m repro energy
+    python -m repro tradeoff --tolerance 5
+    python -m repro overheads
+    python -m repro record 106 --duration 10
+    python -m repro lifetime --voltage 0.65 --emt dream
+
+Every subcommand prints the same ASCII tables the benchmark harness
+writes to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .energy.technology import PAPER_VOLTAGE_GRID
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+PAPER_APP_NAMES = (
+    "dwt",
+    "matrix_filter",
+    "compressed_sensing",
+    "morphology",
+    "delineation",
+)
+
+
+def _csv(raw: str) -> tuple[str, ...]:
+    return tuple(item.strip() for item in raw.split(",") if item.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Energy vs. Reliability Trade-offs "
+            "Exploration in Biomedical Ultra-Low Power Devices' "
+            "(Duch et al., DATE 2016)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--records", type=_csv, default=("100", "106"),
+        help="comma-separated record names (default: 100,106)",
+    )
+    common.add_argument(
+        "--duration", type=float, default=8.0,
+        help="seconds of each record to process (default: 8)",
+    )
+
+    fig2 = sub.add_parser(
+        "fig2", parents=[common],
+        help="Fig 2: SNR vs bit position of injected stuck-at errors",
+    )
+    fig2.add_argument(
+        "--apps", type=_csv, default=PAPER_APP_NAMES,
+        help="comma-separated application names",
+    )
+
+    fig4 = sub.add_parser(
+        "fig4", parents=[common],
+        help="Fig 4a/b/c: SNR vs supply voltage per EMT",
+    )
+    fig4.add_argument("--apps", type=_csv, default=PAPER_APP_NAMES)
+    fig4.add_argument(
+        "--runs", type=int, default=12,
+        help="Monte-Carlo runs per grid point (paper: 200)",
+    )
+    fig4.add_argument(
+        "--emts", type=_csv, default=("none", "dream", "secded"),
+        help="EMT registry names to sweep",
+    )
+
+    sub.add_parser("energy", help="Section VI-B energy/area analysis")
+
+    tradeoff = sub.add_parser(
+        "tradeoff", parents=[common],
+        help="Section VI-C voltage/quality trade-off for one app",
+    )
+    tradeoff.add_argument("--app", default="dwt")
+    tradeoff.add_argument("--runs", type=int, default=12)
+    tradeoff.add_argument(
+        "--tolerance", type=float, default=1.0,
+        help="allowed output degradation in dB (paper: 1)",
+    )
+
+    sub.add_parser("overheads", help="Section V / Formula 2 bit overheads")
+
+    record = sub.add_parser(
+        "record", help="synthesise and describe one catalog record"
+    )
+    record.add_argument("name", help="record name, e.g. 106")
+    record.add_argument("--duration", type=float, default=10.0)
+
+    lifetime = sub.add_parser(
+        "lifetime",
+        help="battery-lifetime estimate for a monitoring node",
+    )
+    lifetime.add_argument("--voltage", type=float, default=0.65)
+    lifetime.add_argument("--emt", default="dream")
+    lifetime.add_argument(
+        "--capacity-mah", type=float, default=230.0,
+        help="battery capacity (default: CR2032-class, 230 mAh)",
+    )
+    return parser
+
+
+def _cmd_fig2(args) -> int:
+    from .exp.common import ExperimentConfig
+    from .exp.fig2 import run_fig2
+    from .exp.report import format_fig2
+
+    config = ExperimentConfig(records=args.records, duration_s=args.duration)
+    print(format_fig2(run_fig2(app_names=args.apps, config=config)))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from .exp.common import ExperimentConfig
+    from .exp.fig4 import run_fig4
+    from .exp.report import format_fig4
+
+    config = ExperimentConfig(
+        records=args.records, duration_s=args.duration, n_runs=args.runs
+    )
+    result = run_fig4(
+        app_names=args.apps, emt_names=args.emts, config=config
+    )
+    for emt_name in args.emts:
+        print(format_fig4(result, emt_name))
+        print()
+    return 0
+
+
+def _cmd_energy(args) -> int:
+    from .exp.energy_table import run_energy_analysis
+    from .exp.report import format_energy_analysis
+
+    print(format_energy_analysis(run_energy_analysis()))
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    from .exp.common import ExperimentConfig
+    from .exp.fig4 import run_fig4
+    from .exp.report import format_paper_example, format_tradeoff
+    from .exp.tradeoff import paper_example_savings, run_tradeoff
+
+    config = ExperimentConfig(
+        records=args.records, duration_s=args.duration, n_runs=args.runs
+    )
+    fig4 = run_fig4(app_names=(args.app,), config=config)
+    result = run_tradeoff(
+        fig4, app_name=args.app, tolerance_db=args.tolerance
+    )
+    print(format_tradeoff(result))
+    print()
+    print(format_paper_example(paper_example_savings()))
+    return 0
+
+
+def _cmd_overheads(args) -> int:
+    from .exp.overheads import overhead_table
+    from .exp.report import format_overheads
+
+    print(format_overheads(overhead_table()))
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from .signals.dataset import load_record
+
+    record = load_record(args.name, duration_s=args.duration)
+    labels = "".join(record.labels)
+    print(f"record {record.name}: {record.duration_s:.1f} s @ "
+          f"{record.fs_hz:.0f} Hz, {len(record.samples)} samples")
+    print(f"  beats: {len(record.labels)}  rhythm: {labels}")
+    print(f"  sample range: [{int(record.samples.min())}, "
+          f"{int(record.samples.max())}]")
+    return 0
+
+
+def _cmd_lifetime(args) -> int:
+    from .emt import make_emt
+    from .energy.battery import BatteryModel, estimate_lifetime
+    from .energy.technology import TECH_32NM_LP
+    from .exp.energy_table import measure_workload
+
+    battery = BatteryModel(capacity_mah=args.capacity_mah)
+    workload = measure_workload("dwt")
+    print(f"{args.capacity_mah:.0f} mAh battery, DWT monitoring workload")
+    print(f"{'configuration':>24s} {'power':>10s} {'lifetime':>10s}")
+    rows = [("none", TECH_32NM_LP.v_nominal), (args.emt, args.voltage)]
+    for emt_name, voltage in rows:
+        estimate = estimate_lifetime(
+            make_emt(emt_name), voltage, battery, workload=workload
+        )
+        print(
+            f"{emt_name + f' @ {voltage:.2f} V':>24s} "
+            f"{estimate.average_power_uw:8.2f}uW "
+            f"{estimate.lifetime_days:8.0f} d"
+        )
+    return 0
+
+
+_HANDLERS = {
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "energy": _cmd_energy,
+    "tradeoff": _cmd_tradeoff,
+    "overheads": _cmd_overheads,
+    "record": _cmd_record,
+    "lifetime": _cmd_lifetime,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Error-Mitigation Techniques (EMTs) — the paper's core contribution.
+
+This package implements the three protection schemes the paper compares,
+behind one vectorised interface (:class:`repro.emt.base.EMT`):
+
+* :class:`~repro.emt.base.NoProtection` — raw storage (Fig 4a),
+* :class:`~repro.emt.dream.DreamEMT` — the paper's Dynamic eRror
+  compEnsation And Masking technique (Fig 4b, Section IV),
+* :class:`~repro.emt.secded.SecDedEMT` — Hamming (22,16) ECC with Single
+  Error Correction / Double Error Detection (Fig 4c),
+
+plus two extensions used by the ablation benches:
+
+* :class:`~repro.emt.parity.ParityEMT` — detection-only single parity,
+* :class:`~repro.emt.hybrid.HybridEMT` — the voltage-triggered policy of
+  Section VI-C that switches between the techniques above.
+"""
+
+from .base import EMT, DecodeStats, NoProtection
+from .dream import DreamEMT
+from .dream_secded import DreamSecDedEMT
+from .hybrid import HybridEMT, VoltageRange
+from .parity import ParityEMT
+from .secded import SecDedEMT
+
+__all__ = [
+    "EMT",
+    "DecodeStats",
+    "NoProtection",
+    "DreamEMT",
+    "DreamSecDedEMT",
+    "SecDedEMT",
+    "ParityEMT",
+    "HybridEMT",
+    "VoltageRange",
+]
+
+#: Registry of the EMTs compared in the paper's Fig 4, keyed by the labels
+#: used throughout the experiment drivers, plus the extensions built on
+#: top (parity; the conclusion's multi-error DREAM+SEC/DED composition).
+PAPER_EMTS = {
+    "none": NoProtection,
+    "dream": DreamEMT,
+    "secded": SecDedEMT,
+    "parity": ParityEMT,
+    "dream_secded": DreamSecDedEMT,
+}
+
+
+def make_emt(name: str, data_bits: int = 16) -> EMT:
+    """Instantiate one of the paper's EMTs by registry name."""
+    from ..errors import EMTError
+
+    if name not in PAPER_EMTS:
+        raise EMTError(f"unknown EMT {name!r}; available: {sorted(PAPER_EMTS)}")
+    return PAPER_EMTS[name](data_bits=data_bits)

@@ -1,0 +1,206 @@
+"""DREAM — Dynamic eRror compEnsation And Masking (paper Section IV).
+
+DREAM exploits two properties of biomedical data established by the
+paper's Section III characterisation:
+
+1. ADC samples rarely span the full 16-bit range, so most words begin with
+   a *run* of identical most-significant bits (sign-extension bits);
+2. errors on MSB positions dominate output degradation, while LSB errors
+   are largely tolerable.
+
+Write path
+    While a sample is written to the faulty data memory, a priority
+    encoder measures the length of its MSB run.  The run length (as a
+    4-bit *mask ID* for 16-bit words) and the sign bit are stored in a
+    small **error-free mask memory** kept at nominal supply voltage —
+    ``1 + log2(data_bits)`` extra bits per word (Formula 2; 5 bits for the
+    paper's 16-bit words).
+
+Read path (paper Fig 3)
+    The mask ID indexes a lookup table producing a full bit mask covering
+    the MSB run.  Two logical operations rebuild the protected bits from
+    the (possibly corrupted) stored word:
+
+    * ``OR`` with the run mask rebuilds a *negative* sample's run of ones,
+    * ``AND`` with its complement rebuilds a *positive* sample's zeros,
+
+    and a 2-to-1 multiplexer driven by the stored sign bit selects the
+    right variant.  Additionally the *Set one bit* block forces the first
+    bit below the run to the inverted sign — that bit's value is implied
+    by the run ending there, so DREAM always corrects ``run + 1`` MSBs no
+    matter how many faults landed on them.
+
+When the run covers the whole word (mask ID ``2**mask_id_bits - 1``) the
+sample is exactly 0 or -1 and every bit is reconstructed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._bitops import bit_mask, sign_run_length, to_unsigned
+from ..errors import EMTError
+from .base import EMT, DecodeStats
+
+__all__ = ["DreamEMT"]
+
+
+class DreamEMT(EMT):
+    """The paper's DREAM technique for ``data_bits``-wide words.
+
+    ``data_bits`` must be a power of two so the mask ID occupies exactly
+    ``log2(data_bits)`` bits (Formula 2).
+
+    Example:
+        >>> import numpy as np
+        >>> emt = DreamEMT()
+        >>> stored, side = emt.encode(np.array([0x0012]))
+        >>> int(emt.decode(stored | 0x4000, side)[0])  # MSB-area fault
+        18
+    """
+
+    name = "dream"
+
+    def __init__(
+        self, data_bits: int = 16, compensate_boundary: bool = True
+    ) -> None:
+        """``compensate_boundary`` is design-decision D2: when False the
+        *Set one bit* block is removed, so only the ``run`` masked MSBs
+        (not ``run + 1``) are protected — the ablation quantifying what
+        that extra implied bit buys."""
+        super().__init__(data_bits)
+        if data_bits & (data_bits - 1):
+            raise EMTError(
+                f"DREAM requires a power-of-two word size, got {data_bits}"
+            )
+        self.mask_id_bits = int(data_bits).bit_length() - 1
+        self.compensate_boundary = compensate_boundary
+        self._run_mask_lut, self._boundary_lut = self._build_luts()
+        if not compensate_boundary:
+            self._boundary_lut = np.zeros_like(self._boundary_lut)
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def stored_bits(self) -> int:
+        return self.data_bits
+
+    @property
+    def side_bits(self) -> int:
+        """Formula 2: sign bit + mask ID = ``1 + log2(data_bits)``."""
+        return 1 + self.mask_id_bits
+
+    # -- mask LUT (the "LUT" block of Fig 3) --------------------------------
+
+    def _build_luts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Precompute, per mask ID, the run mask and the boundary-bit mask.
+
+        Mask ID ``i`` encodes a run of ``i + 1`` identical MSBs.  The run
+        mask covers those bits; the boundary mask covers the single bit
+        just below the run (zero when the run spans the whole word).
+        """
+        n_ids = 1 << self.mask_id_bits
+        run_masks = np.zeros(n_ids, dtype=np.int64)
+        boundaries = np.zeros(n_ids, dtype=np.int64)
+        width = self.data_bits
+        for mask_id in range(n_ids):
+            run = mask_id + 1
+            low = width - run
+            run_masks[mask_id] = bit_mask(run) << low
+            boundaries[mask_id] = (1 << (low - 1)) if low > 0 else 0
+        return run_masks, boundaries
+
+    def mask_lut(self) -> np.ndarray:
+        """The read-path lookup table: mask ID -> full run mask (copy)."""
+        return self._run_mask_lut.copy()
+
+    def protected_bits(self, side: np.ndarray) -> np.ndarray:
+        """Number of MSBs DREAM guarantees per word given its side info.
+
+        Equals ``run + 1`` (the extra bit comes from the *Set one bit*
+        block), capped at the word width when the run covers everything.
+        """
+        side_arr = np.asarray(side, dtype=np.int64)
+        run = np.bitwise_and(side_arr, bit_mask(self.mask_id_bits)) + 1
+        if not self.compensate_boundary:
+            return run
+        return np.minimum(run + 1, self.data_bits)
+
+    # -- vectorised paths -------------------------------------------------
+
+    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Store the raw word; derive ``sign | mask_id`` side info."""
+        arr = self._check_payload(payload)
+        run = sign_run_length(arr, self.data_bits)
+        mask_id = run - 1
+        sign = np.bitwise_and(arr >> np.int64(self.data_bits - 1), 1)
+        side = np.bitwise_or(sign << np.int64(self.mask_id_bits), mask_id)
+        return arr.copy(), side
+
+    def decode(
+        self,
+        stored: np.ndarray,
+        side: np.ndarray | None,
+        stats: DecodeStats | None = None,
+    ) -> np.ndarray:
+        """Fig 3 read path: LUT -> AND/OR -> set-one-bit -> sign mux."""
+        if side is None:
+            raise EMTError("DREAM decode requires side (mask memory) info")
+        corrupted = self._check_stored(stored)
+        side_arr = np.asarray(side, dtype=np.int64)
+        if side_arr.shape != corrupted.shape:
+            raise EMTError(
+                f"side info shape {side_arr.shape} does not match "
+                f"stored shape {corrupted.shape}"
+            )
+        mask_id = np.bitwise_and(side_arr, bit_mask(self.mask_id_bits))
+        sign = np.bitwise_and(side_arr >> np.int64(self.mask_id_bits), 1)
+
+        run_mask = self._run_mask_lut[mask_id]
+        boundary = self._boundary_lut[mask_id]
+
+        # Positive samples: clear the run, set the boundary bit (inverted
+        # sign = 1).  Negative samples: set the run, clear the boundary.
+        positive = np.bitwise_or(
+            np.bitwise_and(corrupted, ~run_mask), boundary
+        )
+        negative = np.bitwise_and(
+            np.bitwise_or(corrupted, run_mask), ~boundary
+        )
+        decoded = np.where(sign == 1, negative, positive)
+
+        if stats is not None:
+            stats.words += corrupted.size
+            stats.corrected += int(np.count_nonzero(decoded != corrupted))
+        return decoded
+
+    # -- bit-serial reference ---------------------------------------------
+
+    def encode_word(self, payload: int) -> tuple[int, int]:
+        """Scalar transcription of the write-path logic."""
+        if not 0 <= payload <= bit_mask(self.data_bits):
+            raise EMTError("payload out of range")
+        width = self.data_bits
+        sign = (payload >> (width - 1)) & 1
+        run = 1
+        for position in range(width - 2, -1, -1):
+            if (payload >> position) & 1 == sign:
+                run += 1
+            else:
+                break
+        side = (sign << self.mask_id_bits) | (run - 1)
+        return payload, side
+
+    def decode_word(self, stored: int, side: int) -> int:
+        """Scalar transcription of the Fig 3 read path."""
+        if not 0 <= stored <= bit_mask(self.stored_bits):
+            raise EMTError("stored word out of range")
+        if not 0 <= side <= bit_mask(self.side_bits):
+            raise EMTError("side word out of range")
+        mask_id = side & bit_mask(self.mask_id_bits)
+        sign = (side >> self.mask_id_bits) & 1
+        run_mask = int(self._run_mask_lut[mask_id])
+        boundary = int(self._boundary_lut[mask_id])
+        if sign:
+            return (stored | run_mask) & ~boundary & bit_mask(self.data_bits)
+        return (stored & ~run_mask) | boundary

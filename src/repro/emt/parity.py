@@ -1,0 +1,64 @@
+"""Single-parity EMT — a detection-only baseline for the ablation benches.
+
+Not part of the paper's comparison, but the natural lower bound of the
+EMT design space: one parity bit per word, stored in the faulty memory
+like ECC's check bits.  The decoder can *detect* an odd number of errors
+but has no way to locate them, so it always returns the raw data bits —
+its value is purely as a monitoring signal (``detected_uncorrectable``
+counts in :class:`~repro.emt.base.DecodeStats`).
+
+Including it in the energy/quality sweeps shows that detection without
+correction buys no output quality at a non-zero cost, framing why the
+paper jumps straight from no-protection to DREAM/ECC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._bitops import bit_mask, parity
+from ..errors import EMTError
+from .base import EMT, DecodeStats
+
+__all__ = ["ParityEMT"]
+
+
+class ParityEMT(EMT):
+    """Even-parity protection: one extra bit in the faulty memory."""
+
+    name = "parity"
+
+    @property
+    def stored_bits(self) -> int:
+        return self.data_bits + 1
+
+    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, None]:
+        data = self._check_payload(payload)
+        check = parity(data)
+        stored = np.bitwise_or(data, check << np.int64(self.data_bits))
+        return stored, None
+
+    def decode(
+        self,
+        stored: np.ndarray,
+        side: np.ndarray | None,
+        stats: DecodeStats | None = None,
+    ) -> np.ndarray:
+        codeword = self._check_stored(stored)
+        if stats is not None:
+            stats.words += codeword.size
+            stats.detected_uncorrectable += int(
+                np.count_nonzero(parity(codeword) == 1)
+            )
+        return np.bitwise_and(codeword, bit_mask(self.data_bits))
+
+    def encode_word(self, payload: int) -> tuple[int, int]:
+        if not 0 <= payload <= bit_mask(self.data_bits):
+            raise EMTError("payload out of range")
+        check = bin(payload).count("1") & 1
+        return payload | (check << self.data_bits), 0
+
+    def decode_word(self, stored: int, side: int) -> int:
+        if not 0 <= stored <= bit_mask(self.stored_bits):
+            raise EMTError("stored word out of range")
+        return stored & bit_mask(self.data_bits)

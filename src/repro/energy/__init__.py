@@ -1,0 +1,32 @@
+"""Energy, area and technology models (paper Sections V, VI-B, VI-C).
+
+The paper derives memory energy from CACTI 6.5 and encoder/decoder energy
+and area from Synopsys Design Compiler synthesis reports, for a 32 nm
+low-power node at 343 K, and profiles the memory's Bit Error Rate per
+supply voltage.  None of those tools are available offline, so this
+package provides calibrated analytical stand-ins:
+
+* :mod:`repro.energy.technology` — node constants, voltage scaling laws
+  and the BER(V) calibration table,
+* :mod:`repro.energy.sram_model` — "CACTI-lite": an analytical banked-SRAM
+  energy/leakage/area model,
+* :mod:`repro.energy.logic_model` — gate-equivalent models of the EMT
+  encoders and decoders,
+* :mod:`repro.energy.accounting` — whole-memory-system energy reports
+  combining data memory, DREAM's mask memory and the EMT logic.
+"""
+
+from .accounting import EnergyBreakdown, EnergySystemModel
+from .logic_model import LogicBlockModel, logic_blocks_for
+from .sram_model import SramArrayModel
+from .technology import TECH_32NM_LP, Technology
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergySystemModel",
+    "LogicBlockModel",
+    "logic_blocks_for",
+    "SramArrayModel",
+    "TECH_32NM_LP",
+    "Technology",
+]

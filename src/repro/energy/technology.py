@@ -1,0 +1,143 @@
+"""Technology node model: voltage scaling laws and the BER(V) table.
+
+The paper (Section V): "The amount of permanent errors or stuck-at faults
+injected depends on the Bit Error Rate (BER), obtained profiling the
+memory for each voltage level for the selected technology node (32 nm)
+with low-power memory cells."  The profiled table itself is not published,
+so this module ships a calibration table chosen to reproduce the *shape*
+of Fig 4 (see EXPERIMENTS.md):
+
+* essentially error-free operation at and above 0.8 V,
+* first visible degradation of unprotected memory around 0.70-0.75 V,
+* the DREAM/ECC quality crossover near 0.55 V,
+* multi-error collapse of SEC/DED at 0.50 V.
+
+Between table points the BER is interpolated log-linearly in voltage,
+which matches the near-exponential growth of bit-cell failure probability
+as supply approaches threshold (Ganapathy et al., [2] in the paper).
+
+Scaling laws:
+
+* dynamic energy scales as ``(V / V_nom)**2`` (CV^2),
+* leakage power scales as ``(V / V_nom) * exp((V - V_nom) / v_leak)`` —
+  the supply-times-DIBL-driven-current model; ``v_leak`` calibrates how
+  steeply leakage falls with voltage scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import EnergyModelError
+
+__all__ = ["Technology", "TECH_32NM_LP", "PAPER_VOLTAGE_GRID"]
+
+
+#: The supply grid of Fig 4: 0.50 V to 0.90 V in 50 mV steps.
+PAPER_VOLTAGE_GRID = tuple(round(0.50 + 0.05 * i, 2) for i in range(9))
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A CMOS node's electrical behaviour for this study.
+
+    Attributes:
+        name: node label.
+        v_nominal: nominal supply voltage (V).
+        v_min: lowest supply the models are calibrated for (V).
+        v_max: highest supply the models accept (V).
+        temperature_k: operating temperature (the paper uses 343 K).
+        v_leak: characteristic voltage of the leakage exponential (V).
+        ber_table: ``(voltage, ber)`` calibration points, ascending in
+            voltage; queried through :meth:`ber`.
+    """
+
+    name: str
+    v_nominal: float
+    v_min: float
+    v_max: float
+    temperature_k: float
+    v_leak: float
+    ber_table: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.v_min < self.v_nominal <= self.v_max:
+            raise EnergyModelError(
+                f"inconsistent voltage bounds: min {self.v_min}, "
+                f"nominal {self.v_nominal}, max {self.v_max}"
+            )
+        if len(self.ber_table) < 2:
+            raise EnergyModelError("BER table needs at least two points")
+        voltages = [v for v, _ in self.ber_table]
+        if voltages != sorted(voltages):
+            raise EnergyModelError("BER table must be ascending in voltage")
+        if any(b <= 0 for _, b in self.ber_table):
+            raise EnergyModelError("BER table entries must be positive")
+
+    def check_voltage(self, voltage: float) -> None:
+        """Validate that ``voltage`` is inside the calibrated domain."""
+        if not self.v_min <= voltage <= self.v_max:
+            raise EnergyModelError(
+                f"{voltage} V outside the calibrated range "
+                f"[{self.v_min}, {self.v_max}] of {self.name}"
+            )
+
+    def ber(self, voltage: float) -> float:
+        """Stuck-at Bit Error Rate of low-power cells at ``voltage``.
+
+        Log-linear interpolation between calibration points; clamped to
+        the end values outside the table (the table spans the calibrated
+        voltage domain).
+        """
+        self.check_voltage(voltage)
+        table = self.ber_table
+        if voltage <= table[0][0]:
+            return table[0][1]
+        if voltage >= table[-1][0]:
+            return table[-1][1]
+        for (v_lo, b_lo), (v_hi, b_hi) in zip(table, table[1:]):
+            if v_lo <= voltage <= v_hi:
+                frac = (voltage - v_lo) / (v_hi - v_lo)
+                log_ber = (1 - frac) * math.log10(b_lo) + frac * math.log10(b_hi)
+                return 10.0**log_ber
+        raise EnergyModelError(  # pragma: no cover - table spans the domain
+            f"BER table does not cover {voltage} V"
+        )
+
+    def dynamic_scale(self, voltage: float) -> float:
+        """Dynamic-energy multiplier relative to nominal supply (CV^2)."""
+        self.check_voltage(voltage)
+        return (voltage / self.v_nominal) ** 2
+
+    def leakage_scale(self, voltage: float) -> float:
+        """Leakage-power multiplier relative to nominal supply."""
+        self.check_voltage(voltage)
+        ratio = voltage / self.v_nominal
+        return ratio * math.exp((voltage - self.v_nominal) / self.v_leak)
+
+
+#: Calibrated 32 nm low-power node (paper Section V: 32 nm, 343 K).
+#:
+#: The BER points are the reproduction's stand-in for the paper's memory
+#: profiling; EXPERIMENTS.md discusses the calibration against Fig 4.
+TECH_32NM_LP = Technology(
+    name="32nm-lp",
+    v_nominal=0.90,
+    v_min=0.50,
+    v_max=1.00,
+    temperature_k=343.0,
+    v_leak=0.25,
+    ber_table=(
+        (0.50, 1.2e-2),
+        (0.55, 3.0e-3),
+        (0.60, 1.0e-3),
+        (0.65, 1.5e-4),
+        (0.70, 1.5e-5),
+        (0.75, 1.5e-6),
+        (0.80, 1.0e-7),
+        (0.85, 1.0e-8),
+        (0.90, 1.0e-9),
+        (1.00, 1.0e-10),
+    ),
+)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of its valid range."""
+
+
+class FixedPointError(ReproError):
+    """A fixed-point conversion or operation was given invalid operands."""
+
+
+class SignalError(ReproError):
+    """A signal-generation or signal-processing request is invalid."""
+
+
+class MemoryModelError(ReproError):
+    """The faulty-memory model was used inconsistently.
+
+    Typical causes: storing a buffer wider than the configured word size,
+    loading a handle that was never stored, or a fault map that does not
+    match the memory geometry.
+    """
+
+
+class EMTError(ReproError):
+    """An error-mitigation technique was configured or used incorrectly."""
+
+
+class DecodingError(EMTError):
+    """A codeword could not be decoded (e.g. detected-uncorrectable)."""
+
+
+class EnergyModelError(ReproError):
+    """The energy/technology model was queried outside its valid domain."""
+
+
+class SimulationError(ReproError):
+    """The MPSoC simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured."""

@@ -1,0 +1,109 @@
+"""Experiment E1 — Fig 2: SNR vs data-bit position of injected errors.
+
+The paper's significance characterisation (Section III): for every bit
+position 0..15 of the 16-bit data words, stick that bit of *all* data
+buffers successively at '1' and at '0', run each application, and record
+the output SNR (Formula 1) averaged over ECG records with different
+pathologies.  No EMT is involved — this experiment is what motivates
+DREAM's asymmetric MSB protection:
+
+* SNR decreases monotonically (on trend) as the stuck bit moves toward
+  the MSB;
+* stuck-at-1 errors on MSBs hurt *less* than stuck-at-0 for apps whose
+  samples are predominantly negative (the error is hidden by the sign
+  run) and vice versa for predominantly positive data;
+* matrix filtering sits well below the other curves because each output
+  element depends on a full row and column of inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..apps.base import BiomedicalApp
+from ..apps.registry import make_app
+from ..emt.base import NoProtection
+from ..errors import ExperimentError
+from ..mem.fabric import MemoryFabric
+from ..mem.faults import position_fault_map
+from .common import ExperimentConfig, load_corpus
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """SNR series per application and stuck value.
+
+    ``snr_db[app_name][stuck_value]`` is a length-16 list: the average
+    output SNR with bit ``position`` of every data word stuck at
+    ``stuck_value``.
+    """
+
+    positions: list[int] = field(default_factory=lambda: list(range(16)))
+    snr_db: dict[str, dict[int, list[float]]] = field(default_factory=dict)
+    config: ExperimentConfig | None = None
+
+    def series(self, app_name: str, stuck_value: int) -> list[float]:
+        """One plotted curve of Fig 2."""
+        if app_name not in self.snr_db:
+            raise ExperimentError(f"no data for app {app_name!r}")
+        return self.snr_db[app_name][stuck_value]
+
+
+def run_fig2(
+    app_names: tuple[str, ...] = (
+        "dwt",
+        "matrix_filter",
+        "compressed_sensing",
+        "morphology",
+        "delineation",
+    ),
+    config: ExperimentConfig | None = None,
+    apps: dict[str, BiomedicalApp] | None = None,
+) -> Fig2Result:
+    """Run the Fig 2 bit-significance sweep.
+
+    Args:
+        app_names: applications to characterise (default: the paper's
+            five case studies).
+        config: experiment knobs; Fig 2 is deterministic (no Monte
+            Carlo), so only ``records`` and ``duration_s`` matter.
+        apps: optional pre-built application instances (overrides
+            ``app_names``).
+
+    Returns:
+        A :class:`Fig2Result` with one SNR series per (app, stuck value).
+    """
+    config = config or ExperimentConfig()
+    corpus = load_corpus(config)
+    if apps is None:
+        apps = {name: make_app(name) for name in app_names}
+
+    result = Fig2Result(config=config)
+    data_bits = 16
+    for name, app in apps.items():
+        per_value: dict[int, list[float]] = {0: [], 1: []}
+        for stuck_value in (0, 1):
+            for position in range(data_bits):
+                fault_map = position_fault_map(
+                    config.geometry.n_words, data_bits, position, stuck_value
+                )
+                snrs = []
+                for samples in corpus.values():
+                    fabric = MemoryFabric(
+                        NoProtection(),
+                        fault_map=fault_map,
+                        geometry=config.geometry,
+                    )
+                    output = app.run(samples, fabric)
+                    snrs.append(
+                        app.output_snr(
+                            samples, output, cap_db=config.snr_cap_db
+                        )
+                    )
+                per_value[stuck_value].append(float(np.mean(snrs)))
+        result.snr_db[name] = per_value
+    return result

@@ -1,0 +1,128 @@
+"""Experiment E2 — Fig 4a/b/c: SNR vs supply voltage per EMT.
+
+The paper's main quality result (Section VI-A): sweep the data-memory
+supply from 0.90 V down to 0.50 V; at each point draw Monte-Carlo
+stuck-at fault maps at the profiled BER, run every application with
+
+* (a) no protection,
+* (b) DREAM,
+* (c) ECC SEC/DED,
+
+and average the output SNR in dB over the runs.  The published shape:
+
+* all techniques hold the error-free ceiling down to ~0.8 V;
+* unprotected memory degrades first and fastest;
+* ECC is slightly ahead of DREAM between 0.65 and 0.55 V (it corrects
+  *any* single error, DREAM only those under the mask);
+* below 0.55 V multi-bit errors defeat SEC/DED (detect-only) while DREAM
+  keeps reconstructing the significant MSBs, so the curves cross.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..apps.base import BiomedicalApp
+from ..apps.registry import make_app
+from ..emt import make_emt
+from ..emt.base import EMT
+from ..energy.technology import PAPER_VOLTAGE_GRID, TECH_32NM_LP, Technology
+from ..errors import ExperimentError
+from .common import ExperimentConfig, MonteCarloResult, load_corpus, run_monte_carlo
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+
+@dataclass
+class Fig4Result:
+    """SNR-vs-voltage surfaces for every (application, EMT) pair."""
+
+    voltages: list[float] = field(default_factory=list)
+    #: ``points[app][voltage]`` -> per-EMT statistics.
+    points: dict[str, dict[float, MonteCarloResult]] = field(
+        default_factory=dict
+    )
+    config: ExperimentConfig | None = None
+
+    def series(self, app_name: str, emt_name: str) -> list[float]:
+        """One plotted curve: mean SNR per voltage for (app, EMT)."""
+        if app_name not in self.points:
+            raise ExperimentError(f"no data for app {app_name!r}")
+        per_voltage = self.points[app_name]
+        return [
+            per_voltage[v].snr_mean_db[emt_name] for v in self.voltages
+        ]
+
+    def min_voltage_meeting(
+        self, app_name: str, emt_name: str, min_snr_db: float
+    ) -> float | None:
+        """Lowest swept voltage whose mean SNR still meets ``min_snr_db``.
+
+        The quantity Section VI-C's policy construction needs.  Voltages
+        are checked from the top of the sweep downward and must meet the
+        requirement *contiguously* (a lower voltage that recovers by
+        chance does not extend the safe range).
+        """
+        best: float | None = None
+        for voltage in sorted(self.voltages, reverse=True):
+            snr = self.points[app_name][voltage].snr_mean_db[emt_name]
+            if snr >= min_snr_db:
+                best = voltage
+            else:
+                break
+        return best
+
+
+def run_fig4(
+    app_names: tuple[str, ...] = (
+        "dwt",
+        "matrix_filter",
+        "compressed_sensing",
+        "morphology",
+        "delineation",
+    ),
+    emt_names: tuple[str, ...] = ("none", "dream", "secded"),
+    voltages: tuple[float, ...] = PAPER_VOLTAGE_GRID,
+    config: ExperimentConfig | None = None,
+    tech: Technology = TECH_32NM_LP,
+    apps: dict[str, BiomedicalApp] | None = None,
+    emts: dict[str, EMT] | None = None,
+) -> Fig4Result:
+    """Run the Fig 4 voltage sweep.
+
+    Args:
+        app_names: applications to sweep (the paper's five by default).
+        emt_names: EMT registry names — (a), (b), (c) of Fig 4.
+        voltages: supply grid; defaults to the paper's 0.50..0.90 V.
+        config: Monte-Carlo knobs (``n_runs=200`` reproduces the paper).
+        tech: technology supplying the BER(V) profile.
+        apps / emts: optional pre-built instances.
+
+    Returns:
+        A :class:`Fig4Result` with per-(app, voltage, EMT) statistics.
+    """
+    config = config or ExperimentConfig()
+    corpus = load_corpus(config)
+    if apps is None:
+        apps = {name: make_app(name) for name in app_names}
+    if emts is None:
+        emts = {name: make_emt(name) for name in emt_names}
+
+    result = Fig4Result(voltages=sorted(voltages), config=config)
+    for app_name, app in apps.items():
+        per_voltage: dict[float, MonteCarloResult] = {}
+        for voltage in result.voltages:
+            ber = tech.ber(voltage)
+            # Deterministic per-(app, voltage) seed: `hash()` is salted
+            # per process, which would break run-to-run reproducibility.
+            grid_seed = zlib.crc32(
+                f"{app_name}:{round(voltage * 100)}".encode()
+            )
+            per_voltage[voltage] = run_monte_carlo(
+                app, emts, ber, config, corpus, grid_seed
+            )
+        result.points[app_name] = per_voltage
+    return result

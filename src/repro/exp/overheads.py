@@ -1,0 +1,85 @@
+"""Experiment E5 — Formula 2 / Section V: per-word memory overheads.
+
+The paper sizes the protection storage per data word:
+
+* DREAM: ``1 + log2(data_size)`` bits (sign + mask ID) in the error-free
+  side memory — 5 bits for 16-bit words;
+* ECC SEC/DED: ``2 + log2(data_size)`` bits (Hamming + overall parity)
+  in the faulty memory — 6 bits for 16-bit words.
+
+:func:`overhead_table` evaluates both (plus any other registered EMT)
+across word sizes, directly from the implemented techniques — the table
+is *measured from the code*, not re-derived from the formulae, so a
+regression in either implementation breaks the reproduction test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..emt import DreamEMT, NoProtection, ParityEMT, SecDedEMT
+from ..emt.base import EMT
+from ..errors import ExperimentError
+
+__all__ = ["OverheadRow", "overhead_table", "formula2_dream", "formula2_secded"]
+
+
+def formula2_dream(data_bits: int) -> int:
+    """The paper's Formula 2: ``1 + log2(data_size)`` bits per word."""
+    if data_bits < 2 or data_bits & (data_bits - 1):
+        raise ExperimentError(
+            f"Formula 2 needs a power-of-two word size, got {data_bits}"
+        )
+    return 1 + int(math.log2(data_bits))
+
+
+def formula2_secded(data_bits: int) -> int:
+    """Section V's ECC sizing: ``2 + log2(data_size)`` bits per word."""
+    if data_bits < 2 or data_bits & (data_bits - 1):
+        raise ExperimentError(
+            f"SEC/DED sizing needs a power-of-two word size, got {data_bits}"
+        )
+    return 2 + int(math.log2(data_bits))
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Protection-storage overhead of one EMT at one word size."""
+
+    emt_name: str
+    data_bits: int
+    extra_bits: int
+    faulty_bits: int
+    safe_bits: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Extra bits as a fraction of the data word."""
+        return self.extra_bits / self.data_bits
+
+
+def overhead_table(
+    word_sizes: tuple[int, ...] = (8, 16, 32),
+    emts: tuple[type[EMT], ...] = (
+        NoProtection,
+        ParityEMT,
+        DreamEMT,
+        SecDedEMT,
+    ),
+) -> list[OverheadRow]:
+    """Measure per-word overheads from the implemented EMTs."""
+    rows = []
+    for bits in word_sizes:
+        for emt_cls in emts:
+            emt = emt_cls(data_bits=bits)
+            rows.append(
+                OverheadRow(
+                    emt_name=emt.name,
+                    data_bits=bits,
+                    extra_bits=emt.extra_bits,
+                    faulty_bits=emt.stored_bits - emt.data_bits,
+                    safe_bits=emt.side_bits,
+                )
+            )
+    return rows

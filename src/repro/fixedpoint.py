@@ -1,0 +1,155 @@
+"""Q-format fixed-point arithmetic used by the biomedical applications.
+
+The applications in the paper run on an ARM-v6 class core without an FPU
+and operate on 16-bit two's-complement samples.  This module provides the
+small arithmetic kernel they share:
+
+* :class:`QFormat` — a ``Qm.n`` format descriptor (total width, fraction
+  bits) with conversion to/from floating point,
+* saturating vectorised add / subtract / multiply / shift,
+* rounding helpers matching the behaviour of a typical DSP multiply
+  (round-half-up on the discarded fraction bits).
+
+Everything is vectorised over numpy arrays; results are ``int64`` clipped
+to the format's representable range so they can be fed straight into the
+bit-accurate memory model via :func:`repro._bitops.to_unsigned`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import FixedPointError
+
+__all__ = [
+    "QFormat",
+    "Q15",
+    "Q14",
+    "Q11",
+    "saturate",
+    "sat_add",
+    "sat_sub",
+    "sat_mul",
+    "rounded_shift_right",
+]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed two's-complement ``Qm.n`` fixed-point format.
+
+    Attributes:
+        width: total number of bits, including the sign bit.
+        frac_bits: number of fractional bits (``n`` in ``Qm.n``).
+
+    The integer range is ``[min_int, max_int]`` and the real-value range is
+    that divided by ``2**frac_bits``.
+    """
+
+    width: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise FixedPointError(f"width must be >= 2, got {self.width}")
+        if not 0 <= self.frac_bits < self.width:
+            raise FixedPointError(
+                f"frac_bits must be in [0, width), got {self.frac_bits}"
+            )
+
+    @property
+    def min_int(self) -> int:
+        """Smallest representable integer (raw) value."""
+        return -(1 << (self.width - 1))
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable integer (raw) value."""
+        return (1 << (self.width - 1)) - 1
+
+    @property
+    def scale(self) -> float:
+        """Multiplier mapping real values to raw integers."""
+        return float(1 << self.frac_bits)
+
+    @property
+    def resolution(self) -> float:
+        """Real-value difference between adjacent raw integers."""
+        return 1.0 / self.scale
+
+    def from_float(self, values: np.ndarray) -> np.ndarray:
+        """Quantise real values into raw integers with saturation.
+
+        Rounds to nearest (ties away from zero, like C ``lround``).
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if not np.all(np.isfinite(arr)):
+            raise FixedPointError("cannot quantise non-finite values")
+        raw = np.round(arr * self.scale)
+        return np.clip(raw, self.min_int, self.max_int).astype(np.int64)
+
+    def to_float(self, raw: np.ndarray) -> np.ndarray:
+        """Map raw integers back to real values."""
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+    def __str__(self) -> str:
+        return f"Q{self.width - 1 - self.frac_bits}.{self.frac_bits}"
+
+
+#: 16-bit sample format with a full fractional range, the native format of
+#: the paper's data memory (16-bit ECG samples).
+Q15 = QFormat(width=16, frac_bits=15)
+
+#: One guard bit of integer headroom; used by filter accumulators.
+Q14 = QFormat(width=16, frac_bits=14)
+
+#: Four integer bits; used where coefficients exceed unity gain.
+Q11 = QFormat(width=16, frac_bits=11)
+
+
+def saturate(values: np.ndarray, fmt: QFormat = Q15) -> np.ndarray:
+    """Clip raw integers to the representable range of ``fmt``."""
+    arr = np.asarray(values, dtype=np.int64)
+    return np.clip(arr, fmt.min_int, fmt.max_int)
+
+
+def sat_add(a: np.ndarray, b: np.ndarray, fmt: QFormat = Q15) -> np.ndarray:
+    """Saturating addition of raw fixed-point integers."""
+    wide = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return saturate(wide, fmt)
+
+
+def sat_sub(a: np.ndarray, b: np.ndarray, fmt: QFormat = Q15) -> np.ndarray:
+    """Saturating subtraction of raw fixed-point integers."""
+    wide = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    return saturate(wide, fmt)
+
+
+def rounded_shift_right(values: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift with round-half-up on the discarded bits.
+
+    This matches the rounding step of a DSP fractional multiply: add half
+    of the weight of the discarded field, then shift.  ``shift`` may be 0,
+    in which case values pass through unchanged.
+    """
+    if shift < 0:
+        raise FixedPointError(f"shift must be non-negative, got {shift}")
+    arr = np.asarray(values, dtype=np.int64)
+    if shift == 0:
+        return arr.copy()
+    rounding = np.int64(1) << np.int64(shift - 1)
+    return (arr + rounding) >> np.int64(shift)
+
+
+def sat_mul(a: np.ndarray, b: np.ndarray, fmt: QFormat = Q15) -> np.ndarray:
+    """Saturating fractional multiply of raw fixed-point integers.
+
+    Computes the wide product, rounds away ``fmt.frac_bits`` fraction bits
+    (round-half-up) and saturates to the format range — the behaviour of a
+    16x16 -> 32-bit multiply followed by a rounding shift on a typical
+    embedded DSP path.
+    """
+    wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    return saturate(rounded_shift_right(wide, fmt.frac_bits), fmt)

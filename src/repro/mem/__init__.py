@@ -1,0 +1,36 @@
+"""Faulty-memory substrate: the voltage-scaled data memory of the paper.
+
+The paper's INYU-like platform stores application buffers in a 32 kB
+shared SRAM (16 banks) whose supply is scaled below nominal, causing
+permanent stuck-at faults at random bit positions.  This package models
+that memory bit-accurately:
+
+* :mod:`repro.mem.faults` — stuck-at fault maps: Monte-Carlo sampling at a
+  given Bit Error Rate (Fig 4) and deterministic single-position maps
+  (Fig 2's significance sweep).
+* :mod:`repro.mem.layout` — the banked address space and the random
+  logical-to-physical scrambling the paper invokes to justify fresh fault
+  locations per run.
+* :mod:`repro.mem.sram` — the bit-accurate banked SRAM with access
+  counters.
+* :mod:`repro.mem.fabric` — :class:`~repro.mem.fabric.MemoryFabric`, the
+  store/load interface applications use; every buffer round-trip passes
+  through the configured EMT and the fault map.
+"""
+
+from .fabric import BufferHandle, MemoryFabric
+from .faults import FaultMap, empty_fault_map, position_fault_map, sample_fault_map
+from .layout import AddressMap, MemoryGeometry
+from .sram import FaultySRAM
+
+__all__ = [
+    "BufferHandle",
+    "MemoryFabric",
+    "FaultMap",
+    "empty_fault_map",
+    "position_fault_map",
+    "sample_fault_map",
+    "AddressMap",
+    "MemoryGeometry",
+    "FaultySRAM",
+]

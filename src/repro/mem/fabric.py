@@ -1,0 +1,218 @@
+"""The memory fabric: how applications touch the faulty data memory.
+
+:class:`MemoryFabric` is the integration point between the biomedical
+applications and the reliability machinery.  An application declares
+named buffers (static allocation, as embedded firmware would), writes
+samples into them and reads them back; every round-trip passes through
+
+    EMT encode -> faulty SRAM write .. read -> EMT decode
+
+with DREAM's side information held in a separate always-correct array
+(the nominal-voltage mask memory).  Stuck-at corruption therefore reaches
+the application exactly where the paper's platform lets it: in the input,
+intermediate and output buffers living in the voltage-scaled memory.
+
+The fabric also keeps the counters the energy model consumes (reads and
+writes to the data and mask memories) and an optional access trace for
+the MPSoC crossbar simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._bitops import to_signed, to_unsigned
+from ..emt.base import EMT, DecodeStats
+from ..errors import MemoryModelError
+from .faults import FaultMap
+from .layout import PAPER_GEOMETRY, AddressMap, MemoryGeometry
+from .sram import FaultySRAM
+
+__all__ = ["BufferHandle", "AccessEvent", "MemoryFabric"]
+
+
+@dataclass(frozen=True)
+class BufferHandle:
+    """A named, statically allocated region of the data memory."""
+
+    name: str
+    base: int
+    length: int
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One batched access, for the crossbar simulator's trace replay."""
+
+    is_write: bool
+    base: int
+    length: int
+    buffer: str
+
+
+@dataclass
+class FabricStats:
+    """Aggregate activity counters for one fabric lifetime."""
+
+    data_reads: int = 0
+    data_writes: int = 0
+    side_reads: int = 0
+    side_writes: int = 0
+    decode: DecodeStats = field(default_factory=DecodeStats)
+
+
+class MemoryFabric:
+    """Application-facing view of the protected, faulty data memory.
+
+    Args:
+        emt: the error-mitigation technique in effect.
+        fault_map: permanent defects of the physical array.  Its width
+            must equal ``emt.stored_bits`` (use
+            :meth:`repro.mem.faults.FaultMap.restricted_to` when sharing
+            one defect set across EMTs of different widths, as the paper's
+            fair-comparison methodology requires).  ``None`` means a
+            defect-free memory.
+        geometry: data-memory organisation; defaults to the paper's
+            32 kB / 16-bank array, widened to the EMT's stored width.
+        address_map: optional logical-to-physical scrambling.
+        record_trace: keep an :class:`AccessEvent` list for the MPSoC
+            simulator.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.emt import DreamEMT
+        >>> fabric = MemoryFabric(DreamEMT())
+        >>> out = fabric.roundtrip("samples", np.array([-5, 123]))
+        >>> out.tolist()
+        [-5, 123]
+    """
+
+    def __init__(
+        self,
+        emt: EMT,
+        fault_map: FaultMap | None = None,
+        geometry: MemoryGeometry | None = None,
+        address_map: AddressMap | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        if geometry is None:
+            geometry = PAPER_GEOMETRY
+        geometry = geometry.with_word_bits(emt.stored_bits)
+        if fault_map is not None and fault_map.word_bits != emt.stored_bits:
+            raise MemoryModelError(
+                f"fault map width {fault_map.word_bits} != EMT stored "
+                f"width {emt.stored_bits}; restrict or resample the map"
+            )
+        self.emt = emt
+        self.sram = FaultySRAM(geometry, fault_map, address_map)
+        # The mask/side memory runs at nominal supply: plain intact array.
+        self._side = (
+            np.zeros(geometry.n_words, dtype=np.int64)
+            if emt.side_bits
+            else None
+        )
+        self._buffers: dict[str, BufferHandle] = {}
+        self._next_free = 0
+        self.stats = FabricStats()
+        self.trace: list[AccessEvent] | None = [] if record_trace else None
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, name: str, n_words: int) -> BufferHandle:
+        """Reserve ``n_words`` for buffer ``name`` (idempotent by name)."""
+        if n_words <= 0:
+            raise MemoryModelError(
+                f"buffer size must be positive, got {n_words}"
+            )
+        existing = self._buffers.get(name)
+        if existing is not None:
+            if existing.length < n_words:
+                raise MemoryModelError(
+                    f"buffer {name!r} already allocated with "
+                    f"{existing.length} words; cannot grow to {n_words}"
+                )
+            return existing
+        if self._next_free + n_words > self.sram.geometry.n_words:
+            raise MemoryModelError(
+                f"out of data memory allocating {n_words} words for "
+                f"{name!r} ({self._next_free} already in use of "
+                f"{self.sram.geometry.n_words})"
+            )
+        handle = BufferHandle(name=name, base=self._next_free, length=n_words)
+        self._buffers[name] = handle
+        self._next_free += n_words
+        return handle
+
+    @property
+    def words_allocated(self) -> int:
+        """Words currently reserved by named buffers."""
+        return self._next_free
+
+    def buffer(self, name: str) -> BufferHandle:
+        """Look up an allocated buffer by name."""
+        if name not in self._buffers:
+            raise MemoryModelError(f"buffer {name!r} was never allocated")
+        return self._buffers[name]
+
+    # -- data movement ------------------------------------------------------
+
+    def write(self, handle: BufferHandle, values: np.ndarray) -> None:
+        """Encode signed values and store them at the buffer's base."""
+        signed = np.asarray(values, dtype=np.int64)
+        if signed.ndim != 1:
+            raise MemoryModelError("fabric buffers are one-dimensional")
+        if signed.size > handle.length:
+            raise MemoryModelError(
+                f"writing {signed.size} words into {handle.length}-word "
+                f"buffer {handle.name!r}"
+            )
+        payload = to_unsigned(signed, self.emt.data_bits)
+        stored, side = self.emt.encode(payload)
+        addresses = np.arange(handle.base, handle.base + signed.size)
+        self.sram.write(addresses, stored)
+        self.stats.data_writes += int(signed.size)
+        if side is not None:
+            if self._side is None:  # pragma: no cover - guarded by side_bits
+                raise MemoryModelError("EMT produced side info unexpectedly")
+            self._side[addresses] = side
+            self.stats.side_writes += int(signed.size)
+        if self.trace is not None:
+            self.trace.append(
+                AccessEvent(True, handle.base, int(signed.size), handle.name)
+            )
+
+    def read(self, handle: BufferHandle, n_words: int | None = None) -> np.ndarray:
+        """Load, decode and sign-extend the buffer's first ``n_words``."""
+        count = handle.length if n_words is None else n_words
+        if not 0 < count <= handle.length:
+            raise MemoryModelError(
+                f"cannot read {count} words from {handle.length}-word "
+                f"buffer {handle.name!r}"
+            )
+        addresses = np.arange(handle.base, handle.base + count)
+        stored = self.sram.read(addresses)
+        self.stats.data_reads += count
+        side = None
+        if self._side is not None:
+            side = self._side[addresses]
+            self.stats.side_reads += count
+        payload = self.emt.decode(stored, side, self.stats.decode)
+        if self.trace is not None:
+            self.trace.append(
+                AccessEvent(False, handle.base, count, handle.name)
+            )
+        return to_signed(payload, self.emt.data_bits)
+
+    def roundtrip(self, name: str, values: np.ndarray) -> np.ndarray:
+        """Write ``values`` to buffer ``name`` and read them straight back.
+
+        The idiom applications use at every pipeline-stage boundary: the
+        stage's result is parked in the faulty memory and whatever
+        survives is what the next stage computes on.
+        """
+        signed = np.asarray(values, dtype=np.int64)
+        handle = self.allocate(name, max(signed.size, 1))
+        self.write(handle, signed)
+        return self.read(handle, signed.size)

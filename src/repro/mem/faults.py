@@ -1,0 +1,220 @@
+"""Stuck-at fault maps for the voltage-scaled data memory.
+
+The paper's error model (Section V): "Data corruption is caused by
+permanent errors that occur at random positions and set the affected
+memory bits to '1' or '0'."  A :class:`FaultMap` captures one such set of
+permanent defects as two per-word bit masks — bits stuck at one and bits
+stuck at zero — which makes applying the corruption to a whole buffer two
+vectorised bitwise operations (design decision D1).
+
+Two constructors cover the paper's two methodologies:
+
+* :func:`sample_fault_map` — independent per-bit failures at a given BER,
+  each stuck value drawn uniformly (Fig 4's Monte-Carlo runs);
+* :func:`position_fault_map` — every word's bit ``k`` stuck at a chosen
+  value (Fig 2's per-bit significance sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._bitops import bit_mask
+from ..errors import MemoryModelError
+
+__all__ = [
+    "FaultMap",
+    "empty_fault_map",
+    "sample_fault_map",
+    "position_fault_map",
+]
+
+
+@dataclass(frozen=True)
+class FaultMap:
+    """Permanent stuck-at defects of one physical memory array.
+
+    Attributes:
+        word_bits: width of each word the map covers.
+        set_mask: per-word mask of bits stuck at '1'.
+        clear_mask: per-word mask of bits stuck at '0'.
+
+    A bit cannot be stuck at both values; the constructor rejects
+    overlapping masks.
+    """
+
+    word_bits: int
+    set_mask: np.ndarray
+    clear_mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.word_bits < 1:
+            raise MemoryModelError(
+                f"word_bits must be positive, got {self.word_bits}"
+            )
+        set_arr = np.asarray(self.set_mask, dtype=np.int64)
+        clear_arr = np.asarray(self.clear_mask, dtype=np.int64)
+        if set_arr.shape != clear_arr.shape:
+            raise MemoryModelError(
+                f"mask shapes differ: {set_arr.shape} vs {clear_arr.shape}"
+            )
+        limit = bit_mask(self.word_bits)
+        for name, arr in (("set_mask", set_arr), ("clear_mask", clear_arr)):
+            if arr.size and (int(arr.min()) < 0 or int(arr.max()) > limit):
+                raise MemoryModelError(
+                    f"{name} exceeds the {self.word_bits}-bit word width"
+                )
+        if np.any(np.bitwise_and(set_arr, clear_arr)):
+            raise MemoryModelError(
+                "a bit cannot be stuck at both '0' and '1'"
+            )
+        object.__setattr__(self, "set_mask", set_arr)
+        object.__setattr__(self, "clear_mask", clear_arr)
+
+    @property
+    def n_words(self) -> int:
+        """Number of words covered by this map."""
+        return int(self.set_mask.size)
+
+    @property
+    def n_faults(self) -> int:
+        """Total number of stuck bits in the array."""
+        return int(
+            np.bitwise_count(self.set_mask).sum()
+            + np.bitwise_count(self.clear_mask).sum()
+        )
+
+    def apply(self, words: np.ndarray, indices: np.ndarray | None = None) -> np.ndarray:
+        """Corrupt stored bit patterns as the defective cells would.
+
+        Args:
+            words: bit patterns being read back.
+            indices: physical word indices each element maps to; when
+                omitted, ``words`` must cover the full array in order.
+
+        Returns:
+            ``(words | set_mask) & ~clear_mask`` element-wise.
+        """
+        arr = np.asarray(words, dtype=np.int64)
+        if indices is None:
+            if arr.shape != self.set_mask.shape:
+                raise MemoryModelError(
+                    f"expected full-array shape {self.set_mask.shape}, "
+                    f"got {arr.shape}"
+                )
+            set_mask, clear_mask = self.set_mask, self.clear_mask
+        else:
+            idx = np.asarray(indices, dtype=np.int64)
+            if idx.shape != arr.shape:
+                raise MemoryModelError(
+                    f"indices shape {idx.shape} does not match words "
+                    f"shape {arr.shape}"
+                )
+            if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= self.n_words):
+                raise MemoryModelError("physical index out of range")
+            set_mask = self.set_mask[idx]
+            clear_mask = self.clear_mask[idx]
+        return np.bitwise_and(np.bitwise_or(arr, set_mask), ~clear_mask)
+
+    def restricted_to(self, word_bits: int) -> "FaultMap":
+        """Project the map onto a narrower word (drop faults above it).
+
+        Used when a hybrid system provisions the memory for the widest
+        EMT but a narrower technique only occupies the low columns.
+        """
+        if word_bits > self.word_bits:
+            raise MemoryModelError(
+                f"cannot widen a fault map from {self.word_bits} to {word_bits} bits"
+            )
+        keep = bit_mask(word_bits)
+        return FaultMap(
+            word_bits=word_bits,
+            set_mask=np.bitwise_and(self.set_mask, keep),
+            clear_mask=np.bitwise_and(self.clear_mask, keep),
+        )
+
+    def restricted_to_words(self, start: int, length: int) -> "FaultMap":
+        """Keep only the faults inside the word range [start, start+length).
+
+        Used by the buffer-sensitivity analysis: combined with the
+        fabric's static allocation it confines injection to one named
+        buffer (e.g. "faults in the input buffer only").
+        """
+        if not 0 <= start <= self.n_words:
+            raise MemoryModelError(
+                f"range start {start} outside [0, {self.n_words}]"
+            )
+        if length < 0 or start + length > self.n_words:
+            raise MemoryModelError(
+                f"range [{start}, {start + length}) exceeds the "
+                f"{self.n_words}-word array"
+            )
+        inside = np.zeros(self.n_words, dtype=bool)
+        inside[start : start + length] = True
+        return FaultMap(
+            word_bits=self.word_bits,
+            set_mask=np.where(inside, self.set_mask, 0),
+            clear_mask=np.where(inside, self.clear_mask, 0),
+        )
+
+
+def empty_fault_map(n_words: int, word_bits: int) -> FaultMap:
+    """A defect-free array (nominal supply voltage)."""
+    if n_words < 0:
+        raise MemoryModelError(f"n_words must be non-negative, got {n_words}")
+    zeros = np.zeros(n_words, dtype=np.int64)
+    return FaultMap(word_bits=word_bits, set_mask=zeros, clear_mask=zeros.copy())
+
+
+def sample_fault_map(
+    n_words: int,
+    word_bits: int,
+    ber: float,
+    rng: np.random.Generator,
+) -> FaultMap:
+    """Draw one Monte-Carlo fault map at bit error rate ``ber``.
+
+    Every bit cell fails independently with probability ``ber``; each
+    failed cell is stuck at '1' or '0' with equal probability — the
+    paper's Section V error model.
+    """
+    if not 0.0 <= ber <= 1.0:
+        raise MemoryModelError(f"BER must be in [0, 1], got {ber}")
+    if n_words < 0:
+        raise MemoryModelError(f"n_words must be non-negative, got {n_words}")
+    if ber == 0.0 or n_words == 0:
+        return empty_fault_map(n_words, word_bits)
+
+    failed = rng.random((n_words, word_bits)) < ber
+    stuck_high = rng.random((n_words, word_bits)) < 0.5
+    weights = (np.int64(1) << np.arange(word_bits, dtype=np.int64))[None, :]
+    set_mask = np.where(failed & stuck_high, weights, 0).sum(axis=1)
+    clear_mask = np.where(failed & ~stuck_high, weights, 0).sum(axis=1)
+    return FaultMap(word_bits=word_bits, set_mask=set_mask, clear_mask=clear_mask)
+
+
+def position_fault_map(
+    n_words: int,
+    word_bits: int,
+    position: int,
+    stuck_value: int,
+) -> FaultMap:
+    """Stick bit ``position`` of *every* word at ``stuck_value``.
+
+    This is the Fig 2 methodology: "we successively set to '1' and '0'
+    each bit located on the positions 0 to 15 of the 16-bits data
+    buffers".
+    """
+    if not 0 <= position < word_bits:
+        raise MemoryModelError(
+            f"position must be in [0, {word_bits}), got {position}"
+        )
+    if stuck_value not in (0, 1):
+        raise MemoryModelError(f"stuck_value must be 0 or 1, got {stuck_value}")
+    mask = np.full(n_words, np.int64(1) << np.int64(position), dtype=np.int64)
+    zeros = np.zeros(n_words, dtype=np.int64)
+    if stuck_value == 1:
+        return FaultMap(word_bits=word_bits, set_mask=mask, clear_mask=zeros)
+    return FaultMap(word_bits=word_bits, set_mask=zeros, clear_mask=mask)

@@ -1,0 +1,133 @@
+"""Memory geometry and logical-to-physical address mapping.
+
+The paper's platform: "a shared memory of 32 kB, divided into 16 banks
+accessible by the cores through a crossbar" holding 16-bit data words.
+:class:`MemoryGeometry` captures that organisation; :class:`AddressMap`
+adds the random logical-to-physical scrambling the paper argues makes a
+fresh fault map per run realistic even with *permanent* faults ("adding a
+small logic to randomize the mapping between logical and physical
+addresses and bit locations", Section V — design decision D5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, MemoryModelError
+
+__all__ = ["MemoryGeometry", "AddressMap", "PAPER_GEOMETRY"]
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Banked SRAM organisation.
+
+    Attributes:
+        n_words: addressable words in the array.
+        word_bits: stored bits per word (16 raw, 22 with SEC/DED columns).
+        n_banks: number of word-interleaved banks.
+    """
+
+    n_words: int
+    word_bits: int
+    n_banks: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_words <= 0:
+            raise ConfigurationError(
+                f"n_words must be positive, got {self.n_words}"
+            )
+        if self.word_bits <= 0:
+            raise ConfigurationError(
+                f"word_bits must be positive, got {self.word_bits}"
+            )
+        if self.n_banks <= 0 or self.n_words % self.n_banks:
+            raise ConfigurationError(
+                f"n_banks must divide n_words ({self.n_words}), "
+                f"got {self.n_banks}"
+            )
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total stored bits in the array."""
+        return self.n_words * self.word_bits
+
+    @property
+    def words_per_bank(self) -> int:
+        """Depth of each bank."""
+        return self.n_words // self.n_banks
+
+    def bank_of(self, addresses: np.ndarray) -> np.ndarray:
+        """Word-interleaved bank index for each address."""
+        addr = self._check_addresses(addresses)
+        return addr % self.n_banks
+
+    def row_of(self, addresses: np.ndarray) -> np.ndarray:
+        """Row index within the bank for each address."""
+        addr = self._check_addresses(addresses)
+        return addr // self.n_banks
+
+    def _check_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        addr = np.asarray(addresses, dtype=np.int64)
+        if addr.size and (int(addr.min()) < 0 or int(addr.max()) >= self.n_words):
+            raise MemoryModelError(
+                f"address out of range [0, {self.n_words})"
+            )
+        return addr
+
+    def with_word_bits(self, word_bits: int) -> "MemoryGeometry":
+        """Same organisation with a different stored-word width.
+
+        Used when an EMT widens the word (SEC/DED columns).
+        """
+        return MemoryGeometry(
+            n_words=self.n_words, word_bits=word_bits, n_banks=self.n_banks
+        )
+
+
+#: The paper's data memory: 32 kB of 16-bit words in 16 banks.
+PAPER_GEOMETRY = MemoryGeometry(n_words=16384, word_bits=16, n_banks=16)
+
+
+class AddressMap:
+    """A (possibly scrambled) logical-to-physical word mapping.
+
+    With ``scramble=True`` the mapping is a random permutation drawn from
+    ``rng``; otherwise it is the identity.  Scrambling is what turns a
+    *fixed* set of permanent defects into a fresh random fault pattern per
+    run, as the paper's Section V argues.
+    """
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry,
+        rng: np.random.Generator | None = None,
+        scramble: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        if scramble:
+            if rng is None:
+                raise ConfigurationError(
+                    "scrambled AddressMap requires a random generator"
+                )
+            self._table = rng.permutation(geometry.n_words).astype(np.int64)
+        else:
+            self._table = np.arange(geometry.n_words, dtype=np.int64)
+
+    def physical(self, logical: np.ndarray) -> np.ndarray:
+        """Translate logical word addresses to physical word indices."""
+        addr = np.asarray(logical, dtype=np.int64)
+        if addr.size and (
+            int(addr.min()) < 0 or int(addr.max()) >= self.geometry.n_words
+        ):
+            raise MemoryModelError(
+                f"logical address out of range [0, {self.geometry.n_words})"
+            )
+        return self._table[addr]
+
+    @property
+    def is_identity(self) -> bool:
+        """True when no scrambling is applied."""
+        return bool(np.array_equal(self._table, np.arange(self.geometry.n_words)))

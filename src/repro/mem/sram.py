@@ -1,0 +1,117 @@
+"""Bit-accurate faulty SRAM with access accounting.
+
+:class:`FaultySRAM` stores raw bit patterns and applies its
+:class:`~repro.mem.faults.FaultMap` on **write**, mirroring the physics of
+a stuck-at defect: the cell ignores the written value, so every subsequent
+read returns the stuck value.  (Applying the map on write rather than read
+is observationally equivalent for reads, but also makes read-after-write
+of *uncorrupted* neighbours exact, and keeps repeated reads idempotent.)
+
+Access counters feed the energy model (reads/writes per array) and, when
+a trace sink is attached, the MPSoC crossbar simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._bitops import bit_mask
+from ..errors import MemoryModelError
+from .faults import FaultMap, empty_fault_map
+from .layout import AddressMap, MemoryGeometry
+
+__all__ = ["FaultySRAM"]
+
+
+class FaultySRAM:
+    """A banked SRAM array with permanent stuck-at defects.
+
+    Args:
+        geometry: array organisation (words, width, banks).
+        fault_map: permanent defects over *physical* words; defaults to a
+            defect-free array.
+        address_map: logical-to-physical scrambling; defaults to identity.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.mem import FaultySRAM, MemoryGeometry, position_fault_map
+        >>> geo = MemoryGeometry(n_words=16, word_bits=16, n_banks=4)
+        >>> sram = FaultySRAM(geo, position_fault_map(16, 16, 15, 1))
+        >>> sram.write(np.array([0]), np.array([0x0001]))
+        >>> hex(int(sram.read(np.array([0]))[0]))
+        '0x8001'
+    """
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry,
+        fault_map: FaultMap | None = None,
+        address_map: AddressMap | None = None,
+    ) -> None:
+        self.geometry = geometry
+        if fault_map is None:
+            fault_map = empty_fault_map(geometry.n_words, geometry.word_bits)
+        if fault_map.n_words != geometry.n_words:
+            raise MemoryModelError(
+                f"fault map covers {fault_map.n_words} words but the array "
+                f"has {geometry.n_words}"
+            )
+        if fault_map.word_bits != geometry.word_bits:
+            raise MemoryModelError(
+                f"fault map width {fault_map.word_bits} does not match "
+                f"array width {geometry.word_bits}"
+            )
+        if address_map is not None and address_map.geometry.n_words != geometry.n_words:
+            raise MemoryModelError("address map geometry mismatch")
+        self.fault_map = fault_map
+        self.address_map = address_map
+        self._cells = np.zeros(geometry.n_words, dtype=np.int64)
+        # Defective cells hold their stuck value even before first write.
+        self._cells = fault_map.apply(self._cells)
+        self.read_count = 0
+        self.write_count = 0
+
+    def _physical(self, addresses: np.ndarray) -> np.ndarray:
+        addr = np.asarray(addresses, dtype=np.int64)
+        if addr.size and (
+            int(addr.min()) < 0 or int(addr.max()) >= self.geometry.n_words
+        ):
+            raise MemoryModelError(
+                f"address out of range [0, {self.geometry.n_words})"
+            )
+        if self.address_map is None:
+            return addr
+        return self.address_map.physical(addr)
+
+    def write(self, addresses: np.ndarray, patterns: np.ndarray) -> None:
+        """Store bit patterns; stuck cells retain their stuck values."""
+        addr = self._physical(addresses)
+        values = np.asarray(patterns, dtype=np.int64)
+        if values.shape != addr.shape:
+            raise MemoryModelError(
+                f"patterns shape {values.shape} does not match addresses "
+                f"shape {addr.shape}"
+            )
+        limit = bit_mask(self.geometry.word_bits)
+        if values.size and (int(values.min()) < 0 or int(values.max()) > limit):
+            raise MemoryModelError(
+                f"pattern exceeds the {self.geometry.word_bits}-bit word"
+            )
+        self._cells[addr] = self.fault_map.apply(values, addr)
+        self.write_count += int(values.size)
+
+    def read(self, addresses: np.ndarray) -> np.ndarray:
+        """Read back stored (possibly corrupted) bit patterns."""
+        addr = self._physical(addresses)
+        self.read_count += int(addr.size)
+        return self._cells[addr].copy()
+
+    def reset_counters(self) -> None:
+        """Zero the access counters (energy accounting epochs)."""
+        self.read_count = 0
+        self.write_count = 0
+
+    @property
+    def n_faults(self) -> int:
+        """Number of stuck bits in the array."""
+        return self.fault_map.n_faults

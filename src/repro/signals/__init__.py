@@ -1,0 +1,38 @@
+"""Synthetic ECG substrate replacing the MIT-BIH Arrhythmia database.
+
+The paper evaluates its applications on 16-bit ECG traces from PhysioNet's
+MIT-BIH Arrhythmia database, averaging results over "different ECG signals
+with different pathologies".  PhysioNet is not reachable in this
+environment, so this package synthesises an equivalent corpus:
+
+* :mod:`repro.signals.synthesis` — a dynamical ECG generator in the spirit
+  of ECGSYN (McSharry et al.): per-beat P-QRS-T morphology as a sum of
+  Gaussian waves, driven by an RR tachogram with physiological LF/HF
+  variability.
+* :mod:`repro.signals.pathologies` — beat-morphology presets (normal, PVC,
+  APC, bundle-branch block, paced) and rhythm descriptors mixing them.
+* :mod:`repro.signals.dataset` — a deterministic catalog of MIT-BIH-like
+  records with beat annotations.
+* :mod:`repro.signals.noise` — baseline wander, mains interference and EMG
+  noise models.
+* :mod:`repro.signals.quantize` — the 16-bit ADC front-end.
+* :mod:`repro.signals.metrics` — SNR (the paper's Formula 1), MSE and PRD.
+"""
+
+from .dataset import Record, default_catalog, load_record
+from .metrics import mse, prd, snr_db
+from .quantize import adc_quantize, dac_restore
+from .synthesis import ECGGenerator, rr_tachogram
+
+__all__ = [
+    "Record",
+    "default_catalog",
+    "load_record",
+    "mse",
+    "prd",
+    "snr_db",
+    "adc_quantize",
+    "dac_restore",
+    "ECGGenerator",
+    "rr_tachogram",
+]

@@ -1,0 +1,115 @@
+"""Record serialisation: a WFDB-flavoured on-disk format.
+
+PhysioNet distributes MIT-BIH records as a header + binary signal +
+annotation triple; this module provides the equivalent for the synthetic
+corpus so experiments can pin an exact input set to disk (and diff it
+across machines) instead of relying on generator determinism alone.
+
+Format: a directory containing, per record,
+
+* ``<name>.hea``  — JSON header: name, sampling rate, sample count;
+* ``<name>.dat``  — little-endian ``int16`` samples (WFDB format 16);
+* ``<name>.atr``  — JSON beat annotations (sample index + label).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SignalError
+from .dataset import Record
+
+__all__ = ["save_record", "read_record", "save_corpus", "read_corpus"]
+
+_FORMAT_VERSION = 1
+
+
+def save_record(record: Record, directory: str | Path) -> Path:
+    """Write one record in the on-disk format; returns the header path."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+
+    samples = np.asarray(record.samples, dtype=np.int64)
+    if samples.size and (
+        int(samples.min()) < -32768 or int(samples.max()) > 32767
+    ):
+        raise SignalError("record samples exceed the 16-bit format range")
+
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": record.name,
+        "fs_hz": record.fs_hz,
+        "n_samples": int(samples.size),
+        "format": "int16-le",
+    }
+    header_path = base / f"{record.name}.hea"
+    header_path.write_text(json.dumps(header, indent=2) + "\n")
+
+    samples.astype("<i2").tofile(base / f"{record.name}.dat")
+
+    annotations = {
+        "r_samples": [int(i) for i in record.r_samples],
+        "labels": list(record.labels),
+    }
+    (base / f"{record.name}.atr").write_text(
+        json.dumps(annotations, indent=2) + "\n"
+    )
+    return header_path
+
+
+def read_record(name: str, directory: str | Path) -> Record:
+    """Read one record previously written by :func:`save_record`.
+
+    The float ``signal_mv`` channel is not stored on disk (the 16-bit
+    samples are the experiment input); it is restored through the ADC
+    inverse so round-tripped records remain usable everywhere.
+    """
+    base = Path(directory)
+    header_path = base / f"{name}.hea"
+    if not header_path.exists():
+        raise SignalError(f"no record {name!r} under {base}")
+    header = json.loads(header_path.read_text())
+    if header.get("version") != _FORMAT_VERSION:
+        raise SignalError(
+            f"unsupported record format version {header.get('version')!r}"
+        )
+    if header.get("format") != "int16-le":
+        raise SignalError(f"unsupported sample format {header.get('format')!r}")
+
+    samples = np.fromfile(base / f"{name}.dat", dtype="<i2").astype(np.int64)
+    if samples.size != header["n_samples"]:
+        raise SignalError(
+            f"sample file length {samples.size} does not match header "
+            f"({header['n_samples']})"
+        )
+    annotations = json.loads((base / f"{name}.atr").read_text())
+    from .quantize import dac_restore
+
+    return Record(
+        name=header["name"],
+        fs_hz=float(header["fs_hz"]),
+        samples=samples,
+        signal_mv=dac_restore(samples),
+        r_samples=np.asarray(annotations["r_samples"], dtype=np.int64),
+        labels=list(annotations["labels"]),
+    )
+
+
+def save_corpus(records: list[Record], directory: str | Path) -> list[Path]:
+    """Write several records; returns their header paths."""
+    return [save_record(record, directory) for record in records]
+
+
+def read_corpus(directory: str | Path) -> dict[str, Record]:
+    """Read every record found under ``directory``, keyed by name."""
+    base = Path(directory)
+    if not base.is_dir():
+        raise SignalError(f"{base} is not a directory")
+    corpus = {}
+    for header_path in sorted(base.glob("*.hea")):
+        record = read_record(header_path.stem, base)
+        corpus[record.name] = record
+    return corpus

@@ -1,0 +1,99 @@
+"""Output-quality metrics, including the paper's SNR definition.
+
+The paper measures output degradation with the Signal-to-Noise Ratio of
+Formula 1:
+
+    SNR = 20 * log10( sqrt(mean(x_theo^2)) / sqrt(MSE) )
+
+where ``MSE`` is the mean squared difference between the error-free
+("theoretical") output and the corrupted ("experimental") output.  An
+error-free run has ``MSE = 0`` and therefore an unbounded SNR; the
+experiment drivers cap it at a configurable ceiling so averages stay
+finite, mirroring the dashed "maximum SNR" lines of Fig 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SignalError
+
+__all__ = ["mse", "rms", "snr_db", "prd", "SNR_CAP_DB"]
+
+
+#: Default SNR ceiling used when the corrupted output is bit-exact.
+#: ~96 dB is the quantisation-noise-limited SNR of a 16-bit word
+#: (6.02 dB/bit), the natural "no degradation" level for this system.
+SNR_CAP_DB = 96.0
+
+
+def _as_float_pair(
+    theoretical: np.ndarray, experimental: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    theo = np.asarray(theoretical, dtype=np.float64).ravel()
+    expe = np.asarray(experimental, dtype=np.float64).ravel()
+    if theo.shape != expe.shape:
+        raise SignalError(
+            f"shape mismatch: theoretical {theo.shape} vs experimental {expe.shape}"
+        )
+    if theo.size == 0:
+        raise SignalError("metrics require at least one sample")
+    return theo, expe
+
+
+def mse(theoretical: np.ndarray, experimental: np.ndarray) -> float:
+    """Mean squared error between error-free and corrupted outputs."""
+    theo, expe = _as_float_pair(theoretical, experimental)
+    return float(np.mean((theo - expe) ** 2))
+
+
+def rms(values: np.ndarray) -> float:
+    """Root-mean-square of a signal."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise SignalError("rms requires at least one sample")
+    return float(np.sqrt(np.mean(arr**2)))
+
+
+def snr_db(
+    theoretical: np.ndarray,
+    experimental: np.ndarray,
+    cap_db: float = SNR_CAP_DB,
+) -> float:
+    """The paper's Formula 1 SNR in decibels.
+
+    Args:
+        theoretical: error-free output ``x_theo``.
+        experimental: corrupted output ``x_exp``.
+        cap_db: ceiling returned when MSE is zero (bit-exact output) or
+            when the computed SNR exceeds it.  Pass ``np.inf`` to disable.
+
+    Returns:
+        ``min(cap_db, 20*log10(rms(x_theo)/sqrt(MSE)))``.  If the
+        theoretical output itself is identically zero the SNR is undefined
+        and ``0.0`` is returned for a corrupted output, ``cap_db`` for a
+        bit-exact one.
+    """
+    theo, expe = _as_float_pair(theoretical, experimental)
+    error_power = float(np.mean((theo - expe) ** 2))
+    signal_rms = float(np.sqrt(np.mean(theo**2)))
+    if error_power == 0.0:
+        return float(cap_db)
+    if signal_rms == 0.0:
+        return 0.0
+    value = 20.0 * np.log10(signal_rms / np.sqrt(error_power))
+    return float(min(value, cap_db))
+
+
+def prd(theoretical: np.ndarray, experimental: np.ndarray) -> float:
+    """Percentage root-mean-square difference, the classic ECG metric.
+
+    ``PRD = 100 * sqrt(sum((x-y)^2) / sum(x^2))``.  Related to the paper's
+    SNR by ``SNR = 20*log10(100/PRD)``; provided because the CS literature
+    the paper cites ([10], [11]) reports reconstruction quality as PRD.
+    """
+    theo, expe = _as_float_pair(theoretical, experimental)
+    denom = float(np.sum(theo**2))
+    if denom == 0.0:
+        raise SignalError("PRD undefined for an all-zero reference")
+    return float(100.0 * np.sqrt(np.sum((theo - expe) ** 2) / denom))

@@ -1,0 +1,115 @@
+"""Physiological and environmental noise models for ECG traces.
+
+The paper's motivation for tolerating LSB errors is that real acquisitions
+are already "from noisy analog sources" (Section III).  The record catalog
+therefore adds calibrated amounts of the three classic ECG contaminants:
+
+* baseline wander — respiration / electrode drift below ~0.5 Hz,
+* mains interference — 50/60 Hz sinusoid with slow amplitude modulation,
+* EMG noise — band-limited Gaussian noise from muscle activity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SignalError
+
+__all__ = [
+    "baseline_wander",
+    "mains_interference",
+    "emg_noise",
+    "compose_noise",
+]
+
+
+def _check(n_samples: int, fs_hz: float) -> None:
+    if n_samples <= 0:
+        raise SignalError(f"n_samples must be positive, got {n_samples}")
+    if fs_hz <= 0:
+        raise SignalError(f"sampling rate must be positive, got {fs_hz}")
+
+
+def baseline_wander(
+    n_samples: int,
+    fs_hz: float,
+    amplitude_mv: float,
+    rng: np.random.Generator,
+    max_freq_hz: float = 0.5,
+    n_components: int = 6,
+) -> np.ndarray:
+    """Sum of random low-frequency sinusoids below ``max_freq_hz``."""
+    _check(n_samples, fs_hz)
+    t = np.arange(n_samples) / fs_hz
+    wander = np.zeros(n_samples)
+    for _ in range(n_components):
+        freq = rng.uniform(0.05, max_freq_hz)
+        phase = rng.uniform(0, 2 * np.pi)
+        gain = rng.uniform(0.3, 1.0)
+        wander += gain * np.sin(2 * np.pi * freq * t + phase)
+    peak = np.max(np.abs(wander))
+    if peak > 0:
+        wander *= amplitude_mv / peak
+    return wander
+
+
+def mains_interference(
+    n_samples: int,
+    fs_hz: float,
+    amplitude_mv: float,
+    rng: np.random.Generator,
+    mains_hz: float = 50.0,
+) -> np.ndarray:
+    """Mains-coupled sinusoid with slow random amplitude modulation."""
+    _check(n_samples, fs_hz)
+    t = np.arange(n_samples) / fs_hz
+    phase = rng.uniform(0, 2 * np.pi)
+    # Slow (0.2 Hz) modulation models varying coupling as the subject moves.
+    modulation = 1.0 + 0.3 * np.sin(2 * np.pi * 0.2 * t + rng.uniform(0, 2 * np.pi))
+    return amplitude_mv * modulation * np.sin(2 * np.pi * mains_hz * t + phase)
+
+
+def emg_noise(
+    n_samples: int,
+    fs_hz: float,
+    rms_mv: float,
+    rng: np.random.Generator,
+    smoothing: int = 3,
+) -> np.ndarray:
+    """Band-limited Gaussian noise modelling muscle activity.
+
+    White Gaussian noise is lightly smoothed with a ``smoothing``-tap
+    moving average to concentrate power below Nyquist/2, then rescaled to
+    the requested RMS.
+    """
+    _check(n_samples, fs_hz)
+    if smoothing < 1:
+        raise SignalError(f"smoothing must be >= 1, got {smoothing}")
+    white = rng.standard_normal(n_samples + smoothing - 1)
+    kernel = np.ones(smoothing) / smoothing
+    shaped = np.convolve(white, kernel, mode="valid")
+    rms = float(np.sqrt(np.mean(shaped**2)))
+    if rms > 0:
+        shaped *= rms_mv / rms
+    return shaped
+
+
+def compose_noise(
+    n_samples: int,
+    fs_hz: float,
+    rng: np.random.Generator,
+    wander_mv: float = 0.0,
+    mains_mv: float = 0.0,
+    emg_rms_mv: float = 0.0,
+    mains_hz: float = 50.0,
+) -> np.ndarray:
+    """Sum of the three contaminant models with the given amplitudes."""
+    _check(n_samples, fs_hz)
+    total = np.zeros(n_samples)
+    if wander_mv > 0:
+        total += baseline_wander(n_samples, fs_hz, wander_mv, rng)
+    if mains_mv > 0:
+        total += mains_interference(n_samples, fs_hz, mains_mv, rng, mains_hz)
+    if emg_rms_mv > 0:
+        total += emg_noise(n_samples, fs_hz, emg_rms_mv, rng)
+    return total

@@ -1,0 +1,178 @@
+"""Beat-morphology presets and rhythm models for the synthetic corpus.
+
+The MIT-BIH Arrhythmia database mixes normal sinus rhythm with ectopic and
+conduction-abnormal beats.  This module provides the corresponding
+morphology presets and a rhythm engine that interleaves them, so the
+synthetic records exercise the same signal diversity the paper averages
+over (Section III: "Different ECG signals with different pathologies are
+used to produce each averaged point").
+
+Morphology values are textbook lead-II shapes; what matters for the
+reproduction is the *diversity* of QRS widths, amplitudes, and baselines,
+not clinical exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SignalError
+from .synthesis import NORMAL_MORPHOLOGY, BeatMorphology, WaveParams
+
+__all__ = [
+    "PVC_MORPHOLOGY",
+    "APC_MORPHOLOGY",
+    "LBBB_MORPHOLOGY",
+    "RBBB_MORPHOLOGY",
+    "PACED_MORPHOLOGY",
+    "MORPHOLOGY_BY_LABEL",
+    "RhythmSpec",
+    "generate_rhythm",
+]
+
+
+#: Premature ventricular contraction: wide, high-amplitude QRS, no P wave,
+#: discordant T wave.
+PVC_MORPHOLOGY = BeatMorphology(
+    label="V",
+    waves={
+        "Q": WaveParams(amplitude_mv=-0.20, width_s=0.030, offset_s=-0.08),
+        "R": WaveParams(amplitude_mv=1.60, width_s=0.038, offset_s=0.0),
+        "S": WaveParams(amplitude_mv=-0.80, width_s=0.045, offset_s=0.09),
+        "T": WaveParams(amplitude_mv=-0.45, width_s=0.070, offset_s=0.32),
+    },
+)
+
+#: Atrial premature contraction: early beat, abnormal (biphasic-ish) P.
+APC_MORPHOLOGY = BeatMorphology(
+    label="A",
+    waves={
+        "P": WaveParams(amplitude_mv=0.08, width_s=0.035, offset_s=-0.14),
+        "Q": WaveParams(amplitude_mv=-0.10, width_s=0.010, offset_s=-0.035),
+        "R": WaveParams(amplitude_mv=1.05, width_s=0.012, offset_s=0.0),
+        "S": WaveParams(amplitude_mv=-0.22, width_s=0.012, offset_s=0.035),
+        "T": WaveParams(amplitude_mv=0.25, width_s=0.055, offset_s=0.28),
+    },
+)
+
+#: Left bundle-branch block: broad notched QRS, discordant T.
+LBBB_MORPHOLOGY = BeatMorphology(
+    label="L",
+    waves={
+        "P": WaveParams(amplitude_mv=0.12, width_s=0.025, offset_s=-0.20),
+        "R": WaveParams(amplitude_mv=0.90, width_s=0.030, offset_s=-0.01),
+        "S": WaveParams(amplitude_mv=0.55, width_s=0.035, offset_s=0.05),
+        "T": WaveParams(amplitude_mv=-0.35, width_s=0.065, offset_s=0.33),
+    },
+)
+
+#: Right bundle-branch block: rSR' pattern approximated by twin R lobes.
+RBBB_MORPHOLOGY = BeatMorphology(
+    label="R",
+    waves={
+        "P": WaveParams(amplitude_mv=0.13, width_s=0.025, offset_s=-0.19),
+        "Q": WaveParams(amplitude_mv=-0.15, width_s=0.012, offset_s=-0.045),
+        "R": WaveParams(amplitude_mv=0.85, width_s=0.014, offset_s=0.0),
+        "S": WaveParams(amplitude_mv=0.60, width_s=0.020, offset_s=0.05),
+        "T": WaveParams(amplitude_mv=0.20, width_s=0.060, offset_s=0.31),
+    },
+)
+
+#: Ventricular paced beat: pacing spike followed by a wide QRS.
+PACED_MORPHOLOGY = BeatMorphology(
+    label="/",
+    waves={
+        "Q": WaveParams(amplitude_mv=0.70, width_s=0.004, offset_s=-0.06),
+        "R": WaveParams(amplitude_mv=1.30, width_s=0.040, offset_s=0.0),
+        "S": WaveParams(amplitude_mv=-0.60, width_s=0.050, offset_s=0.10),
+        "T": WaveParams(amplitude_mv=-0.40, width_s=0.070, offset_s=0.34),
+    },
+)
+
+#: Registry keyed by MIT-BIH annotation symbol.
+MORPHOLOGY_BY_LABEL: dict[str, BeatMorphology] = {
+    "N": NORMAL_MORPHOLOGY,
+    "V": PVC_MORPHOLOGY,
+    "A": APC_MORPHOLOGY,
+    "L": LBBB_MORPHOLOGY,
+    "R": RBBB_MORPHOLOGY,
+    "/": PACED_MORPHOLOGY,
+}
+
+
+@dataclass(frozen=True)
+class RhythmSpec:
+    """A statistical description of a record's rhythm.
+
+    Attributes:
+        base_label: morphology used for non-ectopic beats.
+        ectopy: mapping from beat label to its per-beat probability;
+            probabilities must sum to less than 1, the remainder being the
+            base label.
+        mean_hr_bpm: mean heart rate.
+        std_hr_bpm: heart-rate variability.
+        prematurity: fraction by which an ectopic beat shortens the
+            preceding RR interval (0 = on time, 0.3 = 30 % early), with a
+            compensatory pause after.
+        amplitude_gain: global gain applied to every beat (electrode
+            placement differences between records).
+    """
+
+    base_label: str = "N"
+    ectopy: dict[str, float] = field(default_factory=dict)
+    mean_hr_bpm: float = 72.0
+    std_hr_bpm: float = 2.5
+    prematurity: float = 0.25
+    amplitude_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base_label not in MORPHOLOGY_BY_LABEL:
+            raise SignalError(f"unknown base beat label {self.base_label!r}")
+        total = 0.0
+        for label, prob in self.ectopy.items():
+            if label not in MORPHOLOGY_BY_LABEL:
+                raise SignalError(f"unknown ectopic beat label {label!r}")
+            if not 0.0 <= prob <= 1.0:
+                raise SignalError(f"probability for {label!r} out of [0,1]")
+            total += prob
+        if total >= 1.0:
+            raise SignalError(f"ectopy probabilities sum to {total} >= 1")
+
+
+def generate_rhythm(
+    spec: RhythmSpec,
+    n_beats: int,
+    rng: np.random.Generator,
+) -> tuple[list[BeatMorphology], np.ndarray]:
+    """Draw a beat-label sequence and matching RR adjustments.
+
+    Returns:
+        ``(morphologies, rr_scale)`` where ``rr_scale[i]`` multiplies the
+        i-th RR interval from the tachogram (premature beats arrive early,
+        followed by a compensatory pause).
+    """
+    if n_beats <= 0:
+        raise SignalError(f"n_beats must be positive, got {n_beats}")
+    labels = list(spec.ectopy.keys())
+    probs = np.array([spec.ectopy[k] for k in labels], dtype=np.float64)
+    base_prob = 1.0 - float(probs.sum())
+    all_labels = labels + [spec.base_label]
+    all_probs = np.append(probs, base_prob)
+
+    drawn = rng.choice(len(all_labels), size=n_beats, p=all_probs)
+    morphologies: list[BeatMorphology] = []
+    rr_scale = np.ones(n_beats, dtype=np.float64)
+    for i, idx in enumerate(drawn):
+        label = all_labels[idx]
+        morph = MORPHOLOGY_BY_LABEL[label]
+        if spec.amplitude_gain != 1.0:
+            morph = morph.scaled(spec.amplitude_gain)
+        morphologies.append(morph)
+        is_ectopic = label != spec.base_label
+        if is_ectopic and i > 0:
+            rr_scale[i - 1] *= 1.0 - spec.prematurity
+            if i < n_beats - 1:
+                rr_scale[i] *= 1.0 + spec.prematurity
+    return morphologies, rr_scale

@@ -1,0 +1,31 @@
+"""VirtualSOC-lite: the MPSoC platform substrate (paper Section V).
+
+The paper models the INYU wearable device by extending VirtualSOC, a
+cycle-accurate multi-processor simulator: "up to 16 ARM V6 cores with
+local and shared memories, accessed at a clock frequency of 200 MHz", the
+shared 32 kB data memory being "divided into 16 banks accessible by the
+cores through a crossbar".
+
+This package provides the cycle-approximate equivalent the reproduction
+needs: cores replay memory-access traces (recorded by the
+:class:`~repro.mem.fabric.MemoryFabric` or synthesised), a word-interleaved
+crossbar arbitrates per-bank with round-robin priority, and the simulator
+reports cycles, stalls, bank conflicts and utilisation — the performance
+and activity numbers behind the energy accounting.
+"""
+
+from .config import SoCConfig
+from .core_model import CoreTask, tasks_from_fabric
+from .crossbar import Crossbar
+from .simulator import SimulationReport, SoCSimulator
+from .trace import MemoryAccess
+
+__all__ = [
+    "SoCConfig",
+    "CoreTask",
+    "tasks_from_fabric",
+    "Crossbar",
+    "SimulationReport",
+    "SoCSimulator",
+    "MemoryAccess",
+]

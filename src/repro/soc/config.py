@@ -1,0 +1,55 @@
+"""Platform configuration of the VirtualSOC-lite substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..mem.layout import PAPER_GEOMETRY, MemoryGeometry
+
+__all__ = ["SoCConfig"]
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """The INYU-like platform of the paper's experimental setup.
+
+    Attributes:
+        n_cores: processing elements issuing memory traffic (<= 16,
+            "up to 16 ARM V6 cores").
+        clock_hz: system clock ("a clock frequency of 200 MHz").
+        geometry: the shared data memory (32 kB in 16 banks).
+        cycles_per_access: crossbar-plus-SRAM latency of an uncontended
+            access, in cycles.
+        compute_gap_cycles: default compute cycles a core spends between
+            consecutive memory accesses when synthesising traces.
+    """
+
+    n_cores: int = 1
+    clock_hz: float = 200e6
+    geometry: MemoryGeometry = field(default_factory=lambda: PAPER_GEOMETRY)
+    cycles_per_access: int = 2
+    compute_gap_cycles: int = 3
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_cores <= 16:
+            raise ConfigurationError(
+                f"n_cores must be in [1, 16], got {self.n_cores}"
+            )
+        if self.clock_hz <= 0:
+            raise ConfigurationError(
+                f"clock must be positive, got {self.clock_hz}"
+            )
+        if self.cycles_per_access < 1:
+            raise ConfigurationError(
+                f"cycles_per_access must be >= 1, got {self.cycles_per_access}"
+            )
+        if self.compute_gap_cycles < 0:
+            raise ConfigurationError(
+                f"compute_gap_cycles must be >= 0, got {self.compute_gap_cycles}"
+            )
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / self.clock_hz

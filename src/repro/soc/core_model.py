@@ -1,0 +1,75 @@
+"""Core model: turning application activity into per-core access streams.
+
+The paper runs each application on the VirtualSOC platform; here the
+equivalent is replaying the address stream an application pushed through
+the :class:`~repro.mem.fabric.MemoryFabric` (with ``record_trace=True``)
+on the simulated cores.  Batched buffer transfers are expanded into word
+accesses and, for multi-core configurations, dealt out in contiguous
+stripes — the block-partitioned parallelisation such kernels use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..mem.fabric import MemoryFabric
+from .config import SoCConfig
+from .trace import MemoryAccess
+
+__all__ = ["CoreTask", "tasks_from_fabric"]
+
+
+@dataclass
+class CoreTask:
+    """The access stream one core replays."""
+
+    core_id: int
+    accesses: list[MemoryAccess] = field(default_factory=list)
+
+    @property
+    def n_accesses(self) -> int:
+        """Total accesses in the stream."""
+        return len(self.accesses)
+
+
+def tasks_from_fabric(
+    fabric: MemoryFabric,
+    config: SoCConfig,
+) -> list[CoreTask]:
+    """Expand a fabric's recorded trace into per-core access streams.
+
+    Args:
+        fabric: a fabric constructed with ``record_trace=True`` that an
+            application has already run against.
+        config: platform configuration (core count, compute gaps).
+
+    Returns:
+        One :class:`CoreTask` per configured core.  Each batched
+        :class:`~repro.mem.fabric.AccessEvent` is split into
+        ``n_cores`` contiguous stripes, so cores work on disjoint parts
+        of every buffer in parallel.
+    """
+    if fabric.trace is None:
+        raise SimulationError(
+            "fabric has no trace; construct it with record_trace=True"
+        )
+    tasks = [CoreTask(core_id=i) for i in range(config.n_cores)]
+    gap = config.compute_gap_cycles
+    for event in fabric.trace:
+        stripe = max(1, event.length // config.n_cores)
+        for core_id in range(config.n_cores):
+            start = event.base + core_id * stripe
+            if core_id == config.n_cores - 1:
+                end = event.base + event.length
+            else:
+                end = min(start + stripe, event.base + event.length)
+            for address in range(start, end):
+                tasks[core_id].accesses.append(
+                    MemoryAccess(
+                        address=address,
+                        is_write=event.is_write,
+                        gap_cycles=gap,
+                    )
+                )
+    return tasks

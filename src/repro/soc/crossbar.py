@@ -1,0 +1,67 @@
+"""Word-interleaved crossbar with per-bank round-robin arbitration.
+
+The paper's shared memory is "divided into 16 banks accessible by the
+cores through a crossbar"; when two cores address the same bank in the
+same cycle one of them stalls.  This module provides the per-cycle
+arbitration decision used by the simulator: for every bank, among the
+cores requesting it, grant the one closest (cyclically) after the bank's
+last grantee.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..mem.layout import MemoryGeometry
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """Round-robin per-bank arbiter over a word-interleaved memory."""
+
+    def __init__(self, geometry: MemoryGeometry, n_cores: int) -> None:
+        if n_cores < 1:
+            raise SimulationError(f"n_cores must be >= 1, got {n_cores}")
+        self.geometry = geometry
+        self.n_cores = n_cores
+        self._last_grant = [n_cores - 1] * geometry.n_banks
+        self.conflicts = 0
+        self.grants = 0
+
+    def bank_of(self, address: int) -> int:
+        """The bank a word address maps to (word-interleaved)."""
+        if not 0 <= address < self.geometry.n_words:
+            raise SimulationError(
+                f"address {address} outside [0, {self.geometry.n_words})"
+            )
+        return address % self.geometry.n_banks
+
+    def arbitrate(self, requests: dict[int, int]) -> set[int]:
+        """Grant one core per contended bank.
+
+        Args:
+            requests: ``core_id -> address`` for every core with a
+                pending access this cycle.
+
+        Returns:
+            The set of granted core ids; the rest stall (and their
+            requests are expected to be re-presented next cycle).
+        """
+        by_bank: dict[int, list[int]] = {}
+        for core_id, address in requests.items():
+            by_bank.setdefault(self.bank_of(address), []).append(core_id)
+
+        granted: set[int] = set()
+        for bank, cores in by_bank.items():
+            if len(cores) == 1:
+                winner = cores[0]
+            else:
+                # Round-robin: next core id (cyclically) after last grant.
+                start = (self._last_grant[bank] + 1) % self.n_cores
+                order = sorted(cores, key=lambda c: (c - start) % self.n_cores)
+                winner = order[0]
+                self.conflicts += len(cores) - 1
+            self._last_grant[bank] = winner
+            granted.add(winner)
+            self.grants += 1
+        return granted

@@ -1,0 +1,35 @@
+"""Memory-access traces replayed by the simulated cores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+__all__ = ["MemoryAccess"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One word access issued by a core.
+
+    Attributes:
+        address: logical word address in the shared memory.
+        is_write: write (True) or read (False).
+        gap_cycles: compute cycles the core spends *before* issuing this
+            access (models the instruction stream between loads/stores).
+    """
+
+    address: int
+    is_write: bool
+    gap_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise SimulationError(
+                f"address must be non-negative, got {self.address}"
+            )
+        if self.gap_cycles < 0:
+            raise SimulationError(
+                f"gap_cycles must be non-negative, got {self.gap_cycles}"
+            )

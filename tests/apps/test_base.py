@@ -1,0 +1,87 @@
+"""Tests for the application base class and its quality contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.base import BiomedicalApp, clean_fabric
+from repro.errors import SignalError
+from repro.mem.fabric import MemoryFabric
+
+
+class DoublerApp(BiomedicalApp):
+    """Minimal concrete app for base-class testing: y = saturate(2x)."""
+
+    name = "doubler"
+    run_count = 0
+
+    def run(self, samples, fabric: MemoryFabric):
+        arr = self._check_samples(samples)
+        type(self).run_count += 1
+        stored = fabric.roundtrip("doubler.in", arr)
+        out = np.clip(2 * stored, -32768, 32767)
+        return fabric.roundtrip("doubler.out", out)
+
+
+@pytest.fixture()
+def app():
+    DoublerApp.run_count = 0
+    return DoublerApp()
+
+
+class TestSampleValidation:
+    def test_rejects_empty(self, app):
+        with pytest.raises(SignalError):
+            app.run(np.array([], dtype=np.int64), clean_fabric())
+
+    def test_rejects_2d(self, app):
+        with pytest.raises(SignalError):
+            app.run(np.zeros((2, 2), dtype=np.int64), clean_fabric())
+
+    def test_rejects_out_of_range(self, app):
+        with pytest.raises(SignalError):
+            app.run(np.array([32768]), clean_fabric())
+        with pytest.raises(SignalError):
+            app.run(np.array([-32769]), clean_fabric())
+
+    def test_accepts_boundary_values(self, app):
+        out = app.run(np.array([-32768, 32767]), clean_fabric())
+        assert out.tolist() == [-32768, 32767]
+
+
+class TestReferenceCache:
+    def test_cached_by_content(self, app):
+        samples = np.arange(-50, 50)
+        first = app.reference_output(samples)
+        second = app.reference_output(samples.copy())  # equal content
+        assert first is second
+        assert DoublerApp.run_count == 1
+
+    def test_distinct_inputs_not_conflated(self, app):
+        a = app.reference_output(np.array([1, 2, 3]))
+        b = app.reference_output(np.array([4, 5, 6]))
+        assert not np.array_equal(a, b)
+        assert DoublerApp.run_count == 2
+
+
+class TestOutputSnr:
+    def test_cap_on_exact_output(self, app):
+        samples = np.arange(100)
+        out = app.run(samples, clean_fabric())
+        assert app.output_snr(samples, out) == 96.0
+
+    def test_custom_cap(self, app):
+        samples = np.arange(100)
+        out = app.run(samples, clean_fabric())
+        assert app.output_snr(samples, out, cap_db=40.0) == 40.0
+
+    def test_degrades_with_corruption(self, app):
+        samples = np.arange(1, 101)
+        reference = app.run(samples, clean_fabric())
+        small = app.output_snr(samples, reference + 1)
+        large = app.output_snr(samples, reference + 100)
+        assert small > large
+
+    def test_repr(self, app):
+        assert "DoublerApp" in repr(app)

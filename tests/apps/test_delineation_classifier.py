@@ -1,0 +1,147 @@
+"""Tests for wavelet delineation and the heartbeat classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import HeartbeatClassifierApp, WaveletDelineationApp
+from repro.apps.base import clean_fabric
+from repro.apps.delineation import NO_POINT
+from repro.errors import SignalError
+from repro.mem import MemoryFabric, position_fault_map
+from repro.emt import NoProtection
+
+
+class TestDelineation:
+    def test_output_layout(self, record_100):
+        app = WaveletDelineationApp(window=1024, slots_per_window=8)
+        samples = record_100.samples[:1024]
+        out = app.run(samples, clean_fabric())
+        assert out.shape == (8 * 5,)
+
+    def test_detects_most_true_beats(self, record_100):
+        app = WaveletDelineationApp()
+        annotations = app.run(record_100.samples, clean_fabric()).reshape(-1, 5)
+        detected_r = annotations[annotations[:, 2] != NO_POINT, 2]
+        true_r = record_100.r_samples
+        matched = sum(
+            1
+            for r in true_r
+            if detected_r.size and np.abs(detected_r - r).min() <= 18  # 50ms
+        )
+        assert matched >= 0.8 * len(true_r)
+
+    def test_fiducial_ordering(self, record_100):
+        """Within a beat: P < Q < R < S < T whenever all are present."""
+        app = WaveletDelineationApp()
+        annotations = app.run(record_100.samples, clean_fabric()).reshape(-1, 5)
+        complete = annotations[(annotations != NO_POINT).all(axis=1)]
+        assert complete.shape[0] > 0
+        for p, q, r, s, t in complete:
+            assert p < q < r < s < t
+
+    def test_empty_slots_padded(self):
+        """A flat signal yields no beats: all slots empty."""
+        app = WaveletDelineationApp(window=1024, slots_per_window=8)
+        out = app.run(np.zeros(1024, dtype=np.int64), clean_fabric())
+        assert np.all(out == NO_POINT)
+
+    def test_indices_are_absolute(self, record_100):
+        app = WaveletDelineationApp(window=1024)
+        samples = record_100.samples[:1536]
+        annotations = app.run(samples, clean_fabric()).reshape(-1, 5)
+        later_window = annotations[8:]
+        found = later_window[later_window[:, 2] != NO_POINT, 2]
+        assert found.size == 0 or int(found.min()) >= 1024
+
+    def test_corruption_perturbs_annotations(self, record_100):
+        app = WaveletDelineationApp()
+        samples = record_100.samples[:2048]
+        reference = app.reference_output(samples)
+        fm = position_fault_map(16384, 16, 14, 1)
+        fabric = MemoryFabric(NoProtection(), fault_map=fm)
+        corrupted = app.run(samples, fabric)
+        assert not np.array_equal(reference, corrupted)
+
+    def test_record_too_long_for_int16_indices(self):
+        app = WaveletDelineationApp()
+        huge = np.zeros(40000, dtype=np.int64)
+        with pytest.raises(SignalError):
+            app.run(huge, clean_fabric())
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            WaveletDelineationApp(window=64)
+        with pytest.raises(SignalError):
+            WaveletDelineationApp(slots_per_window=0)
+        with pytest.raises(SignalError):
+            WaveletDelineationApp(threshold_factor=1.5)
+
+
+class TestClassifier:
+    def test_output_one_label_per_slot(self, record_100):
+        app = HeartbeatClassifierApp()
+        samples = record_100.samples[:2048]
+        out = app.run(samples, clean_fabric())
+        assert out.shape == (2 * 8,)
+        valid = out[out != NO_POINT]
+        assert valid.size > 0
+        assert set(valid.tolist()) <= {0, 1, 2}
+
+    def test_normal_record_classified_mostly_normal(self, record_100):
+        app = HeartbeatClassifierApp()
+        out = app.run(record_100.samples, clean_fabric())
+        valid = out[out != NO_POINT]
+        assert valid.size > 0
+        normal_fraction = float(np.mean(valid == 0))
+        assert normal_fraction > 0.6
+
+    def test_pvc_record_flags_more_ventricular(self, record_100):
+        from repro.signals.dataset import load_record
+
+        pvc_record = load_record("119", duration_s=20.0)
+        app = HeartbeatClassifierApp()
+        normal_out = app.run(record_100.samples, clean_fabric())
+        pvc_out = app.run(pvc_record.samples, clean_fabric())
+
+        def v_fraction(labels):
+            valid = labels[labels != NO_POINT]
+            return float(np.mean(valid == 1)) if valid.size else 0.0
+
+        assert v_fraction(pvc_out) > v_fraction(normal_out)
+
+    def test_class_stability_metric(self, record_100):
+        app = HeartbeatClassifierApp()
+        samples = record_100.samples[:2048]
+        out = app.run(samples, clean_fabric())
+        assert app.class_stability(samples, out) == 1.0
+
+    def test_class_stability_shape_check(self, record_100):
+        app = HeartbeatClassifierApp()
+        samples = record_100.samples[:2048]
+        app.reference_output(samples)
+        with pytest.raises(SignalError):
+            app.class_stability(samples, np.zeros(3, dtype=np.int64))
+
+
+class TestRegistry:
+    def test_paper_apps_complete(self):
+        from repro.apps import PAPER_APPS
+
+        assert set(PAPER_APPS) == {
+            "dwt",
+            "matrix_filter",
+            "compressed_sensing",
+            "morphology",
+            "delineation",
+        }
+
+    def test_make_app(self):
+        from repro.apps import make_app
+        from repro.errors import ExperimentError
+
+        assert make_app("dwt").name == "dwt"
+        assert make_app("classifier").name == "classifier"
+        with pytest.raises(ExperimentError):
+            make_app("fft")

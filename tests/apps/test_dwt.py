@@ -1,0 +1,117 @@
+"""Tests for the à-trous DWT application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import DwtApp
+from repro.apps.base import clean_fabric
+from repro.apps.dwt import atrous_decompose, atrous_highpass, atrous_lowpass
+from repro.errors import SignalError
+from repro.mem import MemoryFabric, position_fault_map
+from repro.emt import NoProtection
+
+
+class TestAtrousFilters:
+    def test_lowpass_preserves_dc(self):
+        constant = np.full(256, 1000, dtype=np.int64)
+        out = atrous_lowpass(constant, 1)
+        assert np.all(out == 1000)
+
+    def test_highpass_kills_dc(self):
+        constant = np.full(256, 1000, dtype=np.int64)
+        out = atrous_highpass(constant, 1)
+        assert np.all(out == 0)
+
+    def test_highpass_responds_to_step(self):
+        step = np.concatenate(
+            [np.zeros(128, dtype=np.int64), np.full(128, 1000, dtype=np.int64)]
+        )
+        out = atrous_highpass(step, 1)
+        assert int(np.abs(out).max()) == 2000  # gain-2 first difference
+
+    def test_lowpass_smooths(self, short_samples):
+        out = atrous_lowpass(short_samples, 1)
+        assert float(np.abs(np.diff(out)).mean()) <= float(
+            np.abs(np.diff(short_samples)).mean()
+        ) + 1
+
+    def test_scale_validation(self):
+        with pytest.raises(SignalError):
+            atrous_lowpass(np.zeros(8, dtype=np.int64), 0)
+        with pytest.raises(SignalError):
+            atrous_highpass(np.zeros(8, dtype=np.int64), -1)
+
+    def test_decompose_shapes(self, short_samples):
+        details, approx = atrous_decompose(short_samples, 4)
+        assert len(details) == 4
+        for detail in details:
+            assert detail.shape == short_samples.shape
+        assert approx.shape == short_samples.shape
+
+    def test_decompose_requires_scales(self, short_samples):
+        with pytest.raises(SignalError):
+            atrous_decompose(short_samples, 0)
+
+    def test_qrs_energy_concentrates_at_scale_2(self, record_100):
+        """The delineation premise: QRS shows up in d2 modulus maxima."""
+        details, _ = atrous_decompose(record_100.samples[:2048], 4)
+        d2 = np.abs(details[1])
+        r_peaks = [r for r in record_100.r_samples if r < 2000]
+        assert r_peaks
+        near_qrs = max(
+            float(d2[max(0, r - 20) : r + 20].max()) for r in r_peaks
+        )
+        assert near_qrs > 3 * float(np.percentile(d2, 90))
+
+
+class TestDwtApp:
+    def test_output_layout(self, short_samples):
+        app = DwtApp(n_scales=4, window=1024)
+        out = app.run(short_samples, clean_fabric())
+        assert out.shape == (5 * 1024,)
+
+    def test_multi_window_concatenation(self, record_100):
+        app = DwtApp(window=512)
+        samples = record_100.samples[:1024]
+        out = app.run(samples, clean_fabric())
+        assert out.shape == (2 * 5 * 512,)
+
+    def test_reference_is_cached_and_stable(self, short_samples):
+        app = DwtApp()
+        a = app.reference_output(short_samples)
+        b = app.reference_output(short_samples)
+        assert a is b
+
+    def test_output_is_16bit(self, short_samples):
+        out = DwtApp().run(short_samples, clean_fabric())
+        assert int(out.max()) <= 32767 and int(out.min()) >= -32768
+
+    def test_clean_snr_is_capped(self, short_samples):
+        app = DwtApp()
+        out = app.run(short_samples, clean_fabric())
+        assert app.output_snr(short_samples, out) == 96.0
+
+    def test_msb_fault_degrades_more_than_lsb(self, short_samples):
+        app = DwtApp()
+        snrs = {}
+        for position in (0, 14):
+            fm = position_fault_map(16384, 16, position, 1)
+            fabric = MemoryFabric(NoProtection(), fault_map=fm)
+            out = app.run(short_samples, fabric)
+            snrs[position] = app.output_snr(short_samples, out)
+        assert snrs[14] < snrs[0] - 20
+
+    def test_window_validation(self):
+        with pytest.raises(SignalError):
+            DwtApp(n_scales=4, window=8)
+        with pytest.raises(SignalError):
+            DwtApp(n_scales=0)
+
+    def test_rejects_bad_samples(self):
+        app = DwtApp()
+        with pytest.raises(SignalError):
+            app.run(np.array([40000]), clean_fabric())
+        with pytest.raises(SignalError):
+            app.run(np.array([]), clean_fabric())

@@ -1,0 +1,113 @@
+"""Tests for the matrix-filtering application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import MatrixFilterApp
+from repro.apps.base import clean_fabric
+from repro.apps.matrix_filter import fixed_point_matmul, gaussian_filter_matrix
+from repro.errors import SignalError
+from repro.fixedpoint import Q15
+from repro.mem import MemoryFabric, position_fault_map
+from repro.emt import NoProtection
+
+
+class TestFilterMatrix:
+    def test_rows_sum_to_unity(self):
+        matrix = gaussian_filter_matrix(16)
+        sums = Q15.to_float(matrix).sum(axis=1)
+        assert np.allclose(sums, 1.0, atol=16 / 32768)
+
+    def test_symmetric_band_structure(self):
+        matrix = gaussian_filter_matrix(16, sigma=2.0)
+        # Diagonal dominates, energy decays away from it.
+        assert int(matrix[8, 8]) > int(matrix[8, 10]) > int(matrix[8, 13])
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            gaussian_filter_matrix(1)
+        with pytest.raises(SignalError):
+            gaussian_filter_matrix(8, sigma=0.0)
+
+
+class TestFixedPointMatmul:
+    def test_matches_float_reference(self, rng):
+        a = Q15.from_float(rng.uniform(-0.05, 0.05, size=(16, 16)))
+        b = rng.integers(-20000, 20000, size=(16, 8))
+        got = fixed_point_matmul(a, b)
+        expected = (Q15.to_float(a) @ b).round()
+        assert np.all(np.abs(got - expected) <= 2)
+
+    def test_saturates(self):
+        a = np.full((2, 2), 32767, dtype=np.int64)
+        b = np.full((2, 2), 32767, dtype=np.int64)
+        out = fixed_point_matmul(a, b)
+        assert np.all(out == 32767)
+
+    def test_shape_validation(self):
+        with pytest.raises(SignalError):
+            fixed_point_matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_identity_times_vector(self):
+        identity = np.zeros((4, 4), dtype=np.int64)
+        np.fill_diagonal(identity, Q15.max_int)
+        b = np.array([[100], [-200], [300], [-400]], dtype=np.int64)
+        out = fixed_point_matmul(identity, b)
+        # Q15 "1.0" is 32767/32768, so values shrink by at most 1 LSB.
+        assert np.all(np.abs(out - b) <= 1)
+
+
+class TestMatrixFilterApp:
+    def test_output_preserves_length(self, record_100):
+        app = MatrixFilterApp()
+        samples = record_100.samples[: 32 * 32 + 100]
+        out = app.run(samples, clean_fabric())
+        assert out.shape == samples.shape
+
+    def test_filtering_smooths_signal(self, record_100):
+        app = MatrixFilterApp(n_iterations=2)
+        samples = record_100.samples[: 32 * 32]
+        out = app.run(samples, clean_fabric())
+        assert float(np.abs(np.diff(out)).mean()) < float(
+            np.abs(np.diff(samples)).mean()
+        )
+
+    def test_more_iterations_smooth_more(self, record_100):
+        samples = record_100.samples[: 32 * 32]
+        rough = MatrixFilterApp(n_iterations=1).run(samples, clean_fabric())
+        smooth = MatrixFilterApp(n_iterations=4).run(samples, clean_fabric())
+        assert float(np.abs(np.diff(smooth)).mean()) < float(
+            np.abs(np.diff(rough)).mean()
+        )
+
+    def test_single_fault_spreads_to_many_outputs(self, record_100):
+        """The paper's Fig 2 observation: one error hits a full row/col."""
+        samples = record_100.samples[: 32 * 32]
+        app = MatrixFilterApp(n_iterations=1)
+        reference = app.reference_output(samples)
+        # A stuck MSB in the coefficient buffer region corrupts one
+        # coefficient word; through C = A @ B it touches a whole row.
+        fm = position_fault_map(16384, 16, 14, 1)
+        fabric = MemoryFabric(NoProtection(), fault_map=fm)
+        corrupted = app.run(samples, fabric)
+        changed = int(np.count_nonzero(corrupted != reference))
+        assert changed > samples.size // 2
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            MatrixFilterApp(block_size=1)
+        with pytest.raises(SignalError):
+            MatrixFilterApp(n_iterations=0)
+
+    def test_msb_vs_lsb_sensitivity(self, record_100):
+        samples = record_100.samples[: 32 * 32]
+        app = MatrixFilterApp()
+        snrs = {}
+        for position in (1, 13):
+            fm = position_fault_map(16384, 16, position, 0)
+            fabric = MemoryFabric(NoProtection(), fault_map=fm)
+            out = app.run(samples, fabric)
+            snrs[position] = app.output_snr(samples, out)
+        assert snrs[13] < snrs[1]

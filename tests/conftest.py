@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Records and application outputs are expensive enough to matter at suite
+scale, so the common ones are session-scoped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mem.layout import MemoryGeometry
+from repro.signals.dataset import load_record
+
+
+@pytest.fixture(scope="session")
+def record_100():
+    """Five seconds of the normal-sinus-rhythm record."""
+    return load_record("100", duration_s=5.0)
+
+
+@pytest.fixture(scope="session")
+def record_106():
+    """Five seconds of the PVC-rich record."""
+    return load_record("106", duration_s=5.0)
+
+
+@pytest.fixture(scope="session")
+def short_samples(record_100):
+    """A 1024-sample 16-bit ECG slice, the apps' native window."""
+    return record_100.samples[:1024]
+
+
+@pytest.fixture()
+def rng():
+    """A fixed-seed generator, fresh per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def small_geometry():
+    """A tiny banked memory for fast exhaustive checks."""
+    return MemoryGeometry(n_words=256, word_bits=16, n_banks=4)

@@ -1,0 +1,188 @@
+"""Tests of the DREAM technique — the paper's core contribution.
+
+The load-bearing guarantees (Section IV):
+
+* DREAM's side info is ``1 + log2(data_bits)`` bits (Formula 2);
+* any corruption confined to the ``run + 1`` protected MSBs is fully
+  repaired, *regardless of how many of those bits flipped* (unlike ECC);
+* bits below the protected region pass through untouched (whatever the
+  memory returned);
+* the all-zeros / all-ones words are reconstructed entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bitops import sign_run_length, to_signed, to_unsigned
+from repro.emt import DecodeStats, DreamEMT
+from repro.errors import EMTError
+
+WORD16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@pytest.fixture(scope="module")
+def emt():
+    return DreamEMT()
+
+
+class TestGeometry:
+    def test_formula2_for_16_bits(self, emt):
+        assert emt.side_bits == 5  # 1 + log2(16)
+        assert emt.extra_bits == 5
+        assert emt.stored_bits == 16
+
+    @pytest.mark.parametrize(
+        "bits,expected_side", [(4, 3), (8, 4), (16, 5), (32, 6)]
+    )
+    def test_formula2_across_word_sizes(self, bits, expected_side):
+        assert DreamEMT(data_bits=bits).side_bits == expected_side
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(EMTError):
+            DreamEMT(data_bits=12)
+
+    def test_rejects_words_beyond_int64_storage(self):
+        with pytest.raises(EMTError):
+            DreamEMT(data_bits=64)
+
+    def test_mask_lut_shape_and_content(self, emt):
+        lut = emt.mask_lut()
+        assert lut.shape == (16,)
+        # ID i covers the top i+1 bits.
+        assert int(lut[0]) == 0x8000
+        assert int(lut[3]) == 0xF000
+        assert int(lut[15]) == 0xFFFF
+
+
+class TestEncode:
+    def test_stored_word_is_raw_payload(self, emt):
+        payload = np.array([0x1234, 0xFFAB])
+        stored, _side = emt.encode(payload)
+        assert np.array_equal(stored, payload)
+
+    @given(pattern=WORD16)
+    def test_side_info_encodes_sign_and_run(self, pattern):
+        emt = DreamEMT()
+        _, side = emt.encode(np.array([pattern]))
+        mask_id = int(side[0]) & 0xF
+        sign = (int(side[0]) >> 4) & 1
+        assert sign == (pattern >> 15) & 1
+        assert mask_id + 1 == int(sign_run_length(np.array([pattern]), 16)[0])
+
+    def test_rejects_out_of_range_payload(self, emt):
+        with pytest.raises(EMTError):
+            emt.encode(np.array([0x10000]))
+        with pytest.raises(EMTError):
+            emt.encode(np.array([-1]))
+
+
+class TestDecode:
+    def test_clean_roundtrip(self, emt, rng):
+        payload = rng.integers(0, 1 << 16, size=5000, dtype=np.int64)
+        stored, side = emt.encode(payload)
+        assert np.array_equal(emt.decode(stored, side), payload)
+
+    def test_requires_side_info(self, emt):
+        with pytest.raises(EMTError):
+            emt.decode(np.array([0]), None)
+
+    def test_side_shape_mismatch(self, emt):
+        with pytest.raises(EMTError):
+            emt.decode(np.array([0, 1]), np.array([0]))
+
+    @given(pattern=WORD16, corruption=WORD16)
+    def test_protected_region_always_recovered(self, pattern, corruption):
+        """Any number of faults inside run+1 MSBs is repaired."""
+        emt = DreamEMT()
+        stored, side = emt.encode(np.array([pattern]))
+        run = int(sign_run_length(np.array([pattern]), 16)[0])
+        protected = min(run + 1, 16)
+        region = ((1 << protected) - 1) << (16 - protected)
+        corrupted = (int(stored[0]) ^ (corruption & region)) & 0xFFFF
+        decoded = int(emt.decode(np.array([corrupted]), side)[0])
+        assert decoded == pattern
+
+    @given(pattern=WORD16, corruption=WORD16)
+    def test_unprotected_bits_pass_through(self, pattern, corruption):
+        """Bits below the protected region are returned as stored."""
+        emt = DreamEMT()
+        stored, side = emt.encode(np.array([pattern]))
+        run = int(sign_run_length(np.array([pattern]), 16)[0])
+        protected = min(run + 1, 16)
+        low_mask = (1 << (16 - protected)) - 1
+        corrupted = (int(stored[0]) ^ corruption) & 0xFFFF
+        decoded = int(emt.decode(np.array([corrupted]), side)[0])
+        assert decoded & low_mask == corrupted & low_mask
+        # And the protected top is still exact.
+        region = ~low_mask & 0xFFFF
+        assert decoded & region == pattern & region
+
+    def test_full_word_reconstruction_for_constants(self, emt):
+        for value in (0x0000, 0xFFFF):
+            stored, side = emt.encode(np.array([value]))
+            for corrupted in (0x0000, 0xFFFF, 0x5A5A, 0xA5A5):
+                decoded = int(emt.decode(np.array([corrupted]), side)[0])
+                assert decoded == value
+
+    def test_decode_stats_counts_repairs(self, emt):
+        payload = np.array([0x0001, 0x0002])
+        stored, side = emt.encode(payload)
+        corrupted = stored ^ 0x4000  # inside both protected runs
+        stats = DecodeStats()
+        emt.decode(corrupted, side, stats)
+        assert stats.words == 2
+        assert stats.corrected == 2
+
+    def test_small_sample_fault_example_from_paper_motivation(self, emt):
+        """An ADC sample with sign-extension MSBs survives MSB faults."""
+        sample = np.array([-27 & 0xFFFF])  # 0xFFE5, run of 11 ones
+        stored, side = emt.encode(sample)
+        corrupted = np.array([int(stored[0]) & 0x07FF])  # clear 5 MSBs
+        decoded = emt.decode(corrupted, side)
+        assert int(to_signed(decoded, 16)[0]) == -27
+
+
+class TestScalarReference:
+    @given(pattern=WORD16)
+    def test_encode_word_matches_vectorised(self, pattern):
+        emt = DreamEMT()
+        stored_vec, side_vec = emt.encode(np.array([pattern]))
+        stored_ref, side_ref = emt.encode_word(pattern)
+        assert stored_ref == int(stored_vec[0])
+        assert side_ref == int(side_vec[0])
+
+    @given(pattern=WORD16, corruption=WORD16)
+    def test_decode_word_matches_vectorised(self, pattern, corruption):
+        emt = DreamEMT()
+        stored, side = emt.encode(np.array([pattern]))
+        corrupted = (int(stored[0]) ^ corruption) & 0xFFFF
+        vec = int(emt.decode(np.array([corrupted]), side)[0])
+        ref = emt.decode_word(corrupted, int(side[0]))
+        assert vec == ref
+
+    def test_scalar_range_checks(self, emt):
+        with pytest.raises(EMTError):
+            emt.encode_word(-1)
+        with pytest.raises(EMTError):
+            emt.decode_word(0x10000, 0)
+        with pytest.raises(EMTError):
+            emt.decode_word(0, 1 << 5)
+
+
+class TestProtectedBits:
+    def test_protected_bits_matches_run_plus_one(self, emt):
+        payload = np.array([0x7FFF, 0x0000, 0x0012])
+        _, side = emt.encode(payload)
+        protected = emt.protected_bits(side)
+        assert protected.tolist() == [2, 16, 12]
+
+    def test_ecg_samples_are_mostly_well_protected(self, short_samples):
+        """Real ADC data has long sign runs — DREAM's premise."""
+        emt = DreamEMT()
+        _, side = emt.encode(to_unsigned(short_samples, 16))
+        protected = emt.protected_bits(side)
+        assert float(protected.mean()) > 6.0

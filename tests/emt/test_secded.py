@@ -1,0 +1,172 @@
+"""Tests of the Hamming (22,16) SEC/DED comparator.
+
+The behaviour the paper's Fig 4c depends on (design decision D4):
+single errors anywhere in the codeword are corrected, double errors are
+detected but returned uncorrected, and the check bits themselves are
+fault-exposed (they live in the scaled memory).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emt import DecodeStats, SecDedEMT
+from repro.emt.secded import hamming_check_bits
+from repro.errors import EMTError
+
+WORD16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@pytest.fixture(scope="module")
+def emt():
+    return SecDedEMT()
+
+
+class TestConstruction:
+    def test_check_bit_count_formula(self):
+        assert hamming_check_bits(16) == 5
+        assert hamming_check_bits(8) == 4
+        assert hamming_check_bits(32) == 6
+        assert hamming_check_bits(64) == 7
+
+    def test_check_bits_rejects_non_positive(self):
+        with pytest.raises(EMTError):
+            hamming_check_bits(0)
+
+    def test_geometry_matches_section_v(self, emt):
+        """2 + log2(16) = 6 extra bits, all in the faulty memory."""
+        assert emt.stored_bits == 22
+        assert emt.extra_bits == 6
+        assert emt.side_bits == 0
+
+    @pytest.mark.parametrize("bits,stored", [(8, 13), (16, 22), (32, 39)])
+    def test_other_word_sizes(self, bits, stored):
+        assert SecDedEMT(data_bits=bits).stored_bits == stored
+
+
+class TestEncode:
+    def test_data_bits_are_systematic(self, emt, rng):
+        payload = rng.integers(0, 1 << 16, size=1000, dtype=np.int64)
+        stored, side = emt.encode(payload)
+        assert side is None
+        assert np.array_equal(stored & 0xFFFF, payload)
+
+    def test_codeword_has_even_overall_parity(self, emt, rng):
+        payload = rng.integers(0, 1 << 16, size=1000, dtype=np.int64)
+        stored, _ = emt.encode(payload)
+        assert np.all(np.bitwise_count(stored) % 2 == 0)
+
+    def test_rejects_out_of_range(self, emt):
+        with pytest.raises(EMTError):
+            emt.encode(np.array([1 << 16]))
+
+
+class TestSingleErrorCorrection:
+    @pytest.mark.parametrize("position", range(22))
+    def test_corrects_each_position(self, emt, position, rng):
+        payload = rng.integers(0, 1 << 16, size=200, dtype=np.int64)
+        stored, _ = emt.encode(payload)
+        stats = DecodeStats()
+        decoded = emt.decode(stored ^ (1 << position), None, stats)
+        assert np.array_equal(decoded, payload)
+        assert stats.detected_uncorrectable == 0
+        # Flipping a check bit still counts as a corrected codeword.
+        assert stats.corrected == 200
+
+    @given(pattern=WORD16, position=st.integers(min_value=0, max_value=21))
+    def test_single_error_property(self, pattern, position):
+        emt = SecDedEMT()
+        stored, _ = emt.encode(np.array([pattern]))
+        decoded = emt.decode(stored ^ (1 << position), None)
+        assert int(decoded[0]) == pattern
+
+
+class TestDoubleErrorDetection:
+    @given(
+        pattern=WORD16,
+        pair=st.tuples(
+            st.integers(min_value=0, max_value=21),
+            st.integers(min_value=0, max_value=21),
+        ).filter(lambda p: p[0] != p[1]),
+    )
+    def test_double_error_detected_never_miscorrected(self, pattern, pair):
+        emt = SecDedEMT()
+        stored, _ = emt.encode(np.array([pattern]))
+        corrupted = stored ^ (1 << pair[0]) ^ (1 << pair[1])
+        stats = DecodeStats()
+        decoded = emt.decode(corrupted, None, stats)
+        assert stats.detected_uncorrectable == 1
+        assert stats.corrected == 0
+        # The decoder returns the raw data bits, untouched.
+        assert int(decoded[0]) == int(corrupted[0]) & 0xFFFF
+
+    def test_exhaustive_double_errors_one_payload(self, emt):
+        stored, _ = emt.encode(np.array([0x2B3C]))
+        for i, j in itertools.combinations(range(22), 2):
+            corrupted = stored ^ (1 << i) ^ (1 << j)
+            stats = DecodeStats()
+            emt.decode(corrupted, None, stats)
+            assert stats.detected_uncorrectable == 1, (i, j)
+
+
+class TestTripleErrors:
+    @settings(max_examples=50)
+    @given(
+        pattern=WORD16,
+        triple=st.sets(
+            st.integers(min_value=0, max_value=21), min_size=3, max_size=3
+        ),
+    )
+    def test_triple_errors_never_crash(self, pattern, triple):
+        """>= 3 errors may alias (even miscorrect) but must decode."""
+        emt = SecDedEMT()
+        stored, _ = emt.encode(np.array([pattern]))
+        corrupted = stored.copy()
+        for position in triple:
+            corrupted ^= 1 << position
+        decoded = emt.decode(corrupted, None)
+        assert 0 <= int(decoded[0]) <= 0xFFFF
+
+
+class TestScalarReference:
+    @given(pattern=WORD16)
+    def test_encode_word_matches_vectorised(self, pattern):
+        emt = SecDedEMT()
+        stored_vec, _ = emt.encode(np.array([pattern]))
+        stored_ref, _ = emt.encode_word(pattern)
+        assert stored_ref == int(stored_vec[0])
+
+    @given(
+        pattern=WORD16,
+        corruption=st.integers(min_value=0, max_value=(1 << 22) - 1),
+    )
+    def test_decode_word_matches_vectorised(self, pattern, corruption):
+        emt = SecDedEMT()
+        stored, _ = emt.encode(np.array([pattern]))
+        corrupted = int(stored[0]) ^ corruption
+        vec = int(emt.decode(np.array([corrupted]), None)[0])
+        ref = emt.decode_word(corrupted, 0)
+        assert vec == ref
+
+    def test_scalar_range_checks(self, emt):
+        with pytest.raises(EMTError):
+            emt.encode_word(1 << 16)
+        with pytest.raises(EMTError):
+            emt.decode_word(1 << 22, 0)
+
+
+class TestCodeDistance:
+    def test_minimum_distance_is_four(self, emt):
+        """SEC/DED requires d_min = 4; verify on a codeword sample."""
+        payloads = np.arange(0, 1 << 16, 977, dtype=np.int64)  # ~67 words
+        stored, _ = emt.encode(payloads)
+        words = stored.tolist()
+        for i in range(len(words)):
+            for j in range(i + 1, len(words)):
+                distance = bin(words[i] ^ words[j]).count("1")
+                assert distance >= 4, (hex(words[i]), hex(words[j]))

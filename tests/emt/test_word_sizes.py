@@ -1,0 +1,112 @@
+"""Cross-word-size properties of the EMT implementations.
+
+The paper's platform is 16-bit, but Formula 2 and the Hamming
+construction are parametric; these tests pin the behaviour at 8 and 32
+bits so the library is trustworthy beyond the paper's design point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._bitops import sign_run_length
+from repro.emt import DreamEMT, DreamSecDedEMT, NoProtection, ParityEMT, SecDedEMT
+
+WORD_SIZES = (8, 16, 32)
+
+
+def patterns_for(bits: int):
+    return st.integers(min_value=0, max_value=(1 << bits) - 1)
+
+
+class TestGeometryScaling:
+    @pytest.mark.parametrize("bits", WORD_SIZES)
+    def test_formula2_all_sizes(self, bits):
+        import math
+
+        dream = DreamEMT(data_bits=bits)
+        assert dream.extra_bits == 1 + int(math.log2(bits))
+        secded = SecDedEMT(data_bits=bits)
+        assert secded.extra_bits >= 2 + int(math.log2(bits))
+
+    @pytest.mark.parametrize("bits", WORD_SIZES)
+    def test_relative_overhead_shrinks_with_word_size(self, bits):
+        """Section V's implicit scaling: wider words amortise protection."""
+        if bits == 8:
+            return
+        narrow = DreamEMT(data_bits=bits // 2)
+        wide = DreamEMT(data_bits=bits)
+        assert (
+            wide.extra_bits / wide.data_bits
+            < narrow.extra_bits / narrow.data_bits
+        )
+
+
+class TestRoundtripAllSizes:
+    @settings(max_examples=25)
+    @given(data=st.data())
+    @pytest.mark.parametrize("bits", WORD_SIZES)
+    @pytest.mark.parametrize(
+        "emt_cls", [NoProtection, ParityEMT, DreamEMT, SecDedEMT, DreamSecDedEMT],
+        ids=lambda c: c.name,
+    )
+    def test_clean_roundtrip(self, data, bits, emt_cls):
+        emt = emt_cls(data_bits=bits)
+        pattern = data.draw(patterns_for(bits))
+        stored, side = emt.encode(np.array([pattern]))
+        assert int(emt.decode(stored, side)[0]) == pattern
+
+
+class TestCorrectionAllSizes:
+    @settings(max_examples=25)
+    @given(data=st.data())
+    @pytest.mark.parametrize("bits", WORD_SIZES)
+    def test_secded_single_error(self, data, bits):
+        emt = SecDedEMT(data_bits=bits)
+        pattern = data.draw(patterns_for(bits))
+        position = data.draw(
+            st.integers(min_value=0, max_value=emt.stored_bits - 1)
+        )
+        stored, _ = emt.encode(np.array([pattern]))
+        assert int(emt.decode(stored ^ (1 << position), None)[0]) == pattern
+
+    @settings(max_examples=25)
+    @given(data=st.data())
+    @pytest.mark.parametrize("bits", WORD_SIZES)
+    def test_dream_masked_region(self, data, bits):
+        emt = DreamEMT(data_bits=bits)
+        pattern = data.draw(patterns_for(bits))
+        corruption = data.draw(patterns_for(bits))
+        stored, side = emt.encode(np.array([pattern]))
+        run = int(sign_run_length(np.array([pattern]), bits)[0])
+        protected = min(run + 1, bits)
+        region = ((1 << protected) - 1) << (bits - protected)
+        corrupted = (int(stored[0]) ^ (corruption & region)) & ((1 << bits) - 1)
+        assert int(emt.decode(np.array([corrupted]), side)[0]) == pattern
+
+    @pytest.mark.parametrize("bits", WORD_SIZES)
+    def test_dream_protects_typical_adc_headroom(self, bits):
+        """A sample using half the word's bits keeps the top half safe."""
+        emt = DreamEMT(data_bits=bits)
+        sample = (1 << (bits // 2 - 1)) - 3  # positive, half-range value
+        stored, side = emt.encode(np.array([sample]))
+        protected = int(emt.protected_bits(side)[0])
+        assert protected >= bits // 2
+
+
+class TestFabricAtOtherWordSizes:
+    @pytest.mark.parametrize("bits", (8, 32))
+    def test_fabric_roundtrip(self, bits, rng):
+        from repro.mem import MemoryFabric, MemoryGeometry
+
+        geometry = MemoryGeometry(n_words=64, word_bits=bits, n_banks=4)
+        for emt_cls in (DreamEMT, SecDedEMT):
+            emt = emt_cls(data_bits=bits)
+            fabric = MemoryFabric(emt, geometry=geometry)
+            lo = -(1 << (bits - 1))
+            hi = (1 << (bits - 1)) - 1
+            values = rng.integers(lo, hi + 1, size=32)
+            assert np.array_equal(fabric.roundtrip("x", values), values)

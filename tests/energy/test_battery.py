@@ -1,0 +1,81 @@
+"""Tests for the battery-lifetime model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emt import DreamEMT, NoProtection, SecDedEMT
+from repro.energy.accounting import Workload
+from repro.energy.battery import BatteryModel, estimate_lifetime
+from repro.errors import EnergyModelError
+
+WORKLOAD = Workload(n_reads=200_000, n_writes=200_000, duration_s=5e-3)
+
+
+class TestBatteryModel:
+    def test_usable_energy(self):
+        battery = BatteryModel(
+            capacity_mah=100.0, cell_voltage=3.0, usable_fraction=1.0
+        )
+        # 100 mAh * 3.6 C/mAh * 3 V = 1080 J
+        assert battery.usable_energy_j == pytest.approx(1080.0)
+
+    def test_validation(self):
+        with pytest.raises(EnergyModelError):
+            BatteryModel(capacity_mah=0)
+        with pytest.raises(EnergyModelError):
+            BatteryModel(cell_voltage=-1)
+        with pytest.raises(EnergyModelError):
+            BatteryModel(usable_fraction=1.5)
+
+
+class TestLifetime:
+    def test_bigger_battery_lasts_longer(self):
+        small = BatteryModel(capacity_mah=100)
+        large = BatteryModel(capacity_mah=600)
+        emt = NoProtection()
+        short = estimate_lifetime(emt, 0.9, small, WORKLOAD)
+        long = estimate_lifetime(emt, 0.9, large, WORKLOAD)
+        assert long.lifetime_days == pytest.approx(
+            6 * short.lifetime_days, rel=1e-6
+        )
+
+    def test_voltage_scaling_extends_lifetime(self):
+        battery = BatteryModel()
+        emt = NoProtection()
+        nominal = estimate_lifetime(emt, 0.9, battery, WORKLOAD)
+        scaled = estimate_lifetime(emt, 0.6, battery, WORKLOAD)
+        assert scaled.lifetime_days > nominal.lifetime_days
+
+    def test_protection_ordering_at_fixed_voltage(self):
+        """At the same voltage: none > DREAM > ECC lifetimes (energy
+        overheads in reverse)."""
+        battery = BatteryModel()
+        days = {
+            emt.name: estimate_lifetime(emt, 0.7, battery, WORKLOAD).lifetime_days
+            for emt in (NoProtection(), DreamEMT(), SecDedEMT())
+        }
+        assert days["none"] > days["dream"] > days["secded"]
+
+    def test_memory_power_scales_with_platform_share(self):
+        battery = BatteryModel()
+        heavy = estimate_lifetime(
+            NoProtection(), 0.9, battery, WORKLOAD, platform_power_uw=100.0
+        )
+        light = estimate_lifetime(
+            NoProtection(), 0.9, battery, WORKLOAD, platform_power_uw=1.0
+        )
+        assert light.lifetime_days > heavy.lifetime_days
+
+    def test_validation(self):
+        battery = BatteryModel()
+        with pytest.raises(EnergyModelError):
+            estimate_lifetime(
+                NoProtection(), 0.9, battery, WORKLOAD,
+                acquisition_window_s=0.0,
+            )
+        with pytest.raises(EnergyModelError):
+            estimate_lifetime(
+                NoProtection(), 0.9, battery, WORKLOAD,
+                platform_power_uw=-1.0,
+            )

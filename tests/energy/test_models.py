@@ -1,0 +1,189 @@
+"""Tests for the CACTI-lite SRAM model, logic model and accounting.
+
+The headline calibration targets (paper Section VI-B):
+ECC ~ +55 % energy, DREAM ~ +34 %, encoder area ratio 1.28, decoder 2.20.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emt import DreamEMT, NoProtection, ParityEMT, SecDedEMT
+from repro.energy import (
+    EnergySystemModel,
+    LogicBlockModel,
+    SramArrayModel,
+    TECH_32NM_LP,
+    logic_blocks_for,
+)
+from repro.energy.accounting import Workload
+from repro.energy.logic_model import GE_BUDGETS
+from repro.errors import EnergyModelError
+from repro.mem.layout import PAPER_GEOMETRY, MemoryGeometry
+
+
+WORKLOAD = Workload(n_reads=50_000, n_writes=50_000, duration_s=1.5e-3)
+
+
+class TestSramModel:
+    def test_absolute_energy_plausible(self):
+        """32 kB @ 0.9 V should read in the single-digit pJ range."""
+        model = SramArrayModel(PAPER_GEOMETRY, TECH_32NM_LP)
+        assert 1.0 < model.read_energy_pj(0.9) < 20.0
+
+    def test_write_costs_more_than_read_bitline(self):
+        model = SramArrayModel(PAPER_GEOMETRY, TECH_32NM_LP)
+        # Full-swing write drive vs sensed read: compare at same voltage.
+        assert model.write_energy_pj(0.9) > 0.8 * model.read_energy_pj(0.9)
+
+    def test_quadratic_voltage_scaling(self):
+        model = SramArrayModel(PAPER_GEOMETRY, TECH_32NM_LP)
+        ratio = model.read_energy_pj(0.45 * 2) / model.read_energy_pj(0.9)
+        assert ratio == pytest.approx(1.0)
+        ratio = model.read_energy_pj(0.6) / model.read_energy_pj(0.9)
+        assert ratio == pytest.approx((0.6 / 0.9) ** 2, rel=1e-9)
+
+    def test_wider_words_cost_more(self):
+        narrow = SramArrayModel(PAPER_GEOMETRY, TECH_32NM_LP)
+        wide = SramArrayModel(
+            PAPER_GEOMETRY.with_word_bits(22), TECH_32NM_LP
+        )
+        assert wide.read_energy_pj(0.9) > 1.2 * narrow.read_energy_pj(0.9)
+
+    def test_smaller_array_cheaper_per_access(self):
+        data = SramArrayModel(PAPER_GEOMETRY, TECH_32NM_LP)
+        mask = SramArrayModel(
+            PAPER_GEOMETRY.with_word_bits(5), TECH_32NM_LP
+        )
+        assert mask.read_energy_pj(0.9) < 0.5 * data.read_energy_pj(0.9)
+
+    def test_leakage_scales_with_capacity(self):
+        full = SramArrayModel(PAPER_GEOMETRY, TECH_32NM_LP)
+        half = SramArrayModel(
+            MemoryGeometry(n_words=8192, word_bits=16, n_banks=16),
+            TECH_32NM_LP,
+        )
+        assert full.leakage_power_uw(0.9) == pytest.approx(
+            2 * half.leakage_power_uw(0.9)
+        )
+
+    def test_area_scales_with_bits(self):
+        a16 = SramArrayModel(PAPER_GEOMETRY, TECH_32NM_LP).area_mm2()
+        a22 = SramArrayModel(
+            PAPER_GEOMETRY.with_word_bits(22), TECH_32NM_LP
+        ).area_mm2()
+        assert a22 / a16 == pytest.approx(22 / 16, rel=1e-9)
+
+
+class TestLogicModel:
+    def test_paper_area_ratios_exact(self):
+        """The synthesis result the paper quotes."""
+        dream_enc, dream_dec = logic_blocks_for("dream", TECH_32NM_LP)
+        ecc_enc, ecc_dec = logic_blocks_for("secded", TECH_32NM_LP)
+        assert ecc_enc.area_um2() / dream_enc.area_um2() == pytest.approx(
+            1.28, abs=0.005
+        )
+        assert ecc_dec.area_um2() / dream_dec.area_um2() == pytest.approx(
+            2.20, abs=0.005
+        )
+
+    def test_none_has_no_logic(self):
+        enc, dec = logic_blocks_for("none", TECH_32NM_LP)
+        assert enc.energy_per_op_pj(0.9) == 0.0
+        assert dec.leakage_power_uw(0.9) == 0.0
+
+    def test_unknown_emt(self):
+        with pytest.raises(EnergyModelError):
+            logic_blocks_for("bch", TECH_32NM_LP)
+
+    def test_negative_gates_rejected(self):
+        with pytest.raises(EnergyModelError):
+            LogicBlockModel("x", -1, TECH_32NM_LP)
+
+    def test_all_registry_emts_have_budgets(self):
+        for name in ("none", "parity", "dream", "secded"):
+            assert name in GE_BUDGETS
+
+
+class TestWorkload:
+    def test_validation(self):
+        with pytest.raises(EnergyModelError):
+            Workload(n_reads=-1, n_writes=0, duration_s=0.0)
+        with pytest.raises(EnergyModelError):
+            Workload(n_reads=0, n_writes=0, duration_s=-1.0)
+
+
+class TestSystemModel:
+    def test_paper_overhead_calibration(self):
+        """The VI-B headline: ECC ~ +55 %, DREAM ~ +34 %."""
+        base = EnergySystemModel(NoProtection()).evaluate(0.9, WORKLOAD)
+        dream = EnergySystemModel(DreamEMT()).evaluate(0.9, WORKLOAD)
+        ecc = EnergySystemModel(SecDedEMT()).evaluate(0.9, WORKLOAD)
+        assert dream.overhead_vs(base) == pytest.approx(0.34, abs=0.02)
+        assert ecc.overhead_vs(base) == pytest.approx(0.55, abs=0.02)
+
+    def test_overhead_stable_across_voltages(self):
+        """'approximately 55% more energy for each voltage'."""
+        for voltage in (0.5, 0.6, 0.7, 0.8, 0.9):
+            base = EnergySystemModel(NoProtection()).evaluate(voltage, WORKLOAD)
+            ecc = EnergySystemModel(SecDedEMT()).evaluate(voltage, WORKLOAD)
+            assert ecc.overhead_vs(base) == pytest.approx(0.55, abs=0.03)
+
+    def test_nominal_mask_memory_ablation_grows_at_low_voltage(self):
+        """D3 ablation: a fixed-voltage mask memory erodes DREAM's
+        advantage as the data supply scales down."""
+        model = EnergySystemModel(DreamEMT(), mask_memory_scaled=False)
+        base_hi = EnergySystemModel(NoProtection()).evaluate(0.9, WORKLOAD)
+        base_lo = EnergySystemModel(NoProtection()).evaluate(0.5, WORKLOAD)
+        ovh_hi = model.evaluate(0.9, WORKLOAD).overhead_vs(base_hi)
+        ovh_lo = model.evaluate(0.5, WORKLOAD).overhead_vs(base_lo)
+        assert ovh_lo > ovh_hi + 0.2
+
+    def test_parity_is_cheapest_protection(self):
+        base = EnergySystemModel(NoProtection()).evaluate(0.9, WORKLOAD)
+        parity = EnergySystemModel(ParityEMT()).evaluate(0.9, WORKLOAD)
+        dream = EnergySystemModel(DreamEMT()).evaluate(0.9, WORKLOAD)
+        assert 0 < parity.overhead_vs(base) < dream.overhead_vs(base)
+
+    def test_breakdown_components_sum(self):
+        breakdown = EnergySystemModel(DreamEMT()).evaluate(0.7, WORKLOAD)
+        total = (
+            breakdown.data_dynamic_pj
+            + breakdown.data_leakage_pj
+            + breakdown.side_dynamic_pj
+            + breakdown.side_leakage_pj
+            + breakdown.logic_dynamic_pj
+            + breakdown.logic_leakage_pj
+        )
+        assert breakdown.total_pj == pytest.approx(total)
+
+    def test_no_side_energy_without_side_bits(self):
+        breakdown = EnergySystemModel(SecDedEMT()).evaluate(0.7, WORKLOAD)
+        assert breakdown.side_dynamic_pj == 0.0
+        assert breakdown.side_leakage_pj == 0.0
+
+    def test_energy_decreases_with_voltage(self):
+        model = EnergySystemModel(NoProtection())
+        energies = [
+            model.evaluate(v, WORKLOAD).total_pj
+            for v in (0.5, 0.6, 0.7, 0.8, 0.9)
+        ]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_overhead_vs_zero_baseline_rejected(self):
+        from repro.energy.accounting import EnergyBreakdown
+
+        zero = EnergyBreakdown(0, 0, 0, 0, 0, 0)
+        some = EnergySystemModel(NoProtection()).evaluate(0.9, WORKLOAD)
+        with pytest.raises(EnergyModelError):
+            some.overhead_vs(zero)
+
+    def test_memory_area_includes_side_array(self):
+        dream = EnergySystemModel(DreamEMT())
+        none = EnergySystemModel(NoProtection())
+        assert dream.memory_area_mm2() > none.memory_area_mm2()
+
+    def test_voltage_domain_checked(self):
+        with pytest.raises(EnergyModelError):
+            EnergySystemModel(NoProtection()).evaluate(0.2, WORKLOAD)

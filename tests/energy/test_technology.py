@@ -1,0 +1,119 @@
+"""Tests for the technology node model (BER table, scaling laws)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy import TECH_32NM_LP, Technology
+from repro.energy.technology import PAPER_VOLTAGE_GRID
+from repro.errors import EnergyModelError
+
+VOLTAGE = st.floats(min_value=0.50, max_value=1.00)
+
+
+class TestVoltageGrid:
+    def test_paper_grid(self):
+        assert PAPER_VOLTAGE_GRID[0] == 0.50
+        assert PAPER_VOLTAGE_GRID[-1] == 0.90
+        assert len(PAPER_VOLTAGE_GRID) == 9
+
+
+class TestBer:
+    def test_table_endpoints(self):
+        assert TECH_32NM_LP.ber(0.50) == pytest.approx(1.2e-2)
+        assert TECH_32NM_LP.ber(0.90) == pytest.approx(1.0e-9)
+
+    @given(voltage=VOLTAGE)
+    def test_monotone_decreasing_in_voltage(self, voltage):
+        ber_low = TECH_32NM_LP.ber(max(0.50, voltage - 0.01))
+        ber_here = TECH_32NM_LP.ber(voltage)
+        assert ber_low >= ber_here
+
+    def test_log_linear_interpolation(self):
+        """Halfway between table points in voltage = halfway in log BER."""
+        mid = TECH_32NM_LP.ber(0.525)
+        expected = math.sqrt(
+            TECH_32NM_LP.ber(0.50) * TECH_32NM_LP.ber(0.55)
+        )
+        assert mid == pytest.approx(expected, rel=1e-9)
+
+    def test_error_free_region(self):
+        """At and above 0.8 V the expected fault count in the whole
+        32 kB array stays below ~0.05: the Fig 4 flat region."""
+        for voltage in (0.80, 0.85, 0.90):
+            expected_faults = TECH_32NM_LP.ber(voltage) * 32 * 1024 * 8
+            assert expected_faults < 0.05
+
+    def test_multi_error_region(self):
+        """At 0.5 V a 22-bit codeword frequently has 2+ faults: the ECC
+        collapse region of Fig 4c."""
+        ber = TECH_32NM_LP.ber(0.50)
+        p_double = 231 * ber**2  # C(22,2) pairs
+        assert p_double * 16384 > 50
+
+    def test_out_of_domain(self):
+        with pytest.raises(EnergyModelError):
+            TECH_32NM_LP.ber(0.3)
+        with pytest.raises(EnergyModelError):
+            TECH_32NM_LP.ber(1.2)
+
+
+class TestScaling:
+    def test_dynamic_is_quadratic(self):
+        assert TECH_32NM_LP.dynamic_scale(0.9) == pytest.approx(1.0)
+        assert TECH_32NM_LP.dynamic_scale(0.45 * 2) == pytest.approx(1.0)
+        assert TECH_32NM_LP.dynamic_scale(0.6) == pytest.approx((0.6 / 0.9) ** 2)
+
+    @given(voltage=VOLTAGE)
+    def test_leakage_monotone_in_voltage(self, voltage):
+        lower = TECH_32NM_LP.leakage_scale(max(0.50, voltage - 0.01))
+        here = TECH_32NM_LP.leakage_scale(voltage)
+        assert lower <= here + 1e-12
+
+    def test_leakage_falls_faster_than_linear(self):
+        """The exponential DIBL term: scaling 0.9 -> 0.5 V cuts leakage
+        by more than the voltage ratio alone."""
+        ratio = TECH_32NM_LP.leakage_scale(0.5)
+        assert ratio < 0.5 / 0.9
+
+    def test_nominal_scales_are_unity(self):
+        assert TECH_32NM_LP.dynamic_scale(0.9) == pytest.approx(1.0)
+        assert TECH_32NM_LP.leakage_scale(0.9) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(EnergyModelError):
+            Technology(
+                name="x", v_nominal=0.4, v_min=0.5, v_max=1.0,
+                temperature_k=300, v_leak=0.2,
+                ber_table=((0.5, 1e-3), (0.9, 1e-9)),
+            )
+
+    def test_bad_table_order(self):
+        with pytest.raises(EnergyModelError):
+            Technology(
+                name="x", v_nominal=0.9, v_min=0.5, v_max=1.0,
+                temperature_k=300, v_leak=0.2,
+                ber_table=((0.9, 1e-9), (0.5, 1e-3)),
+            )
+
+    def test_non_positive_ber(self):
+        with pytest.raises(EnergyModelError):
+            Technology(
+                name="x", v_nominal=0.9, v_min=0.5, v_max=1.0,
+                temperature_k=300, v_leak=0.2,
+                ber_table=((0.5, 0.0), (0.9, 1e-9)),
+            )
+
+    def test_table_too_short(self):
+        with pytest.raises(EnergyModelError):
+            Technology(
+                name="x", v_nominal=0.9, v_min=0.5, v_max=1.0,
+                temperature_k=300, v_leak=0.2,
+                ber_table=((0.5, 1e-3),),
+            )

@@ -1,0 +1,86 @@
+"""Tests for the buffer-sensitivity extension driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError, MemoryModelError
+from repro.exp.buffers import run_buffer_sensitivity
+from repro.exp.common import ExperimentConfig
+from repro.mem.faults import sample_fault_map
+
+FAST = ExperimentConfig(records=("100",), duration_s=3.0, n_runs=1)
+
+
+class TestRestrictedToWords:
+    def test_keeps_only_range(self, rng):
+        fm = sample_fault_map(64, 16, 0.2, rng)
+        cut = fm.restricted_to_words(10, 5)
+        assert np.all(cut.set_mask[:10] == 0)
+        assert np.all(cut.set_mask[15:] == 0)
+        assert np.array_equal(cut.set_mask[10:15], fm.set_mask[10:15])
+        assert cut.n_faults <= fm.n_faults
+
+    def test_empty_range(self, rng):
+        fm = sample_fault_map(64, 16, 0.2, rng)
+        assert fm.restricted_to_words(0, 0).n_faults == 0
+
+    def test_validation(self, rng):
+        fm = sample_fault_map(16, 16, 0.1, rng)
+        with pytest.raises(MemoryModelError):
+            fm.restricted_to_words(-1, 4)
+        with pytest.raises(MemoryModelError):
+            fm.restricted_to_words(10, 10)
+
+
+class TestBufferSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_buffer_sensitivity("dwt", config=FAST)
+
+    def test_discovers_all_dwt_buffers(self, result):
+        names = set(result.layout)
+        assert "dwt.input" in names
+        assert any(name.startswith("dwt.detail") for name in names)
+        assert any(name.startswith("dwt.approx") for name in names)
+
+    def test_every_buffer_scored(self, result):
+        assert set(result.snr_db) == set(result.layout)
+        for snr in result.snr_db.values():
+            assert -60.0 < snr <= 96.0
+
+    def test_input_more_critical_than_last_detail(self, result):
+        """Input faults propagate through every scale; faults in the
+        final detail buffer only touch that one output slice."""
+        assert result.snr_db["dwt.input"] < result.snr_db["dwt.detail4"]
+
+    def test_most_critical(self, result):
+        name = result.most_critical()
+        assert result.snr_db[name] == min(result.snr_db.values())
+
+    def test_lsb_injection_is_benign(self):
+        lsb = run_buffer_sensitivity("dwt", position=0, config=FAST)
+        msb = run_buffer_sensitivity("dwt", position=14, config=FAST)
+        assert lsb.snr_db["dwt.input"] > msb.snr_db["dwt.input"] + 20
+
+
+class TestMonteCarloStats:
+    def test_ci_and_sem(self):
+        from repro.exp.common import MonteCarloResult
+
+        result = MonteCarloResult(
+            snr_mean_db={"dream": 50.0},
+            snr_std_db={"dream": 4.0},
+            n_runs=16,
+        )
+        assert result.snr_sem_db("dream") == pytest.approx(1.0)
+        low, high = result.snr_ci95_db("dream")
+        assert low == pytest.approx(50.0 - 1.96)
+        assert high == pytest.approx(50.0 + 1.96)
+
+    def test_unknown_emt(self):
+        from repro.exp.common import MonteCarloResult
+
+        with pytest.raises(ExperimentError):
+            MonteCarloResult(n_runs=4).snr_sem_db("dream")

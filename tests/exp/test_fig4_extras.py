@@ -1,0 +1,58 @@
+"""Additional Fig 4 driver behaviours: extended EMT sets, contiguity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.common import ExperimentConfig, MonteCarloResult
+from repro.exp.fig4 import Fig4Result, run_fig4
+
+FAST = ExperimentConfig(records=("100",), duration_s=3.0, n_runs=2)
+
+
+class TestExtendedEmtSet:
+    def test_sweep_with_multi_error_emt(self):
+        """The registry extension slots straight into the Fig 4 driver."""
+        result = run_fig4(
+            app_names=("morphology",),
+            emt_names=("none", "dream", "secded", "dream_secded"),
+            config=FAST,
+            voltages=(0.5, 0.9),
+        )
+        point = result.points["morphology"][0.5]
+        assert set(point.snr_mean_db) == {
+            "none", "dream", "secded", "dream_secded",
+        }
+        # The composition dominates everything at the deep end.
+        best = max(point.snr_mean_db, key=point.snr_mean_db.get)
+        assert best == "dream_secded"
+
+
+class TestMinVoltageContiguity:
+    def make_result(self, series: dict[float, float]) -> Fig4Result:
+        result = Fig4Result(voltages=sorted(series))
+        result.points["app"] = {
+            v: MonteCarloResult(
+                snr_mean_db={"none": snr}, snr_std_db={"none": 0.0}, n_runs=1
+            )
+            for v, snr in series.items()
+        }
+        return result
+
+    def test_contiguous_descent(self):
+        result = self.make_result({0.9: 96.0, 0.8: 96.0, 0.7: 50.0})
+        assert result.min_voltage_meeting("app", "none", 90.0) == 0.8
+
+    def test_recovery_by_chance_does_not_extend(self):
+        """A lower voltage that recovers (by MC luck) must not extend
+        the safe range across a failing gap."""
+        result = self.make_result({0.9: 96.0, 0.8: 50.0, 0.7: 96.0})
+        assert result.min_voltage_meeting("app", "none", 90.0) == 0.9
+
+    def test_nothing_meets(self):
+        result = self.make_result({0.9: 10.0, 0.8: 5.0})
+        assert result.min_voltage_meeting("app", "none", 90.0) is None
+
+    def test_series_roundtrip(self):
+        result = self.make_result({0.9: 96.0, 0.8: 50.0})
+        assert result.series("app", "none") == [50.0, 96.0]

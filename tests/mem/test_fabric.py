@@ -1,0 +1,194 @@
+"""Tests for the application-facing memory fabric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emt import DreamEMT, NoProtection, SecDedEMT
+from repro.errors import MemoryModelError
+from repro.mem import (
+    MemoryFabric,
+    MemoryGeometry,
+    position_fault_map,
+    sample_fault_map,
+)
+
+SMALL = MemoryGeometry(n_words=512, word_bits=16, n_banks=4)
+
+
+class TestAllocation:
+    def test_allocate_is_idempotent_by_name(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        a = fabric.allocate("buf", 100)
+        b = fabric.allocate("buf", 50)
+        assert a == b
+        assert fabric.words_allocated == 100
+
+    def test_allocate_cannot_grow(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        fabric.allocate("buf", 10)
+        with pytest.raises(MemoryModelError):
+            fabric.allocate("buf", 20)
+
+    def test_out_of_memory(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        with pytest.raises(MemoryModelError):
+            fabric.allocate("huge", SMALL.n_words + 1)
+
+    def test_buffer_lookup(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        fabric.allocate("x", 4)
+        assert fabric.buffer("x").length == 4
+        with pytest.raises(MemoryModelError):
+            fabric.buffer("y")
+
+    def test_rejects_non_positive_size(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        with pytest.raises(MemoryModelError):
+            fabric.allocate("x", 0)
+
+    def test_buffers_occupy_disjoint_regions(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        a = fabric.allocate("a", 10)
+        b = fabric.allocate("b", 10)
+        assert a.base + a.length <= b.base
+
+
+class TestRoundtrip:
+    @given(
+        values=st.lists(
+            st.integers(min_value=-32768, max_value=32767),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=50)
+    def test_clean_roundtrip_exact_all_emts(self, values):
+        for emt in (NoProtection(), DreamEMT(), SecDedEMT()):
+            fabric = MemoryFabric(emt, geometry=SMALL)
+            out = fabric.roundtrip("buf", np.array(values))
+            assert out.tolist() == values
+
+    def test_rejects_2d_values(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        handle = fabric.allocate("x", 4)
+        with pytest.raises(MemoryModelError):
+            fabric.write(handle, np.zeros((2, 2), dtype=np.int64))
+
+    def test_write_overflow(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        handle = fabric.allocate("x", 4)
+        with pytest.raises(MemoryModelError):
+            fabric.write(handle, np.zeros(5, dtype=np.int64))
+
+    def test_read_range_checks(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        handle = fabric.allocate("x", 4)
+        fabric.write(handle, np.zeros(4, dtype=np.int64))
+        with pytest.raises(MemoryModelError):
+            fabric.read(handle, 5)
+        with pytest.raises(MemoryModelError):
+            fabric.read(handle, 0)
+
+
+class TestFaultExposure:
+    def test_msb_stuck_corrupts_unprotected(self):
+        fm = position_fault_map(SMALL.n_words, 16, 15, 1)
+        fabric = MemoryFabric(NoProtection(), fault_map=fm, geometry=SMALL)
+        out = fabric.roundtrip("x", np.array([0, 100]))
+        assert out.tolist() == [-32768, 100 - 32768]
+
+    def test_dream_shields_msb_stuck(self):
+        fm = position_fault_map(SMALL.n_words, 16, 15, 1)
+        fabric = MemoryFabric(DreamEMT(), fault_map=fm, geometry=SMALL)
+        out = fabric.roundtrip("x", np.array([0, 100, -5]))
+        assert out.tolist() == [0, 100, -5]
+
+    def test_secded_fault_map_covers_check_bits(self, rng):
+        emt = SecDedEMT()
+        fm = sample_fault_map(SMALL.n_words, emt.stored_bits, 0.0, rng)
+        fabric = MemoryFabric(emt, fault_map=fm, geometry=SMALL)
+        assert fabric.sram.geometry.word_bits == 22
+
+    def test_width_mismatch_rejected(self, rng):
+        fm = sample_fault_map(SMALL.n_words, 16, 0.01, rng)
+        with pytest.raises(MemoryModelError):
+            MemoryFabric(SecDedEMT(), fault_map=fm, geometry=SMALL)
+
+    def test_lsb_stuck_bounded_error_everywhere(self, rng):
+        fm = position_fault_map(SMALL.n_words, 16, 0, 1)
+        for emt in (NoProtection(), DreamEMT()):
+            fabric = MemoryFabric(emt, fault_map=fm, geometry=SMALL)
+            values = rng.integers(-1000, 1000, size=32)
+            out = fabric.roundtrip("x", values)
+            assert np.all(np.abs(out - values) <= 1)
+
+
+class TestStats:
+    def test_access_counters(self):
+        fabric = MemoryFabric(DreamEMT(), geometry=SMALL)
+        fabric.roundtrip("x", np.arange(10))
+        assert fabric.stats.data_writes == 10
+        assert fabric.stats.data_reads == 10
+        assert fabric.stats.side_writes == 10
+        assert fabric.stats.side_reads == 10
+        assert fabric.stats.decode.words == 10
+
+    def test_no_side_traffic_without_side_bits(self):
+        fabric = MemoryFabric(SecDedEMT(), geometry=SMALL)
+        fabric.roundtrip("x", np.arange(10))
+        assert fabric.stats.side_writes == 0
+        assert fabric.stats.side_reads == 0
+
+    def test_trace_recording(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL, record_trace=True)
+        fabric.roundtrip("x", np.arange(8))
+        assert fabric.trace is not None
+        assert len(fabric.trace) == 2  # one write event, one read event
+        write, read = fabric.trace
+        assert write.is_write and not read.is_write
+        assert write.length == read.length == 8
+        assert write.buffer == "x"
+
+    def test_trace_disabled_by_default(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        assert fabric.trace is None
+
+
+class TestScrambling:
+    def test_scrambled_fabric_roundtrips_exactly_when_clean(self, rng):
+        from repro.mem import AddressMap
+
+        amap = AddressMap(SMALL, rng=rng)
+        fabric = MemoryFabric(
+            NoProtection(), geometry=SMALL, address_map=amap
+        )
+        values = rng.integers(-32768, 32767, size=SMALL.n_words)
+        out = fabric.roundtrip("all", values)
+        assert np.array_equal(out, values)
+
+    def test_scrambling_relocates_fault_impact(self):
+        from repro.mem import AddressMap
+
+        fm = position_fault_map(SMALL.n_words, 16, 15, 1)
+        # With every word faulty, scrambling cannot help; use a single
+        # stuck word instead.
+        set_mask = np.zeros(SMALL.n_words, dtype=np.int64)
+        set_mask[7] = 0x8000
+        from repro.mem import FaultMap
+
+        fm = FaultMap(word_bits=16, set_mask=set_mask,
+                      clear_mask=np.zeros(SMALL.n_words, dtype=np.int64))
+        hits = set()
+        for seed in range(5):
+            amap = AddressMap(SMALL, rng=np.random.default_rng(seed))
+            fabric = MemoryFabric(
+                NoProtection(), fault_map=fm, geometry=SMALL,
+                address_map=amap,
+            )
+            out = fabric.roundtrip("all", np.zeros(SMALL.n_words, dtype=np.int64))
+            hits.add(int(np.flatnonzero(out != 0)[0]))
+        assert len(hits) > 1  # different runs hit different logical words

@@ -1,0 +1,172 @@
+"""Tests for stuck-at fault maps (Section V error model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryModelError
+from repro.mem import (
+    FaultMap,
+    empty_fault_map,
+    position_fault_map,
+    sample_fault_map,
+)
+
+
+class TestFaultMapValidation:
+    def test_rejects_overlapping_masks(self):
+        with pytest.raises(MemoryModelError):
+            FaultMap(
+                word_bits=16,
+                set_mask=np.array([1]),
+                clear_mask=np.array([1]),
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(MemoryModelError):
+            FaultMap(
+                word_bits=16,
+                set_mask=np.array([0, 0]),
+                clear_mask=np.array([0]),
+            )
+
+    def test_rejects_mask_beyond_width(self):
+        with pytest.raises(MemoryModelError):
+            FaultMap(
+                word_bits=8,
+                set_mask=np.array([0x100]),
+                clear_mask=np.array([0]),
+            )
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(MemoryModelError):
+            FaultMap(word_bits=0, set_mask=np.array([0]), clear_mask=np.array([0]))
+
+
+class TestApply:
+    def test_stuck_at_one_and_zero(self):
+        fm = FaultMap(
+            word_bits=16,
+            set_mask=np.array([0x0001, 0x0000]),
+            clear_mask=np.array([0x0000, 0x8000]),
+        )
+        out = fm.apply(np.array([0x0000, 0xFFFF]))
+        assert out.tolist() == [0x0001, 0x7FFF]
+
+    def test_apply_is_idempotent(self, rng):
+        fm = sample_fault_map(64, 16, 0.05, rng)
+        words = rng.integers(0, 1 << 16, size=64, dtype=np.int64)
+        once = fm.apply(words)
+        assert np.array_equal(fm.apply(once), once)
+
+    def test_apply_with_indices(self):
+        fm = position_fault_map(8, 16, 15, 1)
+        out = fm.apply(np.array([0, 0]), indices=np.array([3, 5]))
+        assert out.tolist() == [0x8000, 0x8000]
+
+    def test_apply_full_array_shape_check(self):
+        fm = empty_fault_map(8, 16)
+        with pytest.raises(MemoryModelError):
+            fm.apply(np.zeros(4, dtype=np.int64))
+
+    def test_apply_index_out_of_range(self):
+        fm = empty_fault_map(8, 16)
+        with pytest.raises(MemoryModelError):
+            fm.apply(np.array([0]), indices=np.array([8]))
+
+    def test_apply_index_shape_mismatch(self):
+        fm = empty_fault_map(8, 16)
+        with pytest.raises(MemoryModelError):
+            fm.apply(np.array([0, 0]), indices=np.array([1]))
+
+
+class TestEmpty:
+    def test_no_faults(self):
+        fm = empty_fault_map(128, 16)
+        assert fm.n_faults == 0
+        words = np.arange(128, dtype=np.int64)
+        assert np.array_equal(fm.apply(words), words)
+
+    def test_rejects_negative_words(self):
+        with pytest.raises(MemoryModelError):
+            empty_fault_map(-1, 16)
+
+
+class TestSampling:
+    def test_ber_zero_is_fault_free(self, rng):
+        assert sample_fault_map(1000, 16, 0.0, rng).n_faults == 0
+
+    def test_ber_one_sticks_every_bit(self, rng):
+        fm = sample_fault_map(100, 16, 1.0, rng)
+        assert fm.n_faults == 100 * 16
+
+    def test_fault_count_tracks_ber(self, rng):
+        n_words, bits, ber = 4096, 16, 0.01
+        fm = sample_fault_map(n_words, bits, ber, rng)
+        expected = n_words * bits * ber
+        assert 0.5 * expected < fm.n_faults < 1.5 * expected
+
+    def test_stuck_values_are_balanced(self, rng):
+        fm = sample_fault_map(4096, 16, 0.05, rng)
+        ones = int(np.bitwise_count(fm.set_mask).sum())
+        zeros = int(np.bitwise_count(fm.clear_mask).sum())
+        assert 0.8 < ones / zeros < 1.25
+
+    def test_rejects_invalid_ber(self, rng):
+        with pytest.raises(MemoryModelError):
+            sample_fault_map(10, 16, -0.1, rng)
+        with pytest.raises(MemoryModelError):
+            sample_fault_map(10, 16, 1.5, rng)
+
+    def test_deterministic_given_rng_state(self):
+        a = sample_fault_map(256, 22, 0.01, np.random.default_rng(9))
+        b = sample_fault_map(256, 22, 0.01, np.random.default_rng(9))
+        assert np.array_equal(a.set_mask, b.set_mask)
+        assert np.array_equal(a.clear_mask, b.clear_mask)
+
+
+class TestPositionMap:
+    @pytest.mark.parametrize("position", [0, 7, 15])
+    @pytest.mark.parametrize("stuck", [0, 1])
+    def test_every_word_affected(self, position, stuck):
+        fm = position_fault_map(32, 16, position, stuck)
+        assert fm.n_faults == 32
+        words = np.zeros(32, dtype=np.int64) if stuck else np.full(
+            32, 0xFFFF, dtype=np.int64
+        )
+        out = fm.apply(words)
+        expected = (1 << position) if stuck else 0xFFFF & ~(1 << position)
+        assert np.all(out == expected)
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(MemoryModelError):
+            position_fault_map(8, 16, 16, 1)
+
+    def test_rejects_bad_stuck_value(self):
+        with pytest.raises(MemoryModelError):
+            position_fault_map(8, 16, 3, 2)
+
+
+class TestRestriction:
+    def test_restricted_drops_high_columns(self, rng):
+        fm = sample_fault_map(512, 22, 0.05, rng)
+        narrow = fm.restricted_to(16)
+        assert narrow.word_bits == 16
+        assert int(narrow.set_mask.max()) <= 0xFFFF
+        # Low 16 columns identical (the fair-comparison requirement).
+        assert np.array_equal(narrow.set_mask, fm.set_mask & 0xFFFF)
+        assert np.array_equal(narrow.clear_mask, fm.clear_mask & 0xFFFF)
+
+    def test_cannot_widen(self, rng):
+        fm = sample_fault_map(16, 16, 0.01, rng)
+        with pytest.raises(MemoryModelError):
+            fm.restricted_to(22)
+
+    @settings(max_examples=25)
+    @given(ber=st.floats(min_value=0.001, max_value=0.2))
+    def test_restriction_never_adds_faults(self, ber):
+        fm = sample_fault_map(128, 22, ber, np.random.default_rng(3))
+        assert fm.restricted_to(16).n_faults <= fm.n_faults

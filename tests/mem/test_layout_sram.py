@@ -1,0 +1,163 @@
+"""Tests for memory geometry, address scrambling and the faulty SRAM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MemoryModelError
+from repro.mem import (
+    AddressMap,
+    FaultySRAM,
+    MemoryGeometry,
+    empty_fault_map,
+    position_fault_map,
+    sample_fault_map,
+)
+from repro.mem.layout import PAPER_GEOMETRY
+
+
+class TestGeometry:
+    def test_paper_geometry_is_32kb(self):
+        """Section V: 32 kB of 16-bit words in 16 banks."""
+        assert PAPER_GEOMETRY.n_words * PAPER_GEOMETRY.word_bits == 32 * 1024 * 8
+        assert PAPER_GEOMETRY.n_banks == 16
+        assert PAPER_GEOMETRY.words_per_bank == 1024
+
+    def test_bank_interleaving(self, small_geometry):
+        addresses = np.arange(8)
+        banks = small_geometry.bank_of(addresses)
+        assert banks.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_row_of(self, small_geometry):
+        rows = small_geometry.row_of(np.array([0, 4, 8, 255]))
+        assert rows.tolist() == [0, 1, 2, 63]
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ConfigurationError):
+            MemoryGeometry(n_words=100, word_bits=16, n_banks=3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            MemoryGeometry(n_words=0, word_bits=16, n_banks=1)
+        with pytest.raises(ConfigurationError):
+            MemoryGeometry(n_words=16, word_bits=0, n_banks=1)
+
+    def test_address_range_check(self, small_geometry):
+        with pytest.raises(MemoryModelError):
+            small_geometry.bank_of(np.array([256]))
+
+    def test_with_word_bits(self, small_geometry):
+        widened = small_geometry.with_word_bits(22)
+        assert widened.word_bits == 22
+        assert widened.n_words == small_geometry.n_words
+
+
+class TestAddressMap:
+    def test_identity_map(self, small_geometry):
+        amap = AddressMap(small_geometry, scramble=False)
+        assert amap.is_identity
+        addresses = np.arange(small_geometry.n_words)
+        assert np.array_equal(amap.physical(addresses), addresses)
+
+    def test_scramble_is_a_permutation(self, small_geometry, rng):
+        amap = AddressMap(small_geometry, rng=rng)
+        physical = amap.physical(np.arange(small_geometry.n_words))
+        assert sorted(physical.tolist()) == list(range(small_geometry.n_words))
+        assert not amap.is_identity
+
+    def test_scramble_requires_rng(self, small_geometry):
+        with pytest.raises(ConfigurationError):
+            AddressMap(small_geometry, scramble=True)
+
+    def test_out_of_range(self, small_geometry, rng):
+        amap = AddressMap(small_geometry, rng=rng)
+        with pytest.raises(MemoryModelError):
+            amap.physical(np.array([small_geometry.n_words]))
+
+    def test_different_seeds_differ(self, small_geometry):
+        a = AddressMap(small_geometry, rng=np.random.default_rng(1))
+        b = AddressMap(small_geometry, rng=np.random.default_rng(2))
+        pa = a.physical(np.arange(small_geometry.n_words))
+        pb = b.physical(np.arange(small_geometry.n_words))
+        assert not np.array_equal(pa, pb)
+
+
+class TestFaultySRAM:
+    def test_clean_write_read(self, small_geometry, rng):
+        sram = FaultySRAM(small_geometry)
+        addresses = np.arange(64)
+        patterns = rng.integers(0, 1 << 16, size=64, dtype=np.int64)
+        sram.write(addresses, patterns)
+        assert np.array_equal(sram.read(addresses), patterns)
+
+    def test_stuck_bits_corrupt_on_readback(self, small_geometry):
+        fm = position_fault_map(small_geometry.n_words, 16, 15, 1)
+        sram = FaultySRAM(small_geometry, fm)
+        sram.write(np.array([0]), np.array([0x0001]))
+        assert int(sram.read(np.array([0]))[0]) == 0x8001
+
+    def test_defective_cells_hold_stuck_value_before_first_write(
+        self, small_geometry
+    ):
+        fm = position_fault_map(small_geometry.n_words, 16, 3, 1)
+        sram = FaultySRAM(small_geometry, fm)
+        assert int(sram.read(np.array([5]))[0]) == 0b1000
+
+    def test_repeated_reads_are_stable(self, small_geometry, rng):
+        fm = sample_fault_map(small_geometry.n_words, 16, 0.05, rng)
+        sram = FaultySRAM(small_geometry, fm)
+        addresses = np.arange(small_geometry.n_words)
+        sram.write(addresses, rng.integers(0, 1 << 16, small_geometry.n_words))
+        first = sram.read(addresses)
+        second = sram.read(addresses)
+        assert np.array_equal(first, second)
+
+    def test_access_counters(self, small_geometry):
+        sram = FaultySRAM(small_geometry)
+        sram.write(np.arange(10), np.zeros(10, dtype=np.int64))
+        sram.read(np.arange(4))
+        assert sram.write_count == 10
+        assert sram.read_count == 4
+        sram.reset_counters()
+        assert sram.write_count == 0 and sram.read_count == 0
+
+    def test_scrambled_addressing_moves_faults(self, small_geometry):
+        # One stuck cell at physical word 0; scrambling relocates which
+        # logical address sees it.
+        fm = empty_fault_map(small_geometry.n_words, 16)
+        set_mask = fm.set_mask.copy()
+        set_mask[0] = 0x8000
+        fm = type(fm)(word_bits=16, set_mask=set_mask, clear_mask=fm.clear_mask)
+        amap = AddressMap(small_geometry, rng=np.random.default_rng(7))
+        sram = FaultySRAM(small_geometry, fm, amap)
+        logical = np.arange(small_geometry.n_words)
+        sram.write(logical, np.zeros(small_geometry.n_words, dtype=np.int64))
+        data = sram.read(logical)
+        hit = np.flatnonzero(data == 0x8000)
+        assert len(hit) == 1
+        physical = amap.physical(hit)
+        assert int(physical[0]) == 0
+
+    def test_write_shape_mismatch(self, small_geometry):
+        sram = FaultySRAM(small_geometry)
+        with pytest.raises(MemoryModelError):
+            sram.write(np.arange(3), np.zeros(2, dtype=np.int64))
+
+    def test_write_pattern_too_wide(self, small_geometry):
+        sram = FaultySRAM(small_geometry)
+        with pytest.raises(MemoryModelError):
+            sram.write(np.array([0]), np.array([1 << 16]))
+
+    def test_address_out_of_range(self, small_geometry):
+        sram = FaultySRAM(small_geometry)
+        with pytest.raises(MemoryModelError):
+            sram.read(np.array([small_geometry.n_words]))
+
+    def test_fault_map_geometry_must_match(self, small_geometry, rng):
+        wrong_words = sample_fault_map(small_geometry.n_words + 1, 16, 0.01, rng)
+        with pytest.raises(MemoryModelError):
+            FaultySRAM(small_geometry, wrong_words)
+        wrong_width = sample_fault_map(small_geometry.n_words, 22, 0.01, rng)
+        with pytest.raises(MemoryModelError):
+            FaultySRAM(small_geometry, wrong_width)

@@ -1,0 +1,126 @@
+"""Tests for the record catalog and the noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signals import default_catalog, load_record
+from repro.signals.dataset import CATALOG, MITBIH_FS_HZ
+from repro.signals.noise import (
+    baseline_wander,
+    compose_noise,
+    emg_noise,
+    mains_interference,
+)
+
+
+class TestCatalog:
+    def test_catalog_has_pathology_diversity(self):
+        """Section III averages over different pathologies."""
+        base_labels = {spec.rhythm.base_label for spec in CATALOG.values()}
+        assert {"N", "L", "R", "/"} <= base_labels
+        assert len(default_catalog()) >= 8
+
+    def test_load_record_deterministic(self):
+        a = load_record("106", duration_s=4.0)
+        b = load_record("106", duration_s=4.0)
+        assert np.array_equal(a.samples, b.samples)
+        assert a.labels == b.labels
+
+    def test_records_differ(self):
+        a = load_record("100", duration_s=4.0)
+        b = load_record("200", duration_s=4.0)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_sample_properties(self, record_100):
+        assert record_100.fs_hz == MITBIH_FS_HZ
+        assert record_100.samples.dtype == np.int64
+        assert int(record_100.samples.max()) <= 32767
+        assert int(record_100.samples.min()) >= -32768
+        assert record_100.duration_s == pytest.approx(5.0, abs=0.01)
+
+    def test_annotations_are_consistent(self, record_106):
+        assert len(record_106.labels) == len(record_106.r_samples)
+        assert np.all(np.diff(record_106.r_samples) > 0)
+        assert np.all(record_106.r_samples < len(record_106.samples))
+
+    def test_pvc_record_contains_pvcs(self):
+        record = load_record("106", duration_s=30.0)
+        assert record.labels.count("V") >= 2
+
+    def test_paced_record_label(self):
+        record = load_record("107", duration_s=10.0)
+        assert "/" in record.labels
+
+    def test_unknown_record(self):
+        with pytest.raises(SignalError):
+            load_record("999")
+
+    def test_bad_duration(self):
+        with pytest.raises(SignalError):
+            load_record("100", duration_s=0)
+
+    def test_samples_have_long_sign_runs(self, record_100):
+        """The DREAM premise: ADC headroom leaves constant MSBs."""
+        from repro._bitops import sign_run_length
+
+        runs = sign_run_length(record_100.samples, 16)
+        assert float(runs.mean()) > 5.0
+
+    def test_signal_is_roughly_zero_centred(self, record_100):
+        """Section IV: biomedical values distribute around zero."""
+        mean = float(record_100.samples.mean())
+        peak = float(np.abs(record_100.samples).max())
+        assert abs(mean) < 0.1 * peak
+
+
+class TestNoise:
+    def test_baseline_wander_is_low_frequency(self, rng):
+        fs = 360.0
+        wander = baseline_wander(7200, fs, 0.2, rng)
+        spectrum = np.abs(np.fft.rfft(wander))
+        freqs = np.fft.rfftfreq(7200, 1 / fs)
+        power_below = float((spectrum[freqs <= 0.7] ** 2).sum())
+        total = float((spectrum**2).sum())
+        assert power_below / total > 0.95
+
+    def test_baseline_wander_amplitude(self, rng):
+        wander = baseline_wander(3600, 360.0, 0.25, rng)
+        assert np.abs(wander).max() == pytest.approx(0.25, rel=1e-6)
+
+    def test_mains_is_narrowband_at_mains_freq(self, rng):
+        fs = 360.0
+        mains = mains_interference(7200, fs, 0.05, rng, mains_hz=50.0)
+        spectrum = np.abs(np.fft.rfft(mains))
+        freqs = np.fft.rfftfreq(7200, 1 / fs)
+        peak_freq = freqs[int(np.argmax(spectrum))]
+        assert abs(peak_freq - 50.0) < 1.0
+
+    def test_emg_rms(self, rng):
+        noise = emg_noise(20000, 360.0, 0.03, rng)
+        assert float(np.sqrt(np.mean(noise**2))) == pytest.approx(
+            0.03, rel=0.02
+        )
+
+    def test_emg_rejects_bad_smoothing(self, rng):
+        with pytest.raises(SignalError):
+            emg_noise(100, 360.0, 0.01, rng, smoothing=0)
+
+    def test_compose_zero_levels_is_silent(self, rng):
+        total = compose_noise(100, 360.0, rng)
+        assert np.all(total == 0)
+
+    def test_compose_sums_components(self, rng):
+        total = compose_noise(
+            3600, 360.0, rng, wander_mv=0.1, mains_mv=0.02, emg_rms_mv=0.01
+        )
+        assert total.shape == (3600,)
+        assert float(np.abs(total).max()) > 0.05
+
+    def test_rejects_bad_sizes(self, rng):
+        with pytest.raises(SignalError):
+            baseline_wander(0, 360.0, 0.1, rng)
+        with pytest.raises(SignalError):
+            compose_noise(10, -1.0, rng)

@@ -1,0 +1,93 @@
+"""Tests for record serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signals.dataset import load_record
+from repro.signals.io import read_corpus, read_record, save_corpus, save_record
+
+
+class TestRoundtrip:
+    def test_samples_bit_exact(self, tmp_path, record_106):
+        save_record(record_106, tmp_path)
+        back = read_record("106", tmp_path)
+        assert np.array_equal(back.samples, record_106.samples)
+
+    def test_annotations_preserved(self, tmp_path, record_106):
+        save_record(record_106, tmp_path)
+        back = read_record("106", tmp_path)
+        assert back.labels == record_106.labels
+        assert np.array_equal(back.r_samples, record_106.r_samples)
+
+    def test_metadata_preserved(self, tmp_path, record_100):
+        save_record(record_100, tmp_path)
+        back = read_record("100", tmp_path)
+        assert back.name == "100"
+        assert back.fs_hz == record_100.fs_hz
+
+    def test_signal_mv_restored_through_adc_inverse(self, tmp_path, record_100):
+        save_record(record_100, tmp_path)
+        back = read_record("100", tmp_path)
+        # One quantisation step of agreement with the original trace.
+        assert np.max(np.abs(back.signal_mv - record_100.signal_mv)) < 8.0 / 32768 + 1e-9
+
+    def test_files_created(self, tmp_path, record_100):
+        header = save_record(record_100, tmp_path)
+        assert header.name == "100.hea"
+        assert (tmp_path / "100.dat").exists()
+        assert (tmp_path / "100.atr").exists()
+
+    def test_dat_is_wfdb_format16(self, tmp_path, record_100):
+        save_record(record_100, tmp_path)
+        raw = np.fromfile(tmp_path / "100.dat", dtype="<i2")
+        assert raw.size == record_100.samples.size
+
+
+class TestCorpus:
+    def test_save_and_read_corpus(self, tmp_path):
+        records = [load_record(name, duration_s=2.0) for name in ("100", "106")]
+        paths = save_corpus(records, tmp_path)
+        assert len(paths) == 2
+        corpus = read_corpus(tmp_path)
+        assert set(corpus) == {"100", "106"}
+        assert np.array_equal(corpus["106"].samples, records[1].samples)
+
+    def test_read_corpus_requires_directory(self, tmp_path):
+        with pytest.raises(SignalError):
+            read_corpus(tmp_path / "missing")
+
+
+class TestValidation:
+    def test_missing_record(self, tmp_path):
+        with pytest.raises(SignalError):
+            read_record("999", tmp_path)
+
+    def test_version_check(self, tmp_path, record_100):
+        save_record(record_100, tmp_path)
+        header_path = tmp_path / "100.hea"
+        header = json.loads(header_path.read_text())
+        header["version"] = 99
+        header_path.write_text(json.dumps(header))
+        with pytest.raises(SignalError):
+            read_record("100", tmp_path)
+
+    def test_truncated_samples_detected(self, tmp_path, record_100):
+        save_record(record_100, tmp_path)
+        dat = tmp_path / "100.dat"
+        dat.write_bytes(dat.read_bytes()[:-10])
+        with pytest.raises(SignalError):
+            read_record("100", tmp_path)
+
+    def test_format_check(self, tmp_path, record_100):
+        save_record(record_100, tmp_path)
+        header_path = tmp_path / "100.hea"
+        header = json.loads(header_path.read_text())
+        header["format"] = "int8"
+        header_path.write_text(json.dumps(header))
+        with pytest.raises(SignalError):
+            read_record("100", tmp_path)

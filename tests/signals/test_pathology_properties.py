@@ -1,0 +1,69 @@
+"""Property tests on the pathology corpus and the DREAM data premise.
+
+DREAM's effectiveness rests on a statistical property of the corpus —
+long sign-extension runs and zero-centred values — so the corpus itself
+is part of the reproduction's trusted computing base.  These tests pin
+that contract for *every* catalog record, not just the ones the default
+experiments use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._bitops import sign_run_length
+from repro.emt import DreamEMT
+from repro.signals.dataset import CATALOG, default_catalog, load_record
+
+
+@pytest.mark.parametrize("name", default_catalog())
+class TestCorpusContract:
+    def test_samples_in_16bit_range(self, name):
+        record = load_record(name, duration_s=6.0)
+        assert int(record.samples.min()) >= -32768
+        assert int(record.samples.max()) <= 32767
+
+    def test_heart_rate_physiological(self, name):
+        record = load_record(name, duration_s=20.0)
+        beats = len(record.r_samples)
+        bpm = beats / record.duration_s * 60.0
+        assert 35 < bpm < 220
+
+    def test_sign_runs_support_dream(self, name):
+        """Every record leaves DREAM at least 5 protected MSBs on
+        average — the ADC-headroom premise of Section IV."""
+        record = load_record(name, duration_s=10.0)
+        emt = DreamEMT()
+        _, side = emt.encode(
+            np.bitwise_and(record.samples, 0xFFFF)
+        )
+        assert float(emt.protected_bits(side).mean()) >= 5.0
+
+    def test_zero_centred(self, name):
+        """Section IV: values distribute around zero."""
+        record = load_record(name, duration_s=10.0)
+        mean = float(record.samples.mean())
+        peak = float(np.abs(record.samples).max())
+        assert abs(mean) < 0.15 * peak
+
+    def test_annotation_labels_match_spec(self, name):
+        record = load_record(name, duration_s=20.0)
+        spec = CATALOG[name]
+        allowed = {spec.rhythm.base_label} | set(spec.rhythm.ectopy)
+        assert set(record.labels) <= allowed
+
+    def test_r_peaks_near_local_extrema(self, name):
+        """Ground-truth R annotations must sit on actual QRS energy."""
+        record = load_record(name, duration_s=10.0)
+        misses = 0
+        for r in record.r_samples:
+            lo, hi = max(0, r - 15), min(len(record.samples), r + 15)
+            window = np.abs(record.samples[lo:hi])
+            if window.size == 0:
+                continue
+            peak = float(window.max())
+            background = float(np.median(np.abs(record.samples)))
+            if peak < 3 * max(background, 1.0):
+                misses += 1
+        assert misses <= max(1, len(record.r_samples) // 10)

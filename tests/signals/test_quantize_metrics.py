@@ -1,0 +1,113 @@
+"""Tests for the ADC model and the paper's quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SignalError
+from repro.signals import adc_quantize, dac_restore, mse, prd, snr_db
+from repro.signals.metrics import SNR_CAP_DB, rms
+
+
+class TestAdc:
+    def test_full_scale_mapping(self):
+        raw = adc_quantize(np.array([8.0, -8.0, 0.0]), full_scale_mv=8.0)
+        assert raw.tolist() == [32767, -32768, 0]
+
+    def test_saturation_beyond_range(self):
+        raw = adc_quantize(np.array([20.0, -20.0]), full_scale_mv=8.0)
+        assert raw.tolist() == [32767, -32768]
+
+    @given(value=st.floats(min_value=-7.9, max_value=7.9))
+    def test_roundtrip_error_within_lsb(self, value):
+        raw = adc_quantize(np.array([value]))
+        back = dac_restore(raw)[0]
+        assert abs(back - value) <= 8.0 / 32768 + 1e-12
+
+    def test_rejects_bad_full_scale(self):
+        with pytest.raises(SignalError):
+            adc_quantize(np.array([1.0]), full_scale_mv=0.0)
+        with pytest.raises(SignalError):
+            dac_restore(np.array([1]), full_scale_mv=-1.0)
+
+    def test_headroom_leaves_sign_runs(self):
+        """A 1 mV signal in an 8 mV converter uses ~3 fewer MSBs."""
+        raw = adc_quantize(np.array([1.0]))
+        assert abs(int(raw[0])) < 1 << 13
+
+
+class TestMse:
+    def test_zero_for_identical(self):
+        x = np.arange(10)
+        assert mse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.array([0, 0]), np.array([3, 4])) == pytest.approx(12.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SignalError):
+            mse(np.arange(3), np.arange(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalError):
+            mse(np.array([]), np.array([]))
+
+
+class TestSnr:
+    def test_formula1_value(self):
+        """Direct check of the paper's Formula 1."""
+        theo = np.array([100.0, -100.0, 100.0, -100.0])
+        expe = theo + np.array([1.0, -1.0, 1.0, -1.0])
+        expected = 20 * np.log10(100.0 / 1.0)
+        assert snr_db(theo, expe) == pytest.approx(expected)
+
+    def test_cap_on_identical(self):
+        x = np.arange(100)
+        assert snr_db(x, x) == SNR_CAP_DB
+
+    def test_custom_cap(self):
+        x = np.arange(100)
+        assert snr_db(x, x, cap_db=40.0) == 40.0
+
+    def test_zero_reference_with_error(self):
+        assert snr_db(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_monotone_in_error_magnitude(self, rng):
+        x = rng.normal(size=1000) * 100
+        small = snr_db(x, x + rng.normal(size=1000))
+        large = snr_db(x, x + 10 * rng.normal(size=1000))
+        assert small > large
+
+    @given(scale=st.floats(min_value=0.01, max_value=100.0))
+    def test_scale_invariance(self, scale):
+        x = np.array([10.0, -20.0, 30.0, -40.0])
+        y = x + np.array([1.0, 2.0, -1.0, -2.0])
+        assert snr_db(x * scale, y * scale) == pytest.approx(
+            snr_db(x, y), abs=1e-9
+        )
+
+    def test_rms(self):
+        assert rms(np.array([3.0, 4.0, 3.0, 4.0])) == pytest.approx(3.5355339)
+        with pytest.raises(SignalError):
+            rms(np.array([]))
+
+
+class TestPrd:
+    def test_prd_snr_relation(self, rng):
+        """SNR = 20*log10(100/PRD) by construction."""
+        x = rng.normal(size=500) * 50
+        y = x + rng.normal(size=500)
+        assert snr_db(x, y) == pytest.approx(
+            20 * np.log10(100.0 / prd(x, y)), abs=1e-9
+        )
+
+    def test_prd_zero_reference(self):
+        with pytest.raises(SignalError):
+            prd(np.zeros(4), np.ones(4))
+
+    def test_prd_identical_is_zero(self):
+        x = np.arange(1, 10)
+        assert prd(x, x) == 0.0

@@ -1,0 +1,171 @@
+"""Tests for the ECG synthesiser and rhythm models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignalError
+from repro.signals.pathologies import (
+    MORPHOLOGY_BY_LABEL,
+    PVC_MORPHOLOGY,
+    RhythmSpec,
+    generate_rhythm,
+)
+from repro.signals.synthesis import (
+    NORMAL_MORPHOLOGY,
+    ECGGenerator,
+    WaveParams,
+    render_beats,
+    rr_tachogram,
+)
+
+
+class TestWaveParams:
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(SignalError):
+            WaveParams(amplitude_mv=1.0, width_s=0.0, offset_s=0.0)
+
+    def test_morphology_scaling(self):
+        scaled = NORMAL_MORPHOLOGY.scaled(2.0)
+        assert scaled.waves["R"].amplitude_mv == pytest.approx(
+            2 * NORMAL_MORPHOLOGY.waves["R"].amplitude_mv
+        )
+        # widths and offsets unchanged
+        assert scaled.waves["R"].width_s == NORMAL_MORPHOLOGY.waves["R"].width_s
+
+
+class TestRrTachogram:
+    def test_statistics(self, rng):
+        rr = rr_tachogram(2000, mean_hr_bpm=72, std_hr_bpm=3, rng=rng)
+        hr = 60.0 / rr.mean()
+        assert 65 < hr < 80
+        assert np.all(rr >= 0.25)
+
+    def test_variability_scales(self):
+        low = rr_tachogram(500, std_hr_bpm=0.5, rng=np.random.default_rng(1))
+        high = rr_tachogram(500, std_hr_bpm=8.0, rng=np.random.default_rng(1))
+        assert high.std() > low.std()
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(SignalError):
+            rr_tachogram(0, rng=rng)
+        with pytest.raises(SignalError):
+            rr_tachogram(10, mean_hr_bpm=-5, rng=rng)
+
+    @settings(max_examples=20)
+    @given(n=st.integers(min_value=1, max_value=300))
+    def test_length_and_positivity(self, n):
+        rr = rr_tachogram(n, rng=np.random.default_rng(0))
+        assert rr.shape == (n,)
+        assert np.all(rr > 0)
+
+
+class TestRenderBeats:
+    def test_empty_beat_train_is_flat(self):
+        signal = render_beats(np.array([]), [], 360.0, 2.0)
+        assert signal.shape == (720,)
+        assert np.all(signal == 0)
+
+    def test_r_peak_lands_at_requested_time(self):
+        signal = render_beats(
+            np.array([1.0]), [NORMAL_MORPHOLOGY], 360.0, 2.0
+        )
+        peak = int(np.argmax(signal))
+        assert abs(peak - 360) <= 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SignalError):
+            render_beats(np.array([1.0]), [], 360.0, 2.0)
+
+    def test_rejects_bad_fs(self):
+        with pytest.raises(SignalError):
+            render_beats(np.array([1.0]), [NORMAL_MORPHOLOGY], 0.0, 2.0)
+
+    def test_pvc_is_wider_than_normal(self):
+        fs = 360.0
+        normal = render_beats(np.array([1.0]), [NORMAL_MORPHOLOGY], fs, 2.0)
+        pvc = render_beats(np.array([1.0]), [PVC_MORPHOLOGY], fs, 2.0)
+
+        def width_above(signal, fraction=0.3):
+            level = fraction * signal.max()
+            return int(np.count_nonzero(signal > level))
+
+        assert width_above(pvc) > width_above(normal)
+
+
+class TestECGGenerator:
+    def test_deterministic_given_seed(self):
+        a = ECGGenerator(seed=42).generate(5.0)
+        b = ECGGenerator(seed=42).generate(5.0)
+        assert np.array_equal(a.signal_mv, b.signal_mv)
+
+    def test_different_seeds_differ(self):
+        a = ECGGenerator(seed=1).generate(5.0)
+        b = ECGGenerator(seed=2).generate(5.0)
+        assert not np.array_equal(a.signal_mv, b.signal_mv)
+
+    def test_beat_count_tracks_heart_rate(self):
+        trace = ECGGenerator(seed=3).generate(30.0, mean_hr_bpm=60)
+        assert 25 <= len(trace.labels) <= 35
+
+    def test_r_samples_property(self):
+        trace = ECGGenerator(seed=4).generate(10.0)
+        assert np.all(trace.r_samples >= 0)
+        assert np.all(trace.r_samples < len(trace.signal_mv))
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(SignalError):
+            ECGGenerator(seed=1).generate(0.0)
+
+    def test_rejects_bad_fs(self):
+        with pytest.raises(SignalError):
+            ECGGenerator(fs_hz=-1.0)
+
+
+class TestRhythms:
+    def test_generate_rhythm_counts(self, rng):
+        spec = RhythmSpec(ectopy={"V": 0.5})
+        morphologies, rr_scale = generate_rhythm(spec, 400, rng)
+        labels = [m.label for m in morphologies]
+        pvc_fraction = labels.count("V") / len(labels)
+        assert 0.4 < pvc_fraction < 0.6
+        assert rr_scale.shape == (400,)
+
+    def test_prematurity_shortens_preceding_interval(self, rng):
+        spec = RhythmSpec(ectopy={"V": 0.3}, prematurity=0.25)
+        morphologies, rr_scale = generate_rhythm(spec, 200, rng)
+        labels = [m.label for m in morphologies]
+        checked = 0
+        for i, label in enumerate(labels):
+            # Isolated ectopic beat: the preceding interval shrinks by
+            # the prematurity factor (consecutive ectopics compound
+            # premature and compensatory factors, so skip those).
+            if label == "V" and 0 < i < 199 and labels[i - 1] != "V":
+                assert rr_scale[i - 1] <= 0.75 + 1e-9
+                checked += 1
+        assert checked > 0
+
+    def test_amplitude_gain_applied(self, rng):
+        spec = RhythmSpec(amplitude_gain=0.5)
+        morphologies, _ = generate_rhythm(spec, 10, rng)
+        r_amp = morphologies[0].waves["R"].amplitude_mv
+        assert r_amp == pytest.approx(
+            0.5 * MORPHOLOGY_BY_LABEL["N"].waves["R"].amplitude_mv
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(SignalError):
+            RhythmSpec(base_label="Z")
+        with pytest.raises(SignalError):
+            RhythmSpec(ectopy={"V": 0.7, "A": 0.5})
+        with pytest.raises(SignalError):
+            RhythmSpec(ectopy={"Q": 0.1})
+        with pytest.raises(SignalError):
+            RhythmSpec(ectopy={"V": -0.1})
+
+    def test_rejects_non_positive_beats(self, rng):
+        with pytest.raises(SignalError):
+            generate_rhythm(RhythmSpec(), 0, rng)

@@ -1,0 +1,197 @@
+"""Tests for the VirtualSOC-lite platform substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import DwtApp
+from repro.emt import NoProtection
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem import MemoryFabric, MemoryGeometry
+from repro.soc import (
+    CoreTask,
+    Crossbar,
+    MemoryAccess,
+    SimulationReport,
+    SoCConfig,
+    SoCSimulator,
+    tasks_from_fabric,
+)
+
+SMALL = MemoryGeometry(n_words=256, word_bits=16, n_banks=4)
+
+
+class TestConfig:
+    def test_paper_platform_defaults(self):
+        config = SoCConfig()
+        assert config.clock_hz == 200e6  # "clock frequency of 200 MHz"
+        assert config.geometry.n_banks == 16
+        assert config.cycle_time_s == pytest.approx(5e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoCConfig(n_cores=0)
+        with pytest.raises(ConfigurationError):
+            SoCConfig(n_cores=17)  # "up to 16 ARM V6 cores"
+        with pytest.raises(ConfigurationError):
+            SoCConfig(clock_hz=0)
+        with pytest.raises(ConfigurationError):
+            SoCConfig(cycles_per_access=0)
+
+
+class TestMemoryAccess:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MemoryAccess(address=-1, is_write=False)
+        with pytest.raises(SimulationError):
+            MemoryAccess(address=0, is_write=False, gap_cycles=-1)
+
+
+class TestCrossbar:
+    def test_bank_mapping_is_word_interleaved(self):
+        crossbar = Crossbar(SMALL, n_cores=2)
+        assert crossbar.bank_of(0) == 0
+        assert crossbar.bank_of(5) == 1
+        with pytest.raises(SimulationError):
+            crossbar.bank_of(256)
+
+    def test_no_conflict_distinct_banks(self):
+        crossbar = Crossbar(SMALL, n_cores=2)
+        granted = crossbar.arbitrate({0: 0, 1: 1})
+        assert granted == {0, 1}
+        assert crossbar.conflicts == 0
+
+    def test_conflict_grants_one(self):
+        crossbar = Crossbar(SMALL, n_cores=2)
+        granted = crossbar.arbitrate({0: 0, 1: 4})  # both bank 0
+        assert len(granted) == 1
+        assert crossbar.conflicts == 1
+
+    def test_round_robin_fairness(self):
+        crossbar = Crossbar(SMALL, n_cores=2)
+        winners = [
+            next(iter(crossbar.arbitrate({0: 0, 1: 4}))) for _ in range(4)
+        ]
+        assert winners[0] != winners[1]  # alternating grants
+        assert winners == [winners[0], winners[1]] * 2
+
+
+class TestTasksFromFabric:
+    def test_expands_events_into_word_accesses(self):
+        fabric = MemoryFabric(
+            NoProtection(), geometry=SMALL, record_trace=True
+        )
+        fabric.roundtrip("x", np.arange(16))
+        config = SoCConfig(n_cores=1, geometry=SMALL)
+        tasks = tasks_from_fabric(fabric, config)
+        assert len(tasks) == 1
+        assert tasks[0].n_accesses == 32  # 16 writes + 16 reads
+        writes = [a for a in tasks[0].accesses if a.is_write]
+        assert len(writes) == 16
+
+    def test_multi_core_partitioning_covers_all_words(self):
+        fabric = MemoryFabric(
+            NoProtection(), geometry=SMALL, record_trace=True
+        )
+        fabric.roundtrip("x", np.arange(30))
+        config = SoCConfig(n_cores=4, geometry=SMALL)
+        tasks = tasks_from_fabric(fabric, config)
+        write_addresses = sorted(
+            a.address
+            for t in tasks
+            for a in t.accesses
+            if a.is_write
+        )
+        assert write_addresses == list(range(30))
+
+    def test_requires_trace(self):
+        fabric = MemoryFabric(NoProtection(), geometry=SMALL)
+        with pytest.raises(SimulationError):
+            tasks_from_fabric(fabric, SoCConfig(geometry=SMALL))
+
+
+class TestSimulator:
+    def make_task(self, core_id, addresses, gap=0):
+        return CoreTask(
+            core_id=core_id,
+            accesses=[
+                MemoryAccess(address=a, is_write=False, gap_cycles=gap)
+                for a in addresses
+            ],
+        )
+
+    def test_single_core_cycle_count(self):
+        config = SoCConfig(n_cores=1, geometry=SMALL, cycles_per_access=2,
+                           compute_gap_cycles=0)
+        task = self.make_task(0, range(10))
+        report = SoCSimulator(config).run([task])
+        assert report.n_accesses == 10
+        assert report.cycles >= 20  # 10 accesses x 2 cycles
+        assert report.conflicts == 0
+
+    def test_conflict_free_parallel_speedup(self):
+        config = SoCConfig(n_cores=2, geometry=SMALL, cycles_per_access=1)
+        # Cores touch different banks exclusively: near-linear speedup.
+        t0 = self.make_task(0, [0, 4, 8, 12] * 50)
+        t1 = self.make_task(1, [1, 5, 9, 13] * 50)
+        serial = SoCSimulator(
+            SoCConfig(n_cores=1, geometry=SMALL, cycles_per_access=1)
+        ).run([self.make_task(0, ([0, 4, 8, 12] * 50) + ([1, 5, 9, 13] * 50))])
+        parallel = SoCSimulator(config).run([t0, t1])
+        assert parallel.cycles < 0.7 * serial.cycles
+        assert parallel.conflicts == 0
+
+    def test_same_bank_contention_serialises(self):
+        config = SoCConfig(n_cores=2, geometry=SMALL, cycles_per_access=1)
+        t0 = self.make_task(0, [0] * 100)
+        t1 = self.make_task(1, [4] * 100)  # also bank 0
+        report = SoCSimulator(config).run([t0, t1])
+        assert report.conflicts > 0
+        assert sum(report.per_core_stall_cycles) > 0
+
+    def test_bank_utilisation_sums_to_one(self):
+        config = SoCConfig(n_cores=1, geometry=SMALL)
+        report = SoCSimulator(config).run([self.make_task(0, range(64))])
+        assert sum(report.bank_utilisation()) == pytest.approx(1.0)
+        assert report.per_bank_accesses == [16, 16, 16, 16]
+
+    def test_compute_gaps_stretch_runtime(self):
+        config = SoCConfig(n_cores=1, geometry=SMALL, cycles_per_access=1)
+        fast = SoCSimulator(config).run([self.make_task(0, range(50), gap=0)])
+        slow = SoCSimulator(config).run([self.make_task(0, range(50), gap=5)])
+        assert slow.cycles > fast.cycles + 200
+
+    def test_too_many_tasks_rejected(self):
+        config = SoCConfig(n_cores=1, geometry=SMALL)
+        tasks = [self.make_task(i, [0]) for i in range(2)]
+        with pytest.raises(SimulationError):
+            SoCSimulator(config).run(tasks)
+
+    def test_max_cycles_guard(self):
+        config = SoCConfig(n_cores=1, geometry=SMALL)
+        task = self.make_task(0, range(100))
+        with pytest.raises(SimulationError):
+            SoCSimulator(config).run([task], max_cycles=10)
+
+    def test_duration_matches_cycles(self):
+        config = SoCConfig(n_cores=1, geometry=SMALL)
+        report = SoCSimulator(config).run([self.make_task(0, range(10))])
+        assert report.duration_s == pytest.approx(
+            report.cycles * config.cycle_time_s
+        )
+
+    def test_empty_task_list(self):
+        report = SoCSimulator(SoCConfig(geometry=SMALL)).run([])
+        assert report.n_accesses == 0
+
+    def test_end_to_end_with_dwt_app(self, short_samples):
+        """Replay a real application's trace on the platform."""
+        fabric = MemoryFabric(NoProtection(), record_trace=True)
+        DwtApp().run(short_samples, fabric)
+        config = SoCConfig(n_cores=4)
+        tasks = tasks_from_fabric(fabric, config)
+        report = SoCSimulator(config).run(tasks)
+        assert report.n_accesses == fabric.stats.data_reads + fabric.stats.data_writes
+        assert report.cycles > 0
+        assert report.accesses_per_cycle <= len(tasks)

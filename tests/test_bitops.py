@@ -1,0 +1,180 @@
+"""Unit and property tests for the vectorised bit helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bitops import (
+    bit_mask,
+    clear_bit,
+    extract_bit,
+    field_mask,
+    pack_fields,
+    parity,
+    popcount,
+    set_bit,
+    sign_run_length,
+    to_signed,
+    to_unsigned,
+    unpack_field,
+)
+from repro.errors import FixedPointError
+
+WORD16 = st.integers(min_value=0, max_value=0xFFFF)
+SIGNED16 = st.integers(min_value=-32768, max_value=32767)
+
+
+class TestMasks:
+    def test_bit_mask_values(self):
+        assert bit_mask(0) == 0
+        assert bit_mask(1) == 1
+        assert bit_mask(16) == 0xFFFF
+
+    def test_bit_mask_rejects_negative(self):
+        with pytest.raises(FixedPointError):
+            bit_mask(-1)
+
+    def test_field_mask(self):
+        assert field_mask(4, 4) == 0xF0
+        assert field_mask(0, 16) == 0xFFFF
+
+    def test_field_mask_rejects_negative_lsb(self):
+        with pytest.raises(FixedPointError):
+            field_mask(-1, 3)
+
+
+class TestSignedness:
+    def test_to_unsigned_basic(self):
+        out = to_unsigned(np.array([-1, 0, 1, -32768]), 16)
+        assert out.tolist() == [0xFFFF, 0, 1, 0x8000]
+
+    def test_to_signed_basic(self):
+        out = to_signed(np.array([0xFFFF, 0, 1, 0x8000]), 16)
+        assert out.tolist() == [-1, 0, 1, -32768]
+
+    @given(value=SIGNED16)
+    def test_roundtrip_signed(self, value):
+        pattern = to_unsigned(np.array([value]), 16)
+        assert int(to_signed(pattern, 16)[0]) == value
+
+    @given(pattern=WORD16)
+    def test_roundtrip_unsigned(self, pattern):
+        signed = to_signed(np.array([pattern]), 16)
+        assert int(to_unsigned(signed, 16)[0]) == pattern
+
+    def test_widths_other_than_16(self):
+        assert int(to_signed(np.array([0x80]), 8)[0]) == -128
+        assert int(to_unsigned(np.array([-1]), 22)[0]) == (1 << 22) - 1
+
+
+class TestPopcountParity:
+    @given(pattern=WORD16)
+    def test_popcount_matches_python(self, pattern):
+        assert int(popcount(np.array([pattern]))[0]) == bin(pattern).count("1")
+
+    @given(pattern=WORD16)
+    def test_parity_is_popcount_lsb(self, pattern):
+        assert int(parity(np.array([pattern]))[0]) == bin(pattern).count("1") % 2
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(FixedPointError):
+            popcount(np.array([-1]))
+
+    def test_popcount_wide_words(self):
+        assert int(popcount(np.array([(1 << 22) - 1]))[0]) == 22
+
+
+def reference_sign_run(value: int, width: int) -> int:
+    """Bit-serial reference for the MSB run length."""
+    msb = (value >> (width - 1)) & 1
+    run = 1
+    for position in range(width - 2, -1, -1):
+        if (value >> position) & 1 == msb:
+            run += 1
+        else:
+            break
+    return run
+
+
+class TestSignRunLength:
+    @given(pattern=WORD16)
+    def test_matches_reference(self, pattern):
+        got = int(sign_run_length(np.array([pattern]), 16)[0])
+        assert got == reference_sign_run(pattern, 16)
+
+    def test_extremes(self):
+        runs = sign_run_length(np.array([0x0000, 0xFFFF, 0x7FFF, 0x8000]), 16)
+        assert runs.tolist() == [16, 16, 1, 1]
+
+    def test_small_positive_has_long_run(self):
+        assert int(sign_run_length(np.array([0x0003]), 16)[0]) == 14
+
+    def test_small_negative_has_long_run(self):
+        # -4 = 0xFFFC: thirteen leading ones followed by 100.
+        assert int(sign_run_length(np.array([0xFFFC]), 16)[0]) == 14
+
+    @given(pattern=st.integers(min_value=0, max_value=0xFF))
+    def test_width_8(self, pattern):
+        got = int(sign_run_length(np.array([pattern]), 8)[0])
+        assert got == reference_sign_run(pattern, 8)
+
+    @given(pattern=WORD16)
+    def test_run_bits_all_equal_to_sign(self, pattern):
+        run = int(sign_run_length(np.array([pattern]), 16)[0])
+        sign = (pattern >> 15) & 1
+        for position in range(16 - run, 16):
+            assert (pattern >> position) & 1 == sign
+
+    @given(pattern=WORD16)
+    def test_bit_below_run_is_inverted_sign(self, pattern):
+        run = int(sign_run_length(np.array([pattern]), 16)[0])
+        if run < 16:
+            sign = (pattern >> 15) & 1
+            boundary = 16 - run - 1
+            assert (pattern >> boundary) & 1 == 1 - sign
+
+
+class TestBitSetClearExtract:
+    @given(pattern=WORD16, position=st.integers(min_value=0, max_value=15))
+    def test_set_then_extract(self, pattern, position):
+        updated = set_bit(np.array([pattern]), position)
+        assert int(extract_bit(updated, position)[0]) == 1
+
+    @given(pattern=WORD16, position=st.integers(min_value=0, max_value=15))
+    def test_clear_then_extract(self, pattern, position):
+        updated = clear_bit(np.array([pattern]), position)
+        assert int(extract_bit(updated, position)[0]) == 0
+
+    @given(pattern=WORD16, position=st.integers(min_value=0, max_value=15))
+    def test_set_clear_only_touch_target(self, pattern, position):
+        mask = 1 << position
+        assert int(set_bit(np.array([pattern]), position)[0]) == pattern | mask
+        assert int(clear_bit(np.array([pattern]), position)[0]) == pattern & ~mask
+
+
+class TestFieldPacking:
+    def test_pack_and_unpack(self):
+        words = pack_fields([(np.array([0b1010]), 4), (np.array([0b1]), 1)])
+        assert int(words[0]) == 0b11010
+        assert int(unpack_field(words, 0, 4)[0]) == 0b1010
+        assert int(unpack_field(words, 4, 1)[0]) == 1
+
+    def test_pack_rejects_oversized_values(self):
+        with pytest.raises(FixedPointError):
+            pack_fields([(np.array([4]), 2)])
+
+    def test_pack_requires_fields(self):
+        with pytest.raises(FixedPointError):
+            pack_fields([])
+
+    @given(
+        low=st.integers(min_value=0, max_value=15),
+        high=st.integers(min_value=0, max_value=1),
+    )
+    def test_pack_unpack_roundtrip(self, low, high):
+        words = pack_fields([(np.array([low]), 4), (np.array([high]), 1)])
+        assert int(unpack_field(words, 0, 4)[0]) == low
+        assert int(unpack_field(words, 4, 1)[0]) == high

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fft"])
+
+    def test_csv_arguments(self):
+        args = build_parser().parse_args(
+            ["fig2", "--apps", "dwt, morphology", "--records", "100"]
+        )
+        assert args.apps == ("dwt", "morphology")
+        assert args.records == ("100",)
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.runs == 12
+        assert args.emts == ("none", "dream", "secded")
+
+
+class TestCommands:
+    def test_overheads(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "DREAM 5, ECC 6" in out
+
+    def test_energy(self, capsys):
+        assert main(["energy"]) == 0
+        out = capsys.readouterr().out
+        assert "paper: ~34%" in out and "paper: ~55%" in out
+
+    def test_record(self, capsys):
+        assert main(["record", "106", "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "record 106" in out
+        assert "360 Hz" in out
+
+    def test_record_unknown_returns_error(self, capsys):
+        assert main(["record", "999"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fig2_small(self, capsys):
+        assert main([
+            "fig2", "--apps", "morphology",
+            "--records", "100", "--duration", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stuck-at-1" in out and "stuck-at-0" in out
+
+    def test_fig4_small(self, capsys):
+        assert main([
+            "fig4", "--apps", "morphology", "--records", "100",
+            "--duration", "3", "--runs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4.a" in out and "Fig 4.b" in out and "Fig 4.c" in out
+
+    def test_tradeoff_small(self, capsys):
+        assert main([
+            "tradeoff", "--app", "morphology", "--records", "100",
+            "--duration", "3", "--runs", "2", "--tolerance", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Section VI-C" in out
+        assert "12.7" in out  # paper-example table is always appended
+
+    def test_lifetime(self, capsys):
+        assert main(["lifetime", "--voltage", "0.65", "--emt", "dream"]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime" in out
+        assert "dream @ 0.65 V" in out
+
+    def test_lifetime_unknown_emt(self, capsys):
+        assert main(["lifetime", "--emt", "bch"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,140 @@
+"""Unit and property tests for the Q-format arithmetic kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import (
+    Q11,
+    Q14,
+    Q15,
+    QFormat,
+    rounded_shift_right,
+    sat_add,
+    sat_mul,
+    sat_sub,
+    saturate,
+)
+
+RAW16 = st.integers(min_value=-32768, max_value=32767)
+
+
+class TestQFormat:
+    def test_q15_bounds(self):
+        assert Q15.min_int == -32768
+        assert Q15.max_int == 32767
+        assert Q15.scale == 32768.0
+
+    def test_resolution(self):
+        assert Q15.resolution == pytest.approx(1.0 / 32768.0)
+        assert Q11.resolution == pytest.approx(1.0 / 2048.0)
+
+    def test_invalid_formats(self):
+        with pytest.raises(FixedPointError):
+            QFormat(width=1, frac_bits=0)
+        with pytest.raises(FixedPointError):
+            QFormat(width=16, frac_bits=16)
+        with pytest.raises(FixedPointError):
+            QFormat(width=16, frac_bits=-1)
+
+    def test_str(self):
+        assert str(Q15) == "Q0.15"
+        assert str(Q14) == "Q1.14"
+
+    def test_from_float_saturates(self):
+        raw = Q15.from_float(np.array([2.0, -2.0]))
+        assert raw.tolist() == [32767, -32768]
+
+    def test_from_float_rejects_nan(self):
+        with pytest.raises(FixedPointError):
+            Q15.from_float(np.array([np.nan]))
+
+    def test_from_float_rounds_to_nearest(self):
+        raw = Q15.from_float(np.array([1.4 / 32768, 1.6 / 32768]))
+        assert raw.tolist() == [1, 2]
+
+    @given(value=st.floats(min_value=-0.999, max_value=0.999))
+    def test_roundtrip_error_within_half_lsb(self, value):
+        raw = Q15.from_float(np.array([value]))
+        back = Q15.to_float(raw)[0]
+        assert abs(back - value) <= 0.5 / 32768 + 1e-12
+
+
+class TestSaturate:
+    def test_passthrough_in_range(self):
+        arr = np.array([-32768, 0, 32767])
+        assert np.array_equal(saturate(arr), arr)
+
+    def test_clips_out_of_range(self):
+        assert saturate(np.array([40000, -40000])).tolist() == [32767, -32768]
+
+
+class TestSatAddSub:
+    @given(a=RAW16, b=RAW16)
+    def test_add_matches_clipped_integer_sum(self, a, b):
+        expected = max(-32768, min(32767, a + b))
+        assert int(sat_add(np.array([a]), np.array([b]))[0]) == expected
+
+    @given(a=RAW16, b=RAW16)
+    def test_sub_matches_clipped_integer_difference(self, a, b):
+        expected = max(-32768, min(32767, a - b))
+        assert int(sat_sub(np.array([a]), np.array([b]))[0]) == expected
+
+    def test_add_saturates_both_directions(self):
+        assert int(sat_add(np.array([32767]), np.array([1]))[0]) == 32767
+        assert int(sat_add(np.array([-32768]), np.array([-1]))[0]) == -32768
+
+
+class TestRoundedShift:
+    def test_zero_shift_is_identity_copy(self):
+        arr = np.array([5, -5])
+        out = rounded_shift_right(arr, 0)
+        assert np.array_equal(out, arr)
+        out[0] = 99
+        assert arr[0] == 5  # must be a copy
+
+    def test_round_half_up(self):
+        # 3 >> 1 with rounding: (3 + 1) >> 1 = 2.
+        assert int(rounded_shift_right(np.array([3]), 1)[0]) == 2
+        assert int(rounded_shift_right(np.array([1]), 1)[0]) == 1
+        assert int(rounded_shift_right(np.array([-3]), 1)[0]) == -1
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(FixedPointError):
+            rounded_shift_right(np.array([1]), -1)
+
+    @given(value=st.integers(min_value=-(1 << 30), max_value=1 << 30),
+           shift=st.integers(min_value=1, max_value=15))
+    def test_error_within_half_step(self, value, shift):
+        got = int(rounded_shift_right(np.array([value]), shift)[0])
+        assert abs(got * (1 << shift) - value) <= (1 << shift) // 2
+
+
+class TestSatMul:
+    @given(a=RAW16, b=RAW16)
+    def test_matches_float_product_within_one_lsb(self, a, b):
+        got = int(sat_mul(np.array([a]), np.array([b]))[0])
+        exact = (a / 32768.0) * (b / 32768.0) * 32768.0
+        clipped = max(-32768.0, min(32767.0, exact))
+        assert abs(got - clipped) <= 1.0
+
+    @given(a=RAW16, b=RAW16)
+    def test_commutative(self, a, b):
+        ab = sat_mul(np.array([a]), np.array([b]))
+        ba = sat_mul(np.array([b]), np.array([a]))
+        assert int(ab[0]) == int(ba[0])
+
+    def test_minus_one_squared_saturates(self):
+        # (-1.0) * (-1.0) = +1.0 is unrepresentable in Q15: saturates.
+        got = int(sat_mul(np.array([-32768]), np.array([-32768]))[0])
+        assert got == 32767
+
+    @given(a=RAW16)
+    def test_multiply_by_one_half(self, a):
+        half = 1 << 14
+        got = int(sat_mul(np.array([a]), np.array([half]))[0])
+        assert abs(got - a / 2) <= 1.0

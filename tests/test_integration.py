@@ -1,0 +1,133 @@
+"""Cross-module integration tests: the paper's pipelines end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import PAPER_APPS, make_app
+from repro.apps.base import clean_fabric
+from repro.emt import DreamEMT, HybridEMT, NoProtection, SecDedEMT, VoltageRange
+from repro.energy import TECH_32NM_LP
+from repro.mem import AddressMap, MemoryFabric, sample_fault_map
+from repro.mem.layout import PAPER_GEOMETRY
+from repro.signals import load_record
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return load_record("106", duration_s=6.0).samples
+
+
+class TestAllAppsAllEmts:
+    @pytest.mark.parametrize("app_name", sorted(PAPER_APPS))
+    def test_clean_fabric_is_bit_exact_for_every_emt(self, app_name, samples):
+        """With zero faults, every EMT is transparent to every app."""
+        app = make_app(app_name)
+        reference = app.run(samples, clean_fabric())
+        for emt in (DreamEMT(), SecDedEMT()):
+            out = app.run(samples, MemoryFabric(emt))
+            assert np.array_equal(out, reference), (app_name, emt.name)
+
+    @pytest.mark.parametrize("app_name", sorted(PAPER_APPS))
+    def test_protection_ordering_under_moderate_faults(self, app_name, samples):
+        """At BER 3e-4 (single-error regime): both protected variants
+        beat no protection for every application."""
+        app = make_app(app_name)
+        snrs = {}
+        for emt in (NoProtection(), DreamEMT(), SecDedEMT()):
+            values = []
+            for seed in range(3):
+                rng = np.random.default_rng(seed)
+                shared = sample_fault_map(
+                    PAPER_GEOMETRY.n_words, 22, 3e-4, rng
+                )
+                fabric = MemoryFabric(
+                    emt, fault_map=shared.restricted_to(emt.stored_bits)
+                )
+                out = app.run(samples, fabric)
+                values.append(app.output_snr(samples, out))
+            snrs[emt.name] = float(np.mean(values))
+        assert snrs["dream"] > snrs["none"], snrs
+        assert snrs["secded"] > snrs["none"], snrs
+
+
+class TestVoltageDrivenPipeline:
+    def test_ber_to_quality_chain(self, samples):
+        """Technology BER -> fault map -> fabric -> app -> SNR, at two
+        voltages with the expected relation."""
+        app = make_app("dwt")
+        results = {}
+        for voltage in (0.55, 0.80):
+            ber = TECH_32NM_LP.ber(voltage)
+            rng = np.random.default_rng(11)
+            fm = sample_fault_map(PAPER_GEOMETRY.n_words, 16, ber, rng)
+            fabric = MemoryFabric(NoProtection(), fault_map=fm)
+            out = app.run(samples, fabric)
+            results[voltage] = app.output_snr(samples, out)
+        assert results[0.80] > results[0.55] + 30
+
+    def test_hybrid_emt_runs_apps(self, samples):
+        """The Section VI-C deployment object drives a real app."""
+        members = {
+            e.name: e for e in (NoProtection(), DreamEMT(), SecDedEMT())
+        }
+        policy = [
+            VoltageRange(0.85, 0.90, "none"),
+            VoltageRange(0.65, 0.85, "dream"),
+            VoltageRange(0.50, 0.65, "secded"),
+        ]
+        hybrid = HybridEMT(members, policy, voltage=0.70)
+        app = make_app("morphology")
+        reference = app.reference_output(samples)
+
+        out = app.run(samples, MemoryFabric(hybrid))
+        assert np.array_equal(out, reference)
+
+        hybrid.set_voltage(0.55)
+        assert hybrid.active.name == "secded"
+        out = app.run(samples, MemoryFabric(hybrid))
+        assert np.array_equal(out, reference)  # still fault-free fabric
+
+
+class TestScrambledMonteCarlo:
+    def test_fixed_defects_plus_scrambling_vary_impact(self, samples):
+        """Section V: one *fixed* physical defect pattern plus address
+        randomisation yields run-to-run variation in output quality."""
+        app = make_app("dwt")
+        rng = np.random.default_rng(99)
+        fixed_defects = sample_fault_map(PAPER_GEOMETRY.n_words, 16, 2e-4, rng)
+        snrs = []
+        for seed in range(6):
+            amap = AddressMap(
+                PAPER_GEOMETRY, rng=np.random.default_rng(seed)
+            )
+            fabric = MemoryFabric(
+                NoProtection(), fault_map=fixed_defects, address_map=amap
+            )
+            out = app.run(samples, fabric)
+            snrs.append(round(app.output_snr(samples, out), 3))
+        assert len(set(snrs)) > 1
+
+
+class TestMemoryBudget:
+    @pytest.mark.parametrize("app_name", sorted(PAPER_APPS))
+    def test_apps_fit_the_32kb_memory(self, app_name, samples):
+        """Every case study must fit its static buffers in the paper's
+        32 kB shared memory."""
+        app = make_app(app_name)
+        fabric = clean_fabric()
+        app.run(samples, fabric)
+        assert fabric.words_allocated <= PAPER_GEOMETRY.n_words
+
+
+class TestDecodeStatsPlumbing:
+    def test_fabric_accumulates_decoder_stats(self, samples):
+        rng = np.random.default_rng(3)
+        emt = SecDedEMT()
+        fm = sample_fault_map(PAPER_GEOMETRY.n_words, 22, 2e-3, rng)
+        fabric = MemoryFabric(emt, fault_map=fm)
+        make_app("dwt").run(samples, fabric)
+        stats = fabric.stats.decode
+        assert stats.words == fabric.stats.data_reads
+        assert stats.corrected > 0
