@@ -1,0 +1,96 @@
+"""Campaign engine benchmarks: parallel speedup, resume, store overhead.
+
+Measures the subsystem the scaling roadmap builds on:
+
+* wall-clock of one Fig 4-shaped Monte-Carlo campaign executed serially
+  vs across a worker pool (the speedup table is written to the report
+  sink), asserting result equivalence along the way;
+* resume cost: a second run against a populated store must execute zero
+  points and be store-I/O-bound.
+
+Scale knobs: ``REPRO_RUNS``, ``REPRO_BENCH_RECORDS``,
+``REPRO_BENCH_DURATION`` (see ``conftest.py``) and
+``REPRO_BENCH_WORKERS`` (default 4) for the pool width.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.campaign import ResultStore, run_campaign
+from repro.exp.common import ExperimentConfig
+from repro.exp.fig4 import fig4_spec
+
+VOLTAGES = (0.5, 0.6, 0.7, 0.8, 0.9)
+APP_NAMES = ("dwt", "morphology", "delineation")
+
+
+def bench_workers(default: int = 4) -> int:
+    """Worker-pool width for the parallel leg."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", default))
+
+
+def _spec(config: ExperimentConfig):
+    return fig4_spec(
+        app_names=APP_NAMES,
+        voltages=VOLTAGES,
+        config=config,
+        name="bench-campaign",
+    )
+
+
+def test_campaign_parallel_speedup(benchmark, report_sink, bench_config):
+    config = bench_config
+    n_workers = bench_workers()
+
+    started = time.perf_counter()
+    serial = run_campaign(_spec(config))
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_campaign(_spec(config), n_workers=n_workers),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = time.perf_counter() - started
+
+    # The pool must not change a single number.
+    assert [r["result"] for r in serial.records] == [
+        r["result"] for r in parallel.records
+    ]
+    assert serial.n_executed == parallel.n_executed == len(VOLTAGES) * len(
+        APP_NAMES
+    )
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    report_sink.add(
+        "campaign_speedup",
+        "Campaign engine — parallel speedup "
+        f"({len(serial.records)} Monte-Carlo points)\n"
+        f"{'configuration':>16s}  {'wall s':>8s}  {'speedup':>8s}\n"
+        f"{'-' * 16}  {'-' * 8}  {'-' * 8}\n"
+        f"{'serial':>16s}  {serial_s:8.2f}  {1.0:8.2f}\n"
+        f"{f'{n_workers} workers':>16s}  {parallel_s:8.2f}  {speedup:8.2f}",
+    )
+
+
+def test_campaign_resume_executes_nothing(benchmark, tmp_path, bench_config):
+    config = ExperimentConfig(
+        records=bench_config.records[:1], duration_s=4.0, n_runs=2
+    )
+    store = ResultStore(tmp_path / "bench-campaign.jsonl")
+    first = run_campaign(_spec(config), store=store)
+    assert first.n_executed == len(first.records)
+
+    resumed = benchmark.pedantic(
+        lambda: run_campaign(_spec(config), store=store),
+        rounds=1,
+        iterations=1,
+    )
+    assert resumed.n_executed == 0
+    assert resumed.n_cached == len(first.records)
+    assert [r["result"] for r in resumed.records] == [
+        r["result"] for r in first.records
+    ]

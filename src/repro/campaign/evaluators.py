@@ -1,0 +1,311 @@
+"""Point evaluators: map a campaign point's parameters to a result dict.
+
+Each evaluator *kind* scores one family of grid points with a pure
+function from JSON-serialisable parameters to a JSON-serialisable result,
+so points can be fanned out across worker processes and their results
+cached by content hash.  The built-in kinds cover the paper's three
+methodologies:
+
+* ``montecarlo`` — the Section V protocol: stuck-at fault maps drawn at
+  the technology's BER(V), every EMT of the point sharing each run's
+  defect sample (Fig 4's grid);
+* ``bit_position`` — Fig 2's deterministic sweep: one bit position of
+  every data word stuck at a chosen value, no EMT;
+* ``energy`` — the Section VI-B accounting model: workload energy of one
+  EMT-protected memory system at one supply voltage.
+
+Custom kinds can be added with :func:`register_evaluator`.
+
+Seeding: ``montecarlo`` derives its per-point stream from
+``(seed, grid_seed(app, voltage))`` with the same CRC-32 grid seed the
+serial Fig 4 driver has always used, so campaign results are bit-identical
+to the historical serial sweeps and independent of execution order.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Callable
+from dataclasses import asdict
+from functools import lru_cache
+from typing import Any
+
+import numpy as np
+
+from ..apps.base import clean_fabric
+from ..apps.registry import make_app
+from ..emt import make_emt
+from ..emt.base import NoProtection
+from ..energy.accounting import EnergySystemModel, Workload
+from ..energy.technology import TECH_32NM_LP, Technology
+from ..errors import CampaignError
+from ..mem.fabric import MemoryFabric
+from ..mem.faults import position_fault_map
+from ..mem.layout import PAPER_GEOMETRY, MemoryGeometry
+from ..signals.dataset import load_record
+from ..signals.metrics import SNR_CAP_DB
+from ..soc.config import SoCConfig
+from .spec import CampaignPoint
+
+__all__ = [
+    "EVALUATORS",
+    "register_evaluator",
+    "evaluate_point",
+    "grid_seed",
+    "technology_to_dict",
+    "technology_from_dict",
+    "geometry_to_dict",
+    "geometry_from_dict",
+    "workload_to_dict",
+    "workload_from_dict",
+    "measured_workload",
+]
+
+#: Registry of evaluator kinds, populated by :func:`register_evaluator`.
+EVALUATORS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {}
+
+
+def register_evaluator(
+    kind: str,
+) -> Callable[[Callable[[dict], dict]], Callable[[dict], dict]]:
+    """Decorator registering a point evaluator under ``kind``.
+
+    Registration is per-process.  Worker processes created with the
+    ``fork`` start method (the Linux default) inherit custom kinds
+    registered in the parent; under ``spawn`` (macOS/Windows default)
+    workers re-import this module and only see kinds registered at
+    import time — register custom kinds in an importable module (not in
+    ``__main__`` scripting code) or run those campaigns with
+    ``n_workers=1``.
+    """
+
+    def _register(func: Callable[[dict], dict]) -> Callable[[dict], dict]:
+        if kind in EVALUATORS:
+            raise CampaignError(f"evaluator kind {kind!r} already registered")
+        EVALUATORS[kind] = func
+        return func
+
+    return _register
+
+
+def evaluate_point(point: CampaignPoint) -> dict[str, Any]:
+    """Dispatch one campaign point to its registered evaluator."""
+    evaluator = EVALUATORS.get(point.kind)
+    if evaluator is None:
+        raise CampaignError(
+            f"unknown evaluator kind {point.kind!r}; "
+            f"available: {sorted(EVALUATORS)}"
+        )
+    return evaluator(point.params)
+
+
+def grid_seed(app_name: str, voltage: float) -> int:
+    """Deterministic per-(app, voltage) Monte-Carlo seed.
+
+    ``hash()`` is salted per process, which would break run-to-run (and
+    worker-vs-parent) reproducibility, so the seed is a CRC-32 of the
+    point's coordinates — the exact formula the serial Fig 4 driver used,
+    keeping campaign results bit-identical to the historical sweeps.
+    """
+    return zlib.crc32(f"{app_name}:{round(voltage * 100)}".encode())
+
+
+# --------------------------------------------------------------------------
+# Serialisation helpers: frozen model objects <-> JSON-safe dicts
+# --------------------------------------------------------------------------
+
+
+def technology_to_dict(tech: Technology) -> dict[str, Any]:
+    """Serialise a :class:`Technology` for a campaign's fixed parameters."""
+    payload = asdict(tech)
+    payload["ber_table"] = [list(row) for row in tech.ber_table]
+    return payload
+
+
+def technology_from_dict(payload: dict[str, Any] | None) -> Technology:
+    """Rebuild a :class:`Technology` (default node when ``None``)."""
+    if payload is None:
+        return TECH_32NM_LP
+    data = dict(payload)
+    data["ber_table"] = tuple(tuple(row) for row in data["ber_table"])
+    return Technology(**data)
+
+
+def geometry_to_dict(geometry: MemoryGeometry) -> dict[str, Any]:
+    """Serialise a :class:`MemoryGeometry` axis/parameter value."""
+    return asdict(geometry)
+
+
+def geometry_from_dict(payload: dict[str, Any] | None) -> MemoryGeometry:
+    """Rebuild a :class:`MemoryGeometry` (paper geometry when ``None``)."""
+    if payload is None:
+        return PAPER_GEOMETRY
+    return MemoryGeometry(**payload)
+
+
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """Serialise a :class:`Workload` for the ``energy`` evaluator."""
+    return asdict(workload)
+
+
+def workload_from_dict(payload: dict[str, Any]) -> Workload:
+    """Rebuild a :class:`Workload` from its dict form."""
+    return Workload(**payload)
+
+
+def measured_workload(
+    app_name: str = "dwt",
+    record: str = "100",
+    duration_s: float = 10.0,
+    soc: SoCConfig | None = None,
+) -> Workload:
+    """Derive an accounting workload from a real application run.
+
+    Runs the application against a clean fabric, reads the access
+    counters, and converts the access volume to active processing time
+    with the SoC cycle model (accesses dominate the inner loops of these
+    kernels, so cycles-per-access approximates the activity window).
+    """
+    soc = soc or SoCConfig()
+    app = make_app(app_name)
+    samples = load_record(record, duration_s=duration_s).samples
+    fabric = clean_fabric()
+    app.run(samples, fabric)
+    n_reads = fabric.stats.data_reads
+    n_writes = fabric.stats.data_writes
+    cycles = (n_reads + n_writes) * soc.cycles_per_access
+    return Workload(
+        n_reads=n_reads,
+        n_writes=n_writes,
+        duration_s=cycles / soc.clock_hz,
+    )
+
+
+@lru_cache(maxsize=8)
+def _cached_corpus(
+    records: tuple[str, ...], duration_s: float
+) -> dict[str, np.ndarray]:
+    """Per-process record cache: synthesis dominates tiny grid points."""
+    return {
+        name: load_record(name, duration_s=duration_s).samples
+        for name in records
+    }
+
+
+#: Per-process workload-measurement cache: one energy grid shares the
+#: same measured run across all its (EMT, voltage) points.
+_cached_workload = lru_cache(maxsize=32)(measured_workload)
+
+
+def _soc_from(params: dict[str, Any]) -> SoCConfig:
+    payload = params.get("soc")
+    if payload is None:
+        return SoCConfig()
+    return SoCConfig(**payload)
+
+
+# --------------------------------------------------------------------------
+# Built-in evaluator kinds
+# --------------------------------------------------------------------------
+
+
+@register_evaluator("montecarlo")
+def _eval_montecarlo(params: dict[str, Any]) -> dict[str, Any]:
+    """Section V Monte-Carlo protocol at one (app, voltage) point.
+
+    Parameters: ``app``, ``voltage``, ``emts`` (grouped so every EMT sees
+    the same defect samples, as the paper requires), ``records``,
+    ``duration_s``, ``n_runs``, ``seed``, and optionally ``snr_cap_db``,
+    ``tech`` and ``geometry`` dicts.
+    """
+    # Imported lazily: repro.exp depends on repro.campaign at module
+    # level, so the reverse edge must resolve at call time.
+    from ..exp.common import ExperimentConfig, run_monte_carlo
+
+    app_name = params["app"]
+    voltage = params["voltage"]
+    tech = technology_from_dict(params.get("tech"))
+    config = ExperimentConfig(
+        records=tuple(params["records"]),
+        duration_s=params["duration_s"],
+        n_runs=params["n_runs"],
+        seed=params.get("seed", ExperimentConfig.seed),
+        snr_cap_db=params.get("snr_cap_db", SNR_CAP_DB),
+        geometry=geometry_from_dict(params.get("geometry")),
+    )
+    corpus = _cached_corpus(config.records, config.duration_s)
+    emts = {name: make_emt(name) for name in params["emts"]}
+    result = run_monte_carlo(
+        make_app(app_name),
+        emts,
+        tech.ber(voltage),
+        config,
+        corpus,
+        grid_seed(app_name, voltage),
+    )
+    return {
+        "snr_mean_db": result.snr_mean_db,
+        "snr_std_db": result.snr_std_db,
+        "n_runs": result.n_runs,
+    }
+
+
+@register_evaluator("bit_position")
+def _eval_bit_position(params: dict[str, Any]) -> dict[str, Any]:
+    """Fig 2 methodology: one bit of every data word stuck at a value.
+
+    Parameters: ``app``, ``position``, ``stuck_value``, ``records``,
+    ``duration_s``, and optionally ``snr_cap_db``/``geometry``/
+    ``data_bits``.  Deterministic — no seed involved.
+    """
+    geometry = geometry_from_dict(params.get("geometry"))
+    data_bits = params.get("data_bits", 16)
+    corpus = _cached_corpus(tuple(params["records"]), params["duration_s"])
+    cap_db = params.get("snr_cap_db", SNR_CAP_DB)
+    fault_map = position_fault_map(
+        geometry.n_words, data_bits, params["position"], params["stuck_value"]
+    )
+    app = make_app(params["app"])
+    snrs = []
+    for samples in corpus.values():
+        fabric = MemoryFabric(
+            NoProtection(), fault_map=fault_map, geometry=geometry
+        )
+        output = app.run(samples, fabric)
+        snrs.append(app.output_snr(samples, output, cap_db=cap_db))
+    return {"snr_db": float(np.mean(snrs))}
+
+
+@register_evaluator("energy")
+def _eval_energy(params: dict[str, Any]) -> dict[str, Any]:
+    """Section VI-B accounting at one (EMT, voltage) point.
+
+    Parameters: ``emt``, ``voltage``, a ``workload`` dict *or* a
+    ``workload_app`` name (measured in-worker via
+    :func:`measured_workload`, honouring an optional ``soc`` dict and
+    ``workload_record``/``workload_duration_s``), plus optional ``tech``
+    and ``mask_memory_scaled``.
+    """
+    tech = technology_from_dict(params.get("tech"))
+    if "workload" in params:
+        workload = workload_from_dict(params["workload"])
+    elif "workload_app" in params:
+        workload = _cached_workload(
+            app_name=params["workload_app"],
+            record=params.get("workload_record", "100"),
+            duration_s=params.get("workload_duration_s", 10.0),
+            soc=_soc_from(params),
+        )
+    else:
+        raise CampaignError(
+            "energy point needs a 'workload' dict or a 'workload_app' name"
+        )
+    model = EnergySystemModel(
+        make_emt(params["emt"]),
+        tech=tech,
+        mask_memory_scaled=params.get("mask_memory_scaled", True),
+    )
+    breakdown = model.evaluate(params["voltage"], workload)
+    payload = asdict(breakdown)
+    payload["total_pj"] = breakdown.total_pj
+    return payload

@@ -1,0 +1,190 @@
+"""Campaign execution: fan a spec's grid across a worker pool.
+
+The runner expands a :class:`~repro.campaign.spec.CampaignSpec`, skips
+every point whose content hash already has a successful record in the
+:class:`~repro.campaign.store.ResultStore` (resume), and evaluates the
+remainder — serially, or across a ``multiprocessing`` pool when
+``n_workers > 1``.  Each point is evaluated by a pure function of its
+parameters with deterministic per-point seeding, so worker-pool and
+serial executions produce identical results regardless of scheduling
+order.
+
+Failures are captured, not fatal: an evaluator exception becomes a
+``status == "failed"`` record carrying the error text, the campaign keeps
+going, and failed points are retried on the next run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import CampaignError
+from .evaluators import evaluate_point
+from .spec import CampaignPoint, CampaignSpec
+from .store import ResultStore
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+#: Signature of the optional progress callback:
+#: ``progress(n_done, n_total, record)`` after every completed point.
+ProgressFn = Callable[[int, int, dict], None]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run (fresh evaluations plus cache hits).
+
+    Attributes:
+        spec_name: the campaign's name.
+        records: one record per expanded point, in grid order.  Each has
+            ``hash``, ``kind``, ``params``, ``status`` (``"ok"`` or
+            ``"failed"``), and ``result`` (ok) or ``error`` (failed).
+        n_executed: points evaluated in this invocation.
+        n_cached: points satisfied from the result store.
+        n_failed: points whose evaluator raised (this invocation or a
+            cached failure that was retried and failed again).
+    """
+
+    spec_name: str
+    records: list[dict] = field(default_factory=list)
+    n_executed: int = 0
+    n_cached: int = 0
+    n_failed: int = 0
+
+    def ok_records(self) -> list[dict]:
+        """Records of successfully evaluated points only."""
+        return [rec for rec in self.records if rec["status"] == "ok"]
+
+    def failures(self) -> list[dict]:
+        """Records of failed points (with their ``error`` text)."""
+        return [rec for rec in self.records if rec["status"] == "failed"]
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`CampaignError` if any point failed.
+
+        The first failure's captured worker traceback is included — with
+        no result store attached it would otherwise be lost, leaving no
+        file/line to locate the fault.
+        """
+        failed = self.failures()
+        if failed:
+            first = failed[0]
+            detail = first.get("traceback", "")
+            raise CampaignError(
+                f"{len(failed)} of {len(self.records)} points of campaign "
+                f"{self.spec_name!r} failed; first: {first['error']}"
+                + (f"\n{detail}" if detail else "")
+            )
+
+
+def _evaluate_payload(payload: tuple[str, CampaignPoint]) -> dict:
+    """Worker entry point: evaluate one point, never raise."""
+    point_hash, point = payload
+    started = time.perf_counter()
+    record = {
+        "hash": point_hash,
+        "kind": point.kind,
+        "params": point.params,
+        # Axis coordinates alone — what identifies the point in logs,
+        # without the (possibly large) shared fixed parameters.
+        "coords": dict(point.coords),
+    }
+    try:
+        record["result"] = evaluate_point(point)
+        record["status"] = "ok"
+    except Exception as exc:  # noqa: BLE001 - failure capture is the point
+        record["status"] = "failed"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = traceback.format_exc(limit=20)
+    record["elapsed_s"] = round(time.perf_counter() - started, 6)
+    return record
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore | None = None,
+    n_workers: int = 1,
+    progress: ProgressFn | None = None,
+    resume: bool = True,
+) -> CampaignResult:
+    """Execute (or resume) a campaign.
+
+    Args:
+        spec: the declarative grid to explore.
+        store: optional result store; when given, points whose hash
+            already has a successful record are *not* re-evaluated, and
+            every fresh evaluation is appended as it completes.
+        n_workers: worker processes; ``1`` runs in-process (no pool).
+        progress: optional callback invoked after every point (cached or
+            fresh) with ``(n_done, n_total, record)``.
+        resume: when false, stored results are ignored and every point
+            re-executes — but fresh records are still appended, so they
+            supersede the stale ones (later records win on load).
+
+    Returns:
+        A :class:`CampaignResult` with records in grid order.
+    """
+    if n_workers < 1:
+        raise CampaignError(f"n_workers must be >= 1, got {n_workers}")
+    points = spec.expand()
+    cached: dict[str, dict] = {}
+    if store is not None and resume:
+        stored = store.load()
+        cached = {
+            h: rec for h, rec in stored.items() if rec.get("status") == "ok"
+        }
+
+    result = CampaignResult(spec_name=spec.name)
+    by_hash: dict[str, dict] = {}
+    n_done = 0
+
+    # Hash once per point; duplicate-hash points (degenerate grids)
+    # collapse to one unit of work so executed/cached accounting stays
+    # symmetric and progress always reaches the total.
+    point_hashes = [point.content_hash() for point in points]
+    unique: dict[str, CampaignPoint] = {}
+    for point_hash, point in zip(point_hashes, points):
+        unique.setdefault(point_hash, point)
+    total = len(unique)
+
+    todo: list[tuple[str, CampaignPoint]] = []
+    for point_hash, point in unique.items():
+        if point_hash in cached:
+            by_hash[point_hash] = cached[point_hash]
+            result.n_cached += 1
+            n_done += 1
+            if progress is not None:
+                progress(n_done, total, cached[point_hash])
+        else:
+            todo.append((point_hash, point))
+
+    def _absorb(record: dict) -> None:
+        nonlocal n_done
+        by_hash[record["hash"]] = record
+        result.n_executed += 1
+        if record["status"] == "failed":
+            result.n_failed += 1
+        if store is not None:
+            store.append(record)
+        n_done += 1
+        if progress is not None:
+            progress(n_done, total, record)
+
+    if todo:
+        if n_workers == 1 or len(todo) == 1:
+            for payload in todo:
+                _absorb(_evaluate_payload(payload))
+        else:
+            workers = min(n_workers, len(todo))
+            with multiprocessing.Pool(processes=workers) as pool:
+                for record in pool.imap_unordered(
+                    _evaluate_payload, todo, chunksize=1
+                ):
+                    _absorb(record)
+
+    result.records = [by_hash[h] for h in point_hashes]
+    return result

@@ -1,0 +1,156 @@
+"""Declarative description of a design-space-exploration campaign.
+
+A :class:`CampaignSpec` names the grid the paper's evaluation walks —
+supply voltage x EMT x application x fault model x record x SoC
+configuration — as a set of *named axes* whose Cartesian product, minus
+any filtered combinations, is the campaign's point set.  Each
+:class:`CampaignPoint` carries every parameter its evaluator needs and
+derives a stable content hash from them, which is what the result store
+keys cached results by: re-running a campaign whose points already have
+stored results executes nothing.
+
+Axis values must be JSON-serialisable (numbers, strings, booleans, or
+nested lists/tuples/dicts of those) so points can cross process
+boundaries and hash identically across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import CampaignError
+
+__all__ = ["CampaignPoint", "CampaignSpec", "canonical_json", "content_hash"]
+
+
+def _canonicalise(value: Any) -> Any:
+    """Normalise a parameter value for hashing (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_canonicalise(v) for v in value]
+    if isinstance(value, list):
+        return [_canonicalise(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _canonicalise(v) for k, v in value.items()}
+    if isinstance(value, (str, bool, type(None))):
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    raise CampaignError(
+        f"campaign parameter of type {type(value).__name__} is not "
+        f"JSON-serialisable: {value!r}"
+    )
+
+
+def canonical_json(payload: Any) -> str:
+    """Render ``payload`` as canonical JSON (sorted keys, no whitespace).
+
+    The canonical form is the hashing substrate: two payloads that differ
+    only in key order or tuple-vs-list container produce identical text.
+    """
+    return json.dumps(
+        _canonicalise(payload), sort_keys=True, separators=(",", ":")
+    )
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One grid point of a campaign: an evaluator kind plus parameters.
+
+    Attributes:
+        kind: evaluator registry name (see
+            :mod:`repro.campaign.evaluators`).
+        coords: this point's axis values, keyed by axis name.
+        fixed: parameters shared by every point of the campaign.
+    """
+
+    kind: str
+    coords: Mapping[str, Any]
+    fixed: Mapping[str, Any]
+
+    @property
+    def params(self) -> dict[str, Any]:
+        """Merged evaluator parameters (axis coordinates override fixed)."""
+        return {**self.fixed, **self.coords}
+
+    def content_hash(self) -> str:
+        """Stable identity of this point's full configuration.
+
+        Two points hash equally iff their kind and merged parameters are
+        equal, regardless of which parameters were axes and which were
+        fixed — so reshaping a spec does not invalidate stored results.
+        """
+        return content_hash({"kind": self.kind, "params": self.params})
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named parameter grid plus the evaluator that scores each point.
+
+    Attributes:
+        name: campaign identity; the result store file is named after it.
+        kind: evaluator kind applied to every point.
+        axes: ordered mapping of axis name to the values it sweeps; the
+            point set is the Cartesian product in axis-declaration order.
+        fixed: parameters shared by all points (e.g. records, run counts,
+            a serialised technology node).
+        filters: predicates over a point's ``coords``; a combination is
+            kept only if every filter returns true.  Filters run at
+            expansion time in the parent process, so they may be
+            arbitrary (non-serialisable) callables.
+    """
+
+    name: str
+    kind: str
+    axes: Mapping[str, tuple]
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    filters: tuple[Callable[[Mapping[str, Any]], bool], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise CampaignError(
+                f"campaign name must be a non-empty path-safe string, "
+                f"got {self.name!r}"
+            )
+        if not self.kind:
+            raise CampaignError("campaign kind must be non-empty")
+        if not self.axes:
+            raise CampaignError("a campaign needs at least one axis")
+        for axis, values in self.axes.items():
+            if not tuple(values):
+                raise CampaignError(f"axis {axis!r} has no values")
+            if axis in self.fixed:
+                raise CampaignError(
+                    f"axis {axis!r} collides with a fixed parameter"
+                )
+
+    @property
+    def grid_size(self) -> int:
+        """Number of points before filtering."""
+        size = 1
+        for values in self.axes.values():
+            size *= len(tuple(values))
+        return size
+
+    def expand(self) -> list[CampaignPoint]:
+        """Materialise the filtered point set, in axis-product order."""
+        names = list(self.axes)
+        points = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            coords = dict(zip(names, combo))
+            if all(keep(coords) for keep in self.filters):
+                points.append(
+                    CampaignPoint(
+                        kind=self.kind, coords=coords, fixed=dict(self.fixed)
+                    )
+                )
+        return points

@@ -1,0 +1,100 @@
+"""On-disk campaign result store (JSON lines, append-only).
+
+One store file per campaign, ``<root>/<campaign>.jsonl``, with one JSON
+object per line::
+
+    {"hash": "...", "kind": "montecarlo", "params": {...},
+     "status": "ok", "result": {...}, "elapsed_s": 0.41}
+
+The append-only discipline makes writes crash-safe (a torn final line is
+skipped on load) and keeps concurrent readers simple.  Records are keyed
+by the point's content hash (:meth:`CampaignPoint.content_hash`);
+re-appending a hash supersedes the earlier record, so a store never needs
+compaction to stay correct.  Only ``status == "ok"`` records count as
+completed — failed points are retried on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..errors import CampaignError
+
+__all__ = ["ResultStore", "default_store_root"]
+
+#: Valid terminal states of a stored point.
+_STATUSES = ("ok", "failed")
+
+
+def default_store_root() -> Path:
+    """Directory campaign stores live in.
+
+    ``REPRO_CAMPAIGN_DIR`` overrides the default
+    ``benchmarks/results/campaigns`` (relative to the working directory),
+    mirroring the benchmark harness's results layout.
+    """
+    raw = os.environ.get("REPRO_CAMPAIGN_DIR")
+    if raw:
+        return Path(raw)
+    return Path("benchmarks") / "results" / "campaigns"
+
+
+class ResultStore:
+    """Append-only JSONL store of one campaign's point results."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_campaign(
+        cls, name: str, root: Path | str | None = None
+    ) -> "ResultStore":
+        """The store for campaign ``name`` under ``root`` (or the default)."""
+        root = Path(root) if root is not None else default_store_root()
+        return cls(root / f"{name}.jsonl")
+
+    def load(self) -> dict[str, dict]:
+        """Read all records, keyed by point hash (later lines win).
+
+        Malformed lines (e.g. a torn tail from an interrupted run) are
+        skipped silently; an absent file is an empty store.
+        """
+        records: dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and "hash" in record:
+                    records[record["hash"]] = record
+        return records
+
+    def completed_hashes(self) -> set[str]:
+        """Hashes of points with a successful stored result."""
+        return {
+            h for h, rec in self.load().items() if rec.get("status") == "ok"
+        }
+
+    def append(self, record: dict) -> None:
+        """Persist one point record (creates the store on first write)."""
+        status = record.get("status")
+        if status not in _STATUSES:
+            raise CampaignError(
+                f"record status must be one of {_STATUSES}, got {status!r}"
+            )
+        if "hash" not in record:
+            raise CampaignError("record must carry the point hash")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self.load())

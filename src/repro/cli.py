@@ -3,12 +3,24 @@
 Usage (installed as a module)::
 
     python -m repro fig2 --apps dwt,morphology
-    python -m repro fig4 --runs 25 --apps dwt
+    python -m repro fig4 --runs 25 --apps dwt --workers 4
     python -m repro energy
     python -m repro tradeoff --tolerance 5
     python -m repro overheads
     python -m repro record 106 --duration 10
     python -m repro lifetime --voltage 0.65 --emt dream
+    python -m repro sweep --apps dwt --workers 4
+
+``sweep`` runs a voltage x EMT x application design-space-exploration
+campaign through :mod:`repro.campaign`: the grid fans out across a
+worker pool, every point's result is cached in a JSONL store under
+``benchmarks/results/campaigns/`` (re-running resumes, executing only
+missing points), and the stored results are reduced to an energy-vs-
+quality Pareto frontier plus the Section VI-C operating points.
+
+Global options come before the subcommand: ``--seed`` fixes the master
+Monte-Carlo seed of every experiment, so any artefact is reproducible
+from the command line (``python -m repro --seed 7 fig4 ...``).
 
 Every subcommand prints the same ASCII tables the benchmark harness
 writes to ``benchmarks/results/``.
@@ -38,6 +50,20 @@ def _csv(raw: str) -> tuple[str, ...]:
     return tuple(item.strip() for item in raw.split(",") if item.strip())
 
 
+def _csv_floats(raw: str) -> tuple[float, ...]:
+    return tuple(float(item) for item in _csv(raw))
+
+
+def _experiment_config(args, **extra):
+    """Build an ExperimentConfig honouring the global ``--seed``."""
+    from .exp.common import ExperimentConfig
+
+    kwargs = dict(records=args.records, duration_s=args.duration, **extra)
+    if getattr(args, "seed", None) is not None:
+        kwargs["seed"] = args.seed
+    return ExperimentConfig(**kwargs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -47,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Exploration in Biomedical Ultra-Low Power Devices' "
             "(Duch et al., DATE 2016)."
         ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="master Monte-Carlo seed (default: the library's fixed seed); "
+             "place before the subcommand",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -60,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of each record to process (default: 8)",
     )
 
+    def add_workers(sub_parser, default: int) -> None:
+        # Not part of `common`: parents share action objects, so a
+        # per-subcommand default would leak across all of them.
+        sub_parser.add_argument(
+            "--workers", type=int, default=default,
+            help=f"worker processes for the grid (default: {default})",
+        )
+
     fig2 = sub.add_parser(
         "fig2", parents=[common],
         help="Fig 2: SNR vs bit position of injected stuck-at errors",
@@ -68,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--apps", type=_csv, default=PAPER_APP_NAMES,
         help="comma-separated application names",
     )
+    add_workers(fig2, default=1)
 
     fig4 = sub.add_parser(
         "fig4", parents=[common],
@@ -82,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--emts", type=_csv, default=("none", "dream", "secded"),
         help="EMT registry names to sweep",
     )
+    add_workers(fig4, default=1)
 
     sub.add_parser("energy", help="Section VI-B energy/area analysis")
 
@@ -95,6 +136,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=1.0,
         help="allowed output degradation in dB (paper: 1)",
     )
+    add_workers(tradeoff, default=1)
+
+    sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="parallel voltage x EMT x app campaign with resume, "
+             "Pareto frontier and VI-C extraction",
+    )
+    sweep.add_argument(
+        "--apps", type=_csv, default=("dwt",),
+        help="applications to sweep (default: dwt)",
+    )
+    sweep.add_argument(
+        "--emts", type=_csv, default=("none", "dream", "secded"),
+        help="EMT registry names to sweep",
+    )
+    sweep.add_argument(
+        "--voltages", type=_csv_floats, default=PAPER_VOLTAGE_GRID,
+        help="comma-separated supply voltages (default: the paper grid)",
+    )
+    sweep.add_argument(
+        "--runs", type=int, default=6,
+        help="Monte-Carlo runs per grid point (paper: 200)",
+    )
+    sweep.add_argument(
+        "--tolerance", type=float, default=5.0,
+        help="quality tolerance for the operating-point extraction (dB)",
+    )
+    sweep.add_argument(
+        "--name", default="sweep",
+        help="campaign name; the result store is <store-dir>/<name>-*.jsonl",
+    )
+    sweep.add_argument(
+        "--store-dir", default=None,
+        help="result-store directory (default: benchmarks/results/campaigns "
+             "or $REPRO_CAMPAIGN_DIR)",
+    )
+    sweep.add_argument(
+        "--fresh", action="store_true",
+        help="re-execute every point, superseding stored results",
+    )
+    add_workers(sweep, default=2)
 
     sub.add_parser("overheads", help="Section V / Formula 2 bit overheads")
 
@@ -118,25 +200,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_fig2(args) -> int:
-    from .exp.common import ExperimentConfig
     from .exp.fig2 import run_fig2
     from .exp.report import format_fig2
 
-    config = ExperimentConfig(records=args.records, duration_s=args.duration)
-    print(format_fig2(run_fig2(app_names=args.apps, config=config)))
+    config = _experiment_config(args)
+    print(format_fig2(
+        run_fig2(app_names=args.apps, config=config, n_workers=args.workers)
+    ))
     return 0
 
 
 def _cmd_fig4(args) -> int:
-    from .exp.common import ExperimentConfig
     from .exp.fig4 import run_fig4
     from .exp.report import format_fig4
 
-    config = ExperimentConfig(
-        records=args.records, duration_s=args.duration, n_runs=args.runs
-    )
+    config = _experiment_config(args, n_runs=args.runs)
     result = run_fig4(
-        app_names=args.apps, emt_names=args.emts, config=config
+        app_names=args.apps, emt_names=args.emts, config=config,
+        n_workers=args.workers,
     )
     for emt_name in args.emts:
         print(format_fig4(result, emt_name))
@@ -153,21 +234,143 @@ def _cmd_energy(args) -> int:
 
 
 def _cmd_tradeoff(args) -> int:
-    from .exp.common import ExperimentConfig
     from .exp.fig4 import run_fig4
     from .exp.report import format_paper_example, format_tradeoff
     from .exp.tradeoff import paper_example_savings, run_tradeoff
 
-    config = ExperimentConfig(
-        records=args.records, duration_s=args.duration, n_runs=args.runs
+    config = _experiment_config(args, n_runs=args.runs)
+    fig4 = run_fig4(
+        app_names=(args.app,), config=config, n_workers=args.workers
     )
-    fig4 = run_fig4(app_names=(args.app,), config=config)
     result = run_tradeoff(
         fig4, app_name=args.app, tolerance_db=args.tolerance
     )
     print(format_tradeoff(result))
     print()
     print(format_paper_example(paper_example_savings()))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .campaign.analysis import extract_tradeoff, pareto_frontier, quality_energy_rows
+    from .campaign.runner import run_campaign
+    from .campaign.spec import CampaignSpec
+    from .campaign.store import ResultStore
+    from .errors import CampaignError, ExperimentError
+    from .exp.fig4 import fig4_spec
+    from .exp.report import (
+        format_frontier,
+        format_operating_points,
+        format_paper_example,
+    )
+    from .exp.tradeoff import paper_example_savings
+
+    if "none" not in args.emts:
+        # Fail before the (possibly hours-long) campaign: the frontier
+        # savings and operating points are measured against this baseline.
+        raise ExperimentError(
+            "the baseline 'none' must be included in --emts"
+        )
+    config = _experiment_config(args, n_runs=args.runs)
+    quality_spec = fig4_spec(
+        app_names=args.apps,
+        emt_names=args.emts,
+        voltages=args.voltages,
+        config=config,
+        name=f"{args.name}-quality",
+    )
+    # The workload (and therefore the energy of an operating point) is
+    # application-specific: one energy spec per app, so a point's content
+    # hash is independent of the rest of the --apps list and stored
+    # energy results survive app-list changes.  Points carry only the
+    # workload's (app, record, duration) identity — workers measure it
+    # on demand with a per-process cache — so a fully-cached resume runs
+    # no application at all, and a cold run measures at most once per
+    # worker process.
+    energy_specs = [
+        CampaignSpec(
+            name=f"{args.name}-energy",
+            kind="energy",
+            axes={"emt": args.emts, "voltage": args.voltages},
+            fixed={
+                "workload_app": app,
+                "workload_record": args.records[0],
+                "workload_duration_s": args.duration,
+            },
+        )
+        for app in args.apps
+    ]
+
+    def _progress(done: int, total: int, record: dict) -> None:
+        status = record["status"]
+        marker = "." if status == "ok" else "!"
+        print(f"\r  [{done}/{total}] {marker}", end="", file=sys.stderr)
+
+    def _run(spec: CampaignSpec):
+        campaign = run_campaign(
+            spec,
+            store=ResultStore.for_campaign(spec.name, root=args.store_dir),
+            n_workers=args.workers,
+            progress=_progress,
+            resume=not args.fresh,
+        )
+        print(file=sys.stderr)
+        return campaign
+
+    quality = _run(quality_spec)
+    energy = [_run(spec) for spec in energy_specs]
+    e_points = sum(len(c.records) for c in energy)
+    e_executed = sum(c.n_executed for c in energy)
+    e_cached = sum(c.n_cached for c in energy)
+    e_failed = sum(c.n_failed for c in energy)
+
+    print(f"campaign {args.name!r}: voltage x EMT x app grid, "
+          f"{args.workers} workers")
+    print(
+        f"  {quality_spec.name}: {len(quality.records)} points — "
+        f"{quality.n_executed} executed, {quality.n_cached} cached, "
+        f"{quality.n_failed} failed"
+    )
+    print(
+        f"  {args.name}-energy: {e_points} points — {e_executed} executed, "
+        f"{e_cached} cached, {e_failed} failed"
+    )
+    n_failed = quality.n_failed + e_failed
+    for campaign in (quality, *energy):
+        for failure in campaign.failures():
+            where = failure.get("coords", failure["params"])
+            print(f"  failed: {where} -> {failure['error']}",
+                  file=sys.stderr)
+
+    records = quality.records + [
+        rec for campaign in energy for rec in campaign.records
+    ]
+    for app_name in args.apps:
+        rows = quality_energy_rows(records, app_name)
+        print()
+        try:
+            frontier = pareto_frontier(rows, x_key="energy_pj", y_key="snr_db")
+            points = extract_tradeoff(
+                rows, tolerance_db=args.tolerance, voltages=args.voltages
+            )
+        except CampaignError as error:
+            # A failed point can leave this app unanalysable (e.g. no
+            # baseline at nominal supply); report and keep going so the
+            # other apps still get their sections.
+            print(f"[{app_name}] analysis skipped: {error}", file=sys.stderr)
+            continue
+        print(format_frontier(app_name, frontier))
+        print(format_operating_points(app_name, points, args.tolerance))
+
+    print()
+    print(format_paper_example(paper_example_savings()))
+    if n_failed:
+        print(
+            f"warning: {n_failed} grid points failed; results above are "
+            "partial (failed points are retried on the next run)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -223,6 +426,7 @@ _HANDLERS = {
     "overheads": _cmd_overheads,
     "record": _cmd_record,
     "lifetime": _cmd_lifetime,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -50,3 +50,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was misconfigured."""
+
+
+class CampaignError(ReproError):
+    """A design-space-exploration campaign is invalid or failed to run."""

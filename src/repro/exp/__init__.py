@@ -14,12 +14,18 @@ per-experiment index):
 * :mod:`repro.exp.overheads` — Formula 2 / Section V memory overheads;
 * :mod:`repro.exp.report` — ASCII renderers for all of the above;
 * :mod:`repro.exp.common` — the shared Monte-Carlo machinery.
+
+The grid-shaped drivers (Fig 2, Fig 4, energy, trade-off) express their
+grids as :class:`repro.campaign.CampaignSpec` objects executed through
+the shared campaign runner — ``fig2_spec``/``fig4_spec``/``energy_spec``
+build the specs, and every ``run_*`` driver accepts ``n_workers`` and an
+optional result ``store`` for parallel, resumable sweeps.
 """
 
 from .common import ExperimentConfig, MonteCarloResult
-from .energy_table import EnergyAnalysis, run_energy_analysis
-from .fig2 import Fig2Result, run_fig2
-from .fig4 import Fig4Result, run_fig4
+from .energy_table import EnergyAnalysis, energy_spec, run_energy_analysis
+from .fig2 import Fig2Result, fig2_spec, run_fig2
+from .fig4 import Fig4Result, fig4_spec, run_fig4
 from .overheads import OverheadRow, overhead_table
 from .tradeoff import TradeoffResult, run_tradeoff
 
@@ -27,10 +33,13 @@ __all__ = [
     "ExperimentConfig",
     "MonteCarloResult",
     "Fig2Result",
+    "fig2_spec",
     "run_fig2",
     "Fig4Result",
+    "fig4_spec",
     "run_fig4",
     "EnergyAnalysis",
+    "energy_spec",
     "run_energy_analysis",
     "TradeoffResult",
     "run_tradeoff",

@@ -38,7 +38,35 @@ __all__ = [
     "default_runs",
     "load_corpus",
     "run_monte_carlo",
+    "validate_registry_names",
 ]
+
+
+def validate_registry_names(
+    app_names: tuple[str, ...] = (), emt_names: tuple[str, ...] = ()
+) -> None:
+    """Reject unknown application/EMT names before any grid work starts.
+
+    A campaign captures per-point failures instead of raising, which is
+    right for transient faults but wrong for typos: a misspelt name at
+    the end of the grid would only surface after the valid points — a
+    potentially hours-long sweep — had already executed.
+    """
+    from ..apps.registry import EXTENSION_APPS, PAPER_APPS
+    from ..emt import PAPER_EMTS
+
+    known_apps = {**PAPER_APPS, **EXTENSION_APPS}
+    for name in app_names:
+        if name not in known_apps:
+            raise ExperimentError(
+                f"unknown application {name!r}; "
+                f"available: {sorted(known_apps)}"
+            )
+    for name in emt_names:
+        if name not in PAPER_EMTS:
+            raise ExperimentError(
+                f"unknown EMT {name!r}; available: {sorted(PAPER_EMTS)}"
+            )
 
 
 def default_runs(paper_value: int = 200) -> int:

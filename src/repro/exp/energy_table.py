@@ -12,6 +12,12 @@ Reproduces the paper's quantified claims:
 The workload is a representative application run: the fabric's access
 counters from executing an app on a record give the read/write volumes,
 and the active-processing time comes from the MPSoC cycle model.
+
+The (EMT, voltage) grid is expressed as a campaign spec
+(:func:`energy_spec`) executed through
+:func:`repro.campaign.run_campaign`, which also lets the trade-off
+driver and the ``repro sweep`` CLI reuse (and cache) the same energy
+evaluations.
 """
 
 from __future__ import annotations
@@ -20,16 +26,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..apps.base import clean_fabric
-from ..apps.registry import make_app
+from ..campaign.evaluators import (
+    measured_workload,
+    technology_to_dict,
+    workload_to_dict,
+)
+from ..campaign.runner import run_campaign
+from ..campaign.spec import CampaignSpec
+from ..campaign.store import ResultStore
 from ..emt import make_emt
 from ..energy.accounting import EnergySystemModel, Workload
 from ..energy.technology import PAPER_VOLTAGE_GRID, TECH_32NM_LP, Technology
-from ..errors import ExperimentError
-from ..signals.dataset import load_record
+from ..errors import EnergyModelError, ExperimentError
 from ..soc.config import SoCConfig
+from .common import validate_registry_names
 
-__all__ = ["EnergyAnalysis", "measure_workload", "run_energy_analysis"]
+__all__ = [
+    "EnergyAnalysis",
+    "energy_spec",
+    "measure_workload",
+    "run_energy_analysis",
+]
 
 
 @dataclass
@@ -80,19 +97,35 @@ def measure_workload(
     counters, and converts the access volume to active processing time
     with the SoC cycle model (accesses dominate the inner loops of these
     kernels, so cycles-per-access approximates the activity window).
+    Delegates to :func:`repro.campaign.evaluators.measured_workload`, the
+    same measurement campaign workers perform in-process.
     """
-    soc = soc or SoCConfig()
-    app = make_app(app_name)
-    samples = load_record(record, duration_s=duration_s).samples
-    fabric = clean_fabric()
-    app.run(samples, fabric)
-    n_reads = fabric.stats.data_reads
-    n_writes = fabric.stats.data_writes
-    cycles = (n_reads + n_writes) * soc.cycles_per_access
-    return Workload(
-        n_reads=n_reads,
-        n_writes=n_writes,
-        duration_s=cycles / soc.clock_hz,
+    return measured_workload(
+        app_name=app_name, record=record, duration_s=duration_s, soc=soc
+    )
+
+
+def energy_spec(
+    emt_names: tuple[str, ...],
+    voltages: tuple[float, ...],
+    workload: Workload,
+    tech: Technology = TECH_32NM_LP,
+    mask_memory_scaled: bool = True,
+    name: str = "energy-analysis",
+    filters: tuple = (),
+) -> CampaignSpec:
+    """The Section VI-B (EMT, voltage) grid as a campaign spec."""
+    validate_registry_names(emt_names=emt_names)
+    return CampaignSpec(
+        name=name,
+        kind="energy",
+        axes={"emt": tuple(emt_names), "voltage": tuple(voltages)},
+        fixed={
+            "workload": workload_to_dict(workload),
+            "tech": technology_to_dict(tech),
+            "mask_memory_scaled": mask_memory_scaled,
+        },
+        filters=filters,
     )
 
 
@@ -102,6 +135,8 @@ def run_energy_analysis(
     workload: Workload | None = None,
     tech: Technology = TECH_32NM_LP,
     mask_memory_scaled: bool = True,
+    n_workers: int = 1,
+    store: ResultStore | None = None,
 ) -> EnergyAnalysis:
     """Evaluate the VI-B overhead/area comparison.
 
@@ -113,30 +148,59 @@ def run_energy_analysis(
         tech: technology node.
         mask_memory_scaled: design-decision D3 knob (see
             :mod:`repro.energy.accounting`).
+        n_workers: worker processes for the campaign grid.
+        store: optional campaign result store (resume/caching).
     """
     if "none" not in emt_names:
         raise ExperimentError("the baseline 'none' must be included")
+    validate_registry_names(emt_names=emt_names)
     workload = workload or measure_workload()
 
-    models = {
-        name: EnergySystemModel(
-            make_emt(name), tech=tech, mask_memory_scaled=mask_memory_scaled
-        )
-        for name in emt_names
-    }
     analysis = EnergyAnalysis(voltages=sorted(voltages), workload=workload)
     for name in emt_names:
         analysis.total_pj[name] = {}
         analysis.overhead[name] = {}
-    for voltage in analysis.voltages:
-        baseline = models["none"].evaluate(voltage, workload)
-        for name, model in models.items():
-            breakdown = model.evaluate(voltage, workload)
-            analysis.total_pj[name][voltage] = breakdown.total_pj
-            analysis.overhead[name][voltage] = breakdown.overhead_vs(baseline)
+    if not voltages:
+        # Degenerate grid: historically an empty sweep (area ratios
+        # below are still computed), not an error.
+        return _with_area_ratios(analysis, emt_names, tech, mask_memory_scaled)
 
-    if "dream" in models and "secded" in models:
-        dream, ecc = models["dream"], models["secded"]
+    spec = energy_spec(
+        emt_names, voltages, workload, tech, mask_memory_scaled
+    )
+    campaign = run_campaign(spec, store=store, n_workers=n_workers)
+    campaign.raise_on_failure()
+
+    for record in campaign.records:
+        params = record["params"]
+        analysis.total_pj[params["emt"]][params["voltage"]] = record[
+            "result"
+        ]["total_pj"]
+    for voltage in analysis.voltages:
+        baseline = analysis.total_pj["none"][voltage]
+        if baseline <= 0:
+            raise EnergyModelError("baseline energy must be positive")
+        for name in emt_names:
+            analysis.overhead[name][voltage] = (
+                analysis.total_pj[name][voltage] / baseline - 1.0
+            )
+    return _with_area_ratios(analysis, emt_names, tech, mask_memory_scaled)
+
+
+def _with_area_ratios(
+    analysis: EnergyAnalysis,
+    emt_names: tuple[str, ...],
+    tech: Technology,
+    mask_memory_scaled: bool,
+) -> EnergyAnalysis:
+    """Fill in the paper's codec-area ratios (when both EMTs are swept)."""
+    if "dream" in emt_names and "secded" in emt_names:
+        dream = EnergySystemModel(
+            make_emt("dream"), tech=tech, mask_memory_scaled=mask_memory_scaled
+        )
+        ecc = EnergySystemModel(
+            make_emt("secded"), tech=tech, mask_memory_scaled=mask_memory_scaled
+        )
         analysis.encoder_area_ratio = (
             ecc.encoder_area_um2() / dream.encoder_area_um2()
         )

@@ -14,6 +14,11 @@ DREAM's asymmetric MSB protection:
   run) and vice versa for predominantly positive data;
 * matrix filtering sits well below the other curves because each output
   element depends on a full row and column of inputs.
+
+The (app, stuck value, bit position) grid is expressed as a campaign
+spec (:func:`fig2_spec`) executed through
+:func:`repro.campaign.run_campaign`, so the 160-point paper grid
+parallelises across workers and resumes from a result store.
 """
 
 from __future__ import annotations
@@ -23,14 +28,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..apps.base import BiomedicalApp
-from ..apps.registry import make_app
+from ..campaign.evaluators import geometry_to_dict
+from ..campaign.runner import run_campaign
+from ..campaign.spec import CampaignSpec
+from ..campaign.store import ResultStore
 from ..emt.base import NoProtection
 from ..errors import ExperimentError
 from ..mem.fabric import MemoryFabric
 from ..mem.faults import position_fault_map
-from .common import ExperimentConfig, load_corpus
+from .common import ExperimentConfig, load_corpus, validate_registry_names
 
-__all__ = ["Fig2Result", "run_fig2"]
+__all__ = ["Fig2Result", "fig2_spec", "run_fig2"]
+
+#: Width of the paper's data words (and hence of the Fig 2 sweep).
+_DATA_BITS = 16
 
 
 @dataclass
@@ -53,6 +64,36 @@ class Fig2Result:
         return self.snr_db[app_name][stuck_value]
 
 
+def fig2_spec(
+    app_names: tuple[str, ...],
+    config: ExperimentConfig | None = None,
+    name: str = "fig2",
+) -> CampaignSpec:
+    """The Fig 2 grid as a declarative campaign spec.
+
+    Axes are (app, stuck value, bit position); the sweep is
+    deterministic, so points carry no seed.
+    """
+    config = config or ExperimentConfig()
+    validate_registry_names(app_names=app_names)
+    return CampaignSpec(
+        name=name,
+        kind="bit_position",
+        axes={
+            "app": tuple(app_names),
+            "stuck_value": (0, 1),
+            "position": tuple(range(_DATA_BITS)),
+        },
+        fixed={
+            "records": config.records,
+            "duration_s": config.duration_s,
+            "snr_cap_db": config.snr_cap_db,
+            "geometry": geometry_to_dict(config.geometry),
+            "data_bits": _DATA_BITS,
+        },
+    )
+
+
 def run_fig2(
     app_names: tuple[str, ...] = (
         "dwt",
@@ -63,6 +104,8 @@ def run_fig2(
     ),
     config: ExperimentConfig | None = None,
     apps: dict[str, BiomedicalApp] | None = None,
+    n_workers: int = 1,
+    store: ResultStore | None = None,
 ) -> Fig2Result:
     """Run the Fig 2 bit-significance sweep.
 
@@ -72,24 +115,57 @@ def run_fig2(
         config: experiment knobs; Fig 2 is deterministic (no Monte
             Carlo), so only ``records`` and ``duration_s`` matter.
         apps: optional pre-built application instances (overrides
-            ``app_names``).
+            ``app_names``); passing them runs the sweep inline, since
+            instances cannot cross process boundaries.
+        n_workers: worker processes for the campaign grid.
+        store: optional campaign result store (resume/caching).
 
     Returns:
         A :class:`Fig2Result` with one SNR series per (app, stuck value).
     """
     config = config or ExperimentConfig()
-    corpus = load_corpus(config)
-    if apps is None:
-        apps = {name: make_app(name) for name in app_names}
+    if apps is not None:
+        return _run_fig2_inline(config, apps)
+    if not app_names:
+        # Degenerate grid: historically an empty result, not an error.
+        return Fig2Result(config=config)
 
+    spec = fig2_spec(app_names, config)
+    campaign = run_campaign(spec, store=store, n_workers=n_workers)
+    campaign.raise_on_failure()
+
+    by_point = {
+        (
+            rec["params"]["app"],
+            rec["params"]["stuck_value"],
+            rec["params"]["position"],
+        ): rec["result"]["snr_db"]
+        for rec in campaign.records
+    }
     result = Fig2Result(config=config)
-    data_bits = 16
+    for name in app_names:
+        result.snr_db[name] = {
+            stuck: [
+                by_point[(name, stuck, position)]
+                for position in range(_DATA_BITS)
+            ]
+            for stuck in (0, 1)
+        }
+    return result
+
+
+def _run_fig2_inline(
+    config: ExperimentConfig, apps: dict[str, BiomedicalApp]
+) -> Fig2Result:
+    """In-process sweep for caller-supplied application instances."""
+    corpus = load_corpus(config)
+    result = Fig2Result(config=config)
     for name, app in apps.items():
         per_value: dict[int, list[float]] = {0: [], 1: []}
         for stuck_value in (0, 1):
-            for position in range(data_bits):
+            for position in range(_DATA_BITS):
                 fault_map = position_fault_map(
-                    config.geometry.n_words, data_bits, position, stuck_value
+                    config.geometry.n_words, _DATA_BITS, position, stuck_value
                 )
                 snrs = []
                 for samples in corpus.values():

@@ -16,24 +16,37 @@ and average the output SNR in dB over the runs.  The published shape:
   *any* single error, DREAM only those under the mask);
 * below 0.55 V multi-bit errors defeat SEC/DED (detect-only) while DREAM
   keeps reconstructing the significant MSBs, so the curves cross.
+
+The (app, voltage) grid is expressed as a campaign spec
+(:func:`fig4_spec`) executed through :func:`repro.campaign.run_campaign`,
+so sweeps parallelise across workers and resume from a result store; the
+campaign's deterministic per-point seeding keeps the numbers identical to
+the historical serial driver.
 """
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from ..apps.base import BiomedicalApp
 from ..apps.registry import make_app
+from ..campaign.evaluators import geometry_to_dict, grid_seed, technology_to_dict
+from ..campaign.runner import run_campaign
+from ..campaign.spec import CampaignSpec
+from ..campaign.store import ResultStore
 from ..emt import make_emt
 from ..emt.base import EMT
 from ..energy.technology import PAPER_VOLTAGE_GRID, TECH_32NM_LP, Technology
 from ..errors import ExperimentError
-from .common import ExperimentConfig, MonteCarloResult, load_corpus, run_monte_carlo
+from .common import (
+    ExperimentConfig,
+    MonteCarloResult,
+    load_corpus,
+    run_monte_carlo,
+    validate_registry_names,
+)
 
-__all__ = ["Fig4Result", "run_fig4"]
+__all__ = ["Fig4Result", "fig4_spec", "run_fig4"]
 
 
 @dataclass
@@ -76,6 +89,41 @@ class Fig4Result:
         return best
 
 
+def fig4_spec(
+    app_names: tuple[str, ...],
+    emt_names: tuple[str, ...] = ("none", "dream", "secded"),
+    voltages: tuple[float, ...] = PAPER_VOLTAGE_GRID,
+    config: ExperimentConfig | None = None,
+    tech: Technology = TECH_32NM_LP,
+    name: str = "fig4",
+) -> CampaignSpec:
+    """The Fig 4 grid as a declarative campaign spec.
+
+    Axes are (app, voltage); the EMT set is a *fixed* parameter because
+    the paper's fairness rule — "all the EMTs are tested reusing the same
+    set of error locations/mappings" — requires the techniques of one
+    grid point to share defect samples, so they cannot be independent
+    points.
+    """
+    config = config or ExperimentConfig()
+    validate_registry_names(app_names=app_names, emt_names=emt_names)
+    return CampaignSpec(
+        name=name,
+        kind="montecarlo",
+        axes={"app": tuple(app_names), "voltage": tuple(voltages)},
+        fixed={
+            "emts": tuple(emt_names),
+            "records": config.records,
+            "duration_s": config.duration_s,
+            "n_runs": config.n_runs,
+            "seed": config.seed,
+            "snr_cap_db": config.snr_cap_db,
+            "geometry": geometry_to_dict(config.geometry),
+            "tech": technology_to_dict(tech),
+        },
+    )
+
+
 def run_fig4(
     app_names: tuple[str, ...] = (
         "dwt",
@@ -90,6 +138,8 @@ def run_fig4(
     tech: Technology = TECH_32NM_LP,
     apps: dict[str, BiomedicalApp] | None = None,
     emts: dict[str, EMT] | None = None,
+    n_workers: int = 1,
+    store: ResultStore | None = None,
 ) -> Fig4Result:
     """Run the Fig 4 voltage sweep.
 
@@ -99,12 +149,58 @@ def run_fig4(
         voltages: supply grid; defaults to the paper's 0.50..0.90 V.
         config: Monte-Carlo knobs (``n_runs=200`` reproduces the paper).
         tech: technology supplying the BER(V) profile.
-        apps / emts: optional pre-built instances.
+        apps / emts: optional pre-built instances; passing either runs
+            the sweep inline (instances cannot cross process boundaries).
+        n_workers: worker processes for the campaign grid.
+        store: optional campaign result store (resume/caching).
 
     Returns:
         A :class:`Fig4Result` with per-(app, voltage, EMT) statistics.
     """
     config = config or ExperimentConfig()
+    if apps is not None or emts is not None:
+        return _run_fig4_inline(
+            app_names, emt_names, voltages, config, tech, apps, emts
+        )
+    if not app_names or not voltages:
+        # Degenerate grid: the historical drivers returned an empty
+        # result rather than rejecting it.
+        result = Fig4Result(voltages=sorted(voltages), config=config)
+        result.points = {name: {} for name in app_names}
+        return result
+
+    spec = fig4_spec(app_names, emt_names, voltages, config, tech)
+    campaign = run_campaign(spec, store=store, n_workers=n_workers)
+    campaign.raise_on_failure()
+
+    by_point = {
+        (rec["params"]["app"], rec["params"]["voltage"]): rec["result"]
+        for rec in campaign.records
+    }
+    result = Fig4Result(voltages=sorted(voltages), config=config)
+    for app_name in app_names:
+        per_voltage: dict[float, MonteCarloResult] = {}
+        for voltage in result.voltages:
+            payload = by_point[(app_name, voltage)]
+            per_voltage[voltage] = MonteCarloResult(
+                snr_mean_db=dict(payload["snr_mean_db"]),
+                snr_std_db=dict(payload["snr_std_db"]),
+                n_runs=payload["n_runs"],
+            )
+        result.points[app_name] = per_voltage
+    return result
+
+
+def _run_fig4_inline(
+    app_names: tuple[str, ...],
+    emt_names: tuple[str, ...],
+    voltages: tuple[float, ...],
+    config: ExperimentConfig,
+    tech: Technology,
+    apps: dict[str, BiomedicalApp] | None,
+    emts: dict[str, EMT] | None,
+) -> Fig4Result:
+    """In-process sweep for caller-supplied app/EMT instances."""
     corpus = load_corpus(config)
     if apps is None:
         apps = {name: make_app(name) for name in app_names}
@@ -115,14 +211,13 @@ def run_fig4(
     for app_name, app in apps.items():
         per_voltage: dict[float, MonteCarloResult] = {}
         for voltage in result.voltages:
-            ber = tech.ber(voltage)
-            # Deterministic per-(app, voltage) seed: `hash()` is salted
-            # per process, which would break run-to-run reproducibility.
-            grid_seed = zlib.crc32(
-                f"{app_name}:{round(voltage * 100)}".encode()
-            )
             per_voltage[voltage] = run_monte_carlo(
-                app, emts, ber, config, corpus, grid_seed
+                app,
+                emts,
+                tech.ber(voltage),
+                config,
+                corpus,
+                grid_seed(app_name, voltage),
             )
         result.points[app_name] = per_voltage
     return result

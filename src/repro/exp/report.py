@@ -21,6 +21,8 @@ __all__ = [
     "format_tradeoff",
     "format_paper_example",
     "format_overheads",
+    "format_frontier",
+    "format_operating_points",
 ]
 
 
@@ -156,6 +158,47 @@ def format_paper_example(points) -> str:
         "Section VI-C — savings at the paper's example operating points\n"
         + _table(header, rows)
     )
+
+
+def format_frontier(app_name: str, rows: list[dict]) -> str:
+    """A ``repro sweep`` Pareto frontier: one joined row per line.
+
+    ``rows`` are :func:`repro.campaign.analysis.quality_energy_rows`
+    dicts that survived the frontier extraction.
+    """
+    header = ["emt", "V", "SNR dB", "energy pJ"]
+    body = [
+        [
+            row["emt"],
+            f"{row['voltage']:.2f}",
+            f"{row['snr_db']:7.1f}",
+            f"{row['energy_pj']:11.1f}",
+        ]
+        for row in rows
+    ]
+    return (
+        f"[{app_name}] Pareto frontier (minimise energy, maximise SNR)\n"
+        + _table(header, body)
+    )
+
+
+def format_operating_points(
+    app_name: str, points, tolerance_db: float
+) -> str:
+    """A ``repro sweep`` trade-off extraction (Section VI-C form).
+
+    ``points`` are :class:`repro.campaign.analysis.OperatingPoint`
+    objects (or anything with the same fields).
+    """
+    lines = [
+        f"[{app_name}] operating points at -{tolerance_db:.1f} dB tolerance:"
+    ]
+    for point in points:
+        lines.append(
+            f"  {point.emt_name:>8s} down to {point.v_min_safe:.2f} V "
+            f"-> save {point.saving_vs_nominal * 100:5.1f}%"
+        )
+    return "\n".join(lines)
 
 
 def format_overheads(rows: list[OverheadRow]) -> str:

@@ -13,18 +13,24 @@ system.  The published example:
 yielding a three-range hybrid policy ("triggering, selectively, one or
 the other, according to the memory supply voltage"); below 0.55 V only
 multi-error EMTs could maintain a reliable medical output.
+
+The energy evaluations are expressed as filtered (EMT, voltage) campaign
+grids through :func:`repro.exp.energy_table.energy_spec`, executed by the
+shared campaign runner — the same evaluator the energy-table driver and
+the ``repro sweep`` CLI use, so all three price an operating point
+identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..emt import make_emt
+from ..campaign.runner import run_campaign
 from ..emt.hybrid import VoltageRange
-from ..energy.accounting import EnergySystemModel, Workload
+from ..energy.accounting import Workload
 from ..energy.technology import TECH_32NM_LP, Technology
 from ..errors import ExperimentError
-from .energy_table import measure_workload
+from .energy_table import energy_spec, measure_workload
 from .fig4 import Fig4Result
 
 __all__ = [
@@ -71,6 +77,28 @@ class TradeoffResult:
         return max(p.saving_vs_nominal for p in self.operating_points)
 
 
+def _energy_grid(
+    emt_names: tuple[str, ...],
+    voltages: tuple[float, ...],
+    workload: Workload,
+    tech: Technology,
+    name: str,
+    filters: tuple = (),
+) -> dict[tuple[str, float], float]:
+    """Evaluate an energy campaign and index totals by (EMT, voltage)."""
+    spec = energy_spec(
+        emt_names, voltages, workload, tech, name=name, filters=filters
+    )
+    campaign = run_campaign(spec)
+    campaign.raise_on_failure()
+    return {
+        (rec["params"]["emt"], rec["params"]["voltage"]): rec["result"][
+            "total_pj"
+        ]
+        for rec in campaign.records
+    }
+
+
 def run_tradeoff(
     fig4: Fig4Result,
     app_name: str = "dwt",
@@ -93,6 +121,11 @@ def run_tradeoff(
     Returns:
         A :class:`TradeoffResult` with per-EMT operating points and the
         stitched hybrid voltage policy.
+
+    :func:`repro.campaign.analysis.extract_tradeoff` implements the same
+    rules over stored campaign records (for ``repro sweep``); a
+    cross-implementation test pins the two together — change them in
+    lockstep.
     """
     if app_name not in fig4.points:
         raise ExperimentError(f"fig4 result has no app {app_name!r}")
@@ -110,11 +143,27 @@ def run_tradeoff(
     reference_snr = max(ceilings)
     min_snr = reference_snr - tolerance_db
 
-    baseline_energy = (
-        EnergySystemModel(make_emt("none"), tech=tech)
-        .evaluate(v_nominal, workload)
-        .total_pj
+    v_safes = {
+        name: fig4.min_voltage_meeting(app_name, name, min_snr)
+        for name in emt_names
+    }
+    wanted = {
+        (name, v_safe) for name, v_safe in v_safes.items()
+        if v_safe is not None
+    }
+    wanted.add(("none", v_nominal))
+    grid_emts = emt_names if "none" in emt_names else ("none", *emt_names)
+    energy = _energy_grid(
+        grid_emts,
+        tuple(fig4.voltages),
+        workload,
+        tech,
+        name=f"tradeoff-{app_name}",
+        filters=(
+            lambda coords: (coords["emt"], coords["voltage"]) in wanted,
+        ),
     )
+    baseline_energy = energy[("none", v_nominal)]
 
     result = TradeoffResult(
         app_name=app_name,
@@ -122,19 +171,15 @@ def run_tradeoff(
         reference_snr_db=reference_snr,
     )
     for name in emt_names:
-        v_safe = fig4.min_voltage_meeting(app_name, name, min_snr)
+        v_safe = v_safes[name]
         if v_safe is None:
             continue
-        energy = (
-            EnergySystemModel(make_emt(name), tech=tech)
-            .evaluate(v_safe, workload)
-            .total_pj
-        )
         result.operating_points.append(
             EmtOperatingPoint(
                 emt_name=name,
                 v_min_safe=v_safe,
-                saving_vs_nominal=1.0 - energy / baseline_energy,
+                saving_vs_nominal=1.0
+                - energy[(name, v_safe)] / baseline_energy,
             )
         )
 
@@ -156,28 +201,42 @@ def paper_example_savings(
     at 0.55 V.  This helper therefore evaluates the energy model exactly
     at the published operating points, which is the comparison
     EXPERIMENTS.md records against 12.7 % / 30.6 % / 39.5 %.
+
+    The evaluation runs as a filtered campaign: the (EMT, voltage) cross
+    product is cut down to the published pairs plus the unprotected
+    nominal baseline.
     """
     workload = workload or measure_workload()
-    baseline = (
-        EnergySystemModel(make_emt("none"), tech=tech)
-        .evaluate(v_nominal, workload)
-        .total_pj
+    wanted = {(name, voltage) for name, voltage, _pct in points}
+    wanted.add(("none", v_nominal))
+
+    emt_names = tuple(dict.fromkeys(name for name, _v, _p in points))
+    if "none" not in emt_names:
+        emt_names = ("none", *emt_names)
+    voltages = tuple(
+        dict.fromkeys(
+            [v for _n, v, _p in points] + [v_nominal]
+        )
     )
-    results = []
-    for emt_name, voltage, _paper_pct in points:
-        energy = (
-            EnergySystemModel(make_emt(emt_name), tech=tech)
-            .evaluate(voltage, workload)
-            .total_pj
+    energy = _energy_grid(
+        emt_names,
+        voltages,
+        workload,
+        tech,
+        name="tradeoff-paper-points",
+        filters=(
+            lambda coords: (coords["emt"], coords["voltage"]) in wanted,
+        ),
+    )
+    baseline = energy[("none", v_nominal)]
+    return [
+        EmtOperatingPoint(
+            emt_name=emt_name,
+            v_min_safe=voltage,
+            saving_vs_nominal=1.0 - energy[(emt_name, voltage)] / baseline,
         )
-        results.append(
-            EmtOperatingPoint(
-                emt_name=emt_name,
-                v_min_safe=voltage,
-                saving_vs_nominal=1.0 - energy / baseline,
-            )
-        )
-    return results
+        for emt_name, voltage, _paper_pct in points
+    ]
 
 
 def _build_policy(

@@ -21,20 +21,23 @@ __all__ = ["SimulationReport", "SoCSimulator"]
 
 @dataclass
 class SimulationReport:
-    """Outcome of one platform simulation."""
+    """Outcome of one platform simulation.
+
+    Attributes:
+        cycles: total simulated cycles, including trailing busy time.
+        n_accesses: memory accesses served.
+        conflicts: bank conflicts observed by the crossbar.
+        duration_s: wall-clock duration (cycles at the platform clock).
+        per_core_stall_cycles: cycles each core spent stalled.
+        per_bank_accesses: accesses served by each bank.
+    """
 
     cycles: int
     n_accesses: int
     conflicts: int
+    duration_s: float = 0.0
     per_core_stall_cycles: list[int] = field(default_factory=list)
     per_bank_accesses: list[int] = field(default_factory=list)
-
-    @property
-    def duration_s(self) -> float:
-        """Wall-clock duration (filled in by the simulator)."""
-        return self._duration_s
-
-    _duration_s: float = 0.0
 
     @property
     def accesses_per_cycle(self) -> float:
@@ -130,12 +133,11 @@ class SoCSimulator:
         # Account the trailing busy time of the last accesses.
         end_cycle = max([cycle] + [s.ready_at for s in states])
 
-        report = SimulationReport(
+        return SimulationReport(
             cycles=end_cycle,
             n_accesses=n_accesses,
             conflicts=crossbar.conflicts,
+            duration_s=end_cycle * config.cycle_time_s,
             per_core_stall_cycles=[s.stall_cycles for s in states],
             per_bank_accesses=bank_hits,
         )
-        report._duration_s = end_cycle * config.cycle_time_s
-        return report

@@ -1,0 +1,287 @@
+"""Tests for campaign analytics: Pareto frontier, pivots, trade-offs.
+
+The Pareto and trade-off extractors are exercised on hand-built result
+sets whose correct answers are known by construction, including the
+paper's Section VI-C operating points (none/0.85 V, dream/0.65 V,
+secded/0.55 V).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    extract_tradeoff,
+    format_pivot,
+    pareto_frontier,
+    pivot_table,
+    quality_energy_rows,
+    record_value,
+)
+from repro.errors import CampaignError
+
+#: The error-free quality ceiling of the hand-built result set.
+CEILING = 96.0
+
+#: Hand-built SNR surfaces: contiguous-from-the-top safe ranges end at
+#: the paper's Section VI-C floors (tolerance 1 dB): none holds to
+#: 0.85 V, DREAM to 0.65 V, SEC/DED to 0.55 V.  The none surface dips at
+#: 0.65 V and "recovers" at 0.60 V to check that a lucky recovery does
+#: not extend the safe range.
+SNR = {
+    "none": {0.90: 96.0, 0.85: 95.5, 0.75: 80.0, 0.65: 40.0, 0.60: 96.0,
+             0.55: 10.0, 0.50: 0.0},
+    "dream": {0.90: 96.0, 0.85: 96.0, 0.75: 96.0, 0.65: 95.2, 0.60: 80.0,
+              0.55: 70.0, 0.50: 40.0},
+    "secded": {0.90: 96.0, 0.85: 96.0, 0.75: 96.0, 0.65: 96.0, 0.60: 95.8,
+               0.55: 95.1, 0.50: 20.0},
+}
+
+#: Energy model stand-in: quadratic voltage scaling with per-EMT
+#: overheads (none 1.0, DREAM 1.34, SEC/DED 1.55 — the paper's means).
+OVERHEAD = {"none": 1.00, "dream": 1.34, "secded": 1.55}
+
+
+def energy_pj(emt: str, voltage: float) -> float:
+    return 1000.0 * OVERHEAD[emt] * (voltage / 0.90) ** 2
+
+
+def build_records() -> list[dict]:
+    """Montecarlo + energy records shaped like runner/store output."""
+    voltages = sorted(SNR["none"])
+    records = []
+    for voltage in voltages:
+        records.append(
+            {
+                "hash": f"q{voltage}",
+                "kind": "montecarlo",
+                "status": "ok",
+                "params": {"app": "dwt", "voltage": voltage},
+                "result": {
+                    "snr_mean_db": {
+                        emt: SNR[emt][voltage] for emt in SNR
+                    },
+                },
+            }
+        )
+        for emt in SNR:
+            records.append(
+                {
+                    "hash": f"e{emt}{voltage}",
+                    "kind": "energy",
+                    "status": "ok",
+                    "params": {"emt": emt, "voltage": voltage},
+                    "result": {"total_pj": energy_pj(emt, voltage)},
+                }
+            )
+    return records
+
+
+class TestRecordValue:
+    def test_lookup_order(self):
+        record = {"params": {"x": 1}, "result": {"y": 2}, "z": 3}
+        assert record_value(record, "x") == 1
+        assert record_value(record, "y") == 2
+        assert record_value(record, "z") == 3
+        with pytest.raises(CampaignError):
+            record_value(record, "missing")
+
+
+class TestParetoFrontier:
+    def test_dominated_points_are_dropped(self):
+        rows = [
+            {"x": 1.0, "y": 10.0},  # frontier (cheapest)
+            {"x": 2.0, "y": 5.0},   # dominated by both neighbours
+            {"x": 3.0, "y": 20.0},  # frontier (best quality)
+            {"x": 4.0, "y": 20.0},  # dominated: same y, higher x
+        ]
+        frontier = pareto_frontier(rows, "x", "y")
+        assert [(r["x"], r["y"]) for r in frontier] == [(1.0, 10.0), (3.0, 20.0)]
+
+    def test_direction_flags(self):
+        rows = [{"x": 1.0, "y": 1.0}, {"x": 2.0, "y": 2.0}]
+        assert len(pareto_frontier(rows, "x", "y")) == 2
+        # Maximising x and y: only (2, 2) survives.
+        best = pareto_frontier(rows, "x", "y", minimize_x=False)
+        assert [(r["x"], r["y"]) for r in best] == [(2.0, 2.0)]
+        # Minimising both: only (1, 1) survives.
+        low = pareto_frontier(rows, "x", "y", maximize_y=False)
+        assert [(r["x"], r["y"]) for r in low] == [(1.0, 1.0)]
+
+    def test_records_missing_keys_are_ignored(self):
+        rows = [{"x": 1.0, "y": 1.0}, {"x": 2.0}]
+        assert len(pareto_frontier(rows, "x", "y")) == 1
+
+    def test_frontier_on_joined_campaign_rows(self):
+        rows = quality_energy_rows(build_records(), "dwt")
+        frontier = pareto_frontier(rows, "energy_pj", "snr_db")
+        # Frontier must be jointly sorted: energy ascending, SNR ascending.
+        energies = [r["energy_pj"] for r in frontier]
+        snrs = [r["snr_db"] for r in frontier]
+        assert energies == sorted(energies)
+        assert snrs == sorted(snrs)
+        # The Pareto view has no contiguity rule, so none's lucky
+        # recovery at 0.60 V is the cheapest ceiling-quality point —
+        # exactly the distinction between a frontier and the VI-C policy.
+        ceiling_points = [r for r in frontier if r["snr_db"] >= CEILING - 1.0]
+        cheapest_ceiling = min(ceiling_points, key=lambda r: r["energy_pj"])
+        assert (cheapest_ceiling["emt"], cheapest_ceiling["voltage"]) == (
+            "none",
+            0.60,
+        )
+
+
+class TestPivot:
+    def test_mean_aggregation_and_labels(self):
+        records = [
+            {"a": "x", "b": 1, "v": 1.0},
+            {"a": "x", "b": 1, "v": 3.0},
+            {"a": "y", "b": 2, "v": 5.0},
+        ]
+        rows, cols, cells = pivot_table(records, "a", "b", "v")
+        assert rows == ["x", "y"]
+        assert cols == [1, 2]
+        assert cells[("x", 1)] == pytest.approx(2.0)
+        assert ("y", 1) not in cells
+
+    def test_format_pivot_renders_missing_cells(self):
+        rows, cols, cells = pivot_table(
+            [{"a": "x", "b": 1, "v": 1.0}], "a", "b", "v"
+        )
+        text = format_pivot(rows, cols, cells, corner="a\\b")
+        assert "a\\b" in text
+        assert "1.0" in text
+
+
+class TestExtractTradeoff:
+    def test_reproduces_paper_section_vi_c_points(self):
+        """The acceptance grid: none/0.85 V, dream/0.65 V, secded/0.55 V."""
+        rows = quality_energy_rows(build_records(), "dwt")
+        points = {
+            p.emt_name: p for p in extract_tradeoff(rows, tolerance_db=1.0)
+        }
+        assert points["none"].v_min_safe == pytest.approx(0.85)
+        assert points["dream"].v_min_safe == pytest.approx(0.65)
+        assert points["secded"].v_min_safe == pytest.approx(0.55)
+        # Savings vs none @ 0.9 V with the quadratic scaling + overheads:
+        # 1 - overhead * (v / 0.9)^2.
+        assert points["none"].saving_vs_nominal == pytest.approx(
+            1 - (0.85 / 0.9) ** 2
+        )
+        assert points["dream"].saving_vs_nominal == pytest.approx(
+            1 - 1.34 * (0.65 / 0.9) ** 2
+        )
+        assert points["secded"].saving_vs_nominal == pytest.approx(
+            1 - 1.55 * (0.55 / 0.9) ** 2
+        )
+        # Deeper-scaling techniques save more, as in the paper.
+        assert (
+            points["none"].saving_vs_nominal
+            < points["dream"].saving_vs_nominal
+            < points["secded"].saving_vs_nominal
+        )
+
+    def test_safe_range_must_be_contiguous_from_the_top(self):
+        """none's lucky recovery at 0.60 V must not extend its range."""
+        rows = quality_energy_rows(build_records(), "dwt")
+        points = {
+            p.emt_name: p for p in extract_tradeoff(rows, tolerance_db=1.0)
+        }
+        assert points["none"].v_min_safe == pytest.approx(0.85)
+
+    def test_planned_grid_exposes_all_emt_gaps(self):
+        """One montecarlo point carries every EMT, so a failed point
+        removes that voltage from *all* rows at once — only the planned
+        ``voltages`` grid can expose the gap."""
+        planned = sorted(SNR["none"])
+        rows = [
+            row
+            for row in quality_energy_rows(build_records(), "dwt")
+            if row["voltage"] != 0.75  # the 0.75 V point failed entirely
+        ]
+        # Without the planned grid the gap is invisible (union walk).
+        blind = {
+            p.emt_name: p for p in extract_tradeoff(rows, tolerance_db=1.0)
+        }
+        assert blind["secded"].v_min_safe == pytest.approx(0.55)
+        # With it, every EMT's safe range stops above the unvalidated gap.
+        points = {
+            p.emt_name: p
+            for p in extract_tradeoff(rows, tolerance_db=1.0, voltages=planned)
+        }
+        assert points["dream"].v_min_safe == pytest.approx(0.85)
+        assert points["secded"].v_min_safe == pytest.approx(0.85)
+
+    def test_missing_voltage_breaks_contiguity(self):
+        """A failed/absent grid point is an unvalidated gap: it must not
+        be skipped over when walking the safe range downward."""
+        rows = [
+            row
+            for row in quality_energy_rows(build_records(), "dwt")
+            if not (row["emt"] == "secded" and row["voltage"] == 0.75)
+        ]
+        points = {
+            p.emt_name: p for p in extract_tradeoff(rows, tolerance_db=1.0)
+        }
+        # secded's quality holds to 0.55 V in the data, but 0.75 V was
+        # never validated, so the safe range stops above the gap.
+        assert points["secded"].v_min_safe == pytest.approx(0.85)
+        # Other EMTs keep their full ranges.
+        assert points["dream"].v_min_safe == pytest.approx(0.65)
+
+    def test_emts_that_never_meet_tolerance_are_omitted(self):
+        rows = [
+            {"emt": "none", "voltage": 0.9, "snr_db": 96.0, "energy_pj": 10.0},
+            {"emt": "weak", "voltage": 0.9, "snr_db": 10.0, "energy_pj": 10.0},
+        ]
+        points = extract_tradeoff(rows, tolerance_db=1.0)
+        assert [p.emt_name for p in points] == ["none"]
+
+    def test_validation(self):
+        rows = quality_energy_rows(build_records(), "dwt")
+        with pytest.raises(CampaignError):
+            extract_tradeoff(rows, tolerance_db=-1.0)
+        with pytest.raises(CampaignError):
+            extract_tradeoff([], tolerance_db=1.0)
+        with pytest.raises(CampaignError):
+            extract_tradeoff(rows, tolerance_db=1.0, baseline_emt="bch")
+
+
+class TestQualityEnergyJoin:
+    def test_join_skips_unmatched_and_failed(self):
+        records = build_records()
+        records.append(
+            {
+                "hash": "qf",
+                "kind": "montecarlo",
+                "status": "failed",
+                "params": {"app": "dwt", "voltage": 0.45},
+                "error": "boom",
+            }
+        )
+        rows = quality_energy_rows(records, "dwt")
+        assert all(row["voltage"] != 0.45 for row in rows)
+        assert len(rows) == 21  # 7 voltages x 3 EMTs
+
+    def test_app_specific_energy_preferred(self):
+        records = [
+            {
+                "kind": "montecarlo", "status": "ok",
+                "params": {"app": "dwt", "voltage": 0.9},
+                "result": {"snr_mean_db": {"none": 96.0}},
+            },
+            {
+                "kind": "energy", "status": "ok",
+                "params": {"emt": "none", "voltage": 0.9},
+                "result": {"total_pj": 1.0},
+            },
+            {
+                "kind": "energy", "status": "ok",
+                "params": {"emt": "none", "voltage": 0.9,
+                           "workload_app": "dwt"},
+                "result": {"total_pj": 2.0},
+            },
+        ]
+        rows = quality_energy_rows(records, "dwt")
+        assert len(rows) == 1
+        assert rows[0]["energy_pj"] == 2.0

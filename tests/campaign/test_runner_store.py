@@ -1,0 +1,219 @@
+"""Tests for the campaign runner and the JSONL result store.
+
+Covers the tentpole guarantees: worker-pool results identical to serial
+execution, content-hash cache hits on resume (a second run executes zero
+points), and graceful per-point failure capture with retry on resume.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    run_campaign,
+)
+from repro.errors import CampaignError
+
+WORKLOAD = {"n_reads": 20_000, "n_writes": 20_000, "duration_s": 1e-3}
+
+
+def energy_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        name="energy-test",
+        kind="energy",
+        axes={
+            "emt": ("none", "dream", "secded"),
+            "voltage": (0.9, 0.65, 0.5),
+        },
+        fixed={"workload": WORKLOAD},
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def montecarlo_spec(**overrides) -> CampaignSpec:
+    kwargs = dict(
+        name="mc-test",
+        kind="montecarlo",
+        axes={"app": ("morphology",), "voltage": (0.6, 0.7)},
+        fixed={
+            "emts": ("none", "dream"),
+            "records": ("100",),
+            "duration_s": 3.0,
+            "n_runs": 2,
+            "seed": 20160314,
+        },
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestSerialExecution:
+    def test_records_in_grid_order(self):
+        result = run_campaign(energy_spec())
+        assert len(result.records) == 9
+        assert result.n_executed == 9
+        assert result.n_cached == 0
+        assert [r["params"]["emt"] for r in result.records[:3]] == ["none"] * 3
+        assert all(r["status"] == "ok" for r in result.records)
+        assert all(r["result"]["total_pj"] > 0 for r in result.records)
+        assert all(r["elapsed_s"] >= 0 for r in result.records)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(CampaignError):
+            run_campaign(energy_spec(), n_workers=0)
+
+    def test_unknown_kind_is_captured_not_raised(self):
+        result = run_campaign(energy_spec(kind="warp-drive"))
+        assert result.n_failed == len(result.records)
+        assert result.ok_records() == []
+        assert "warp-drive" in result.failures()[0]["error"]
+        with pytest.raises(CampaignError):
+            result.raise_on_failure()
+
+    def test_ok_records_filters_failures(self):
+        """The README's library example filters on ok_records()."""
+        spec = energy_spec(axes={"emt": ("none", "bch"), "voltage": (0.9,)})
+        result = run_campaign(spec)
+        assert len(result.ok_records()) == 1
+        assert result.ok_records()[0]["params"]["emt"] == "none"
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        run_campaign(
+            energy_spec(),
+            progress=lambda done, total, rec: seen.append((done, total)),
+        )
+        assert seen == [(i, 9) for i in range(1, 10)]
+
+    def test_duplicate_points_collapse_symmetrically(self, tmp_path):
+        """Duplicate-hash grid points are one unit of work whether they
+        execute or come from cache, and progress reaches the total."""
+        spec = energy_spec(axes={"emt": ("none", "none"), "voltage": (0.9,)})
+        store = ResultStore(tmp_path / "c.jsonl")
+        seen = []
+        first = run_campaign(
+            spec, store=store,
+            progress=lambda done, total, rec: seen.append((done, total)),
+        )
+        assert seen == [(1, 1)]
+        assert (first.n_executed, first.n_cached) == (1, 0)
+        assert len(first.records) == 2  # grid order still has both points
+        second = run_campaign(spec, store=store)
+        assert (second.n_executed, second.n_cached) == (0, 1)
+
+
+class TestParallelEquivalence:
+    def test_energy_grid_pool_matches_serial(self):
+        serial = run_campaign(energy_spec())
+        parallel = run_campaign(energy_spec(), n_workers=3)
+        assert [r["result"] for r in serial.records] == [
+            r["result"] for r in parallel.records
+        ]
+
+    def test_montecarlo_pool_matches_serial(self):
+        """Deterministic per-point seeding: scheduling cannot change SNRs."""
+        serial = run_campaign(montecarlo_spec())
+        parallel = run_campaign(montecarlo_spec(), n_workers=2)
+        assert [r["result"] for r in serial.records] == [
+            r["result"] for r in parallel.records
+        ]
+
+
+class TestResume:
+    def test_second_run_executes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        first = run_campaign(energy_spec(), store=store)
+        assert (first.n_executed, first.n_cached) == (9, 0)
+        second = run_campaign(energy_spec(), store=store)
+        assert (second.n_executed, second.n_cached) == (0, 9)
+        assert [r["result"] for r in first.records] == [
+            r["result"] for r in second.records
+        ]
+
+    def test_superset_campaign_only_runs_new_points(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        run_campaign(
+            energy_spec(axes={"emt": ("none",), "voltage": (0.9, 0.65)}),
+            store=store,
+        )
+        grown = run_campaign(energy_spec(), store=store)
+        assert grown.n_cached == 2
+        assert grown.n_executed == 7
+
+    def test_resume_false_reexecutes_and_supersedes(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        run_campaign(energy_spec(), store=store)
+        fresh = run_campaign(energy_spec(), store=store, resume=False)
+        assert (fresh.n_executed, fresh.n_cached) == (9, 0)
+        # Fresh records are appended and supersede the stale ones.
+        assert len(store.load()) == 9
+        resumed = run_campaign(energy_spec(), store=store)
+        assert (resumed.n_executed, resumed.n_cached) == (0, 9)
+
+    def test_failed_points_are_retried(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        bad = energy_spec(axes={"emt": ("bch",), "voltage": (0.9,)})
+        first = run_campaign(bad, store=store)
+        assert first.n_failed == 1
+        second = run_campaign(bad, store=store)
+        assert second.n_executed == 1  # retried, not served from cache
+        assert second.n_cached == 0
+
+    def test_fresh_failure_recorded_in_store(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        run_campaign(
+            energy_spec(axes={"emt": ("bch",), "voltage": (0.9,)}),
+            store=store,
+        )
+        records = list(store.load().values())
+        assert len(records) == 1
+        assert records[0]["status"] == "failed"
+        assert "bch" in records[0]["error"]
+        assert records[0]["traceback"]
+
+
+class TestResultStore:
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "missing.jsonl")
+        assert store.load() == {}
+        assert store.completed_hashes() == set()
+        assert len(store) == 0
+
+    def test_append_requires_status_and_hash(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        with pytest.raises(CampaignError):
+            store.append({"hash": "x", "status": "meh"})
+        with pytest.raises(CampaignError):
+            store.append({"status": "ok"})
+
+    def test_later_records_supersede(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        store.append({"hash": "x", "status": "failed", "error": "boom"})
+        store.append({"hash": "x", "status": "ok", "result": {"v": 1}})
+        assert store.load()["x"]["status"] == "ok"
+        assert store.completed_hashes() == {"x"}
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = ResultStore(path)
+        store.append({"hash": "x", "status": "ok", "result": {}})
+        with path.open("a") as handle:
+            handle.write('{"hash": "y", "status": "ok", "resu')  # torn write
+        assert set(store.load()) == {"x"}
+
+    def test_round_trips_json(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        record = {
+            "hash": "x",
+            "status": "ok",
+            "result": {"total_pj": 1.2345678901234567e-3},
+        }
+        store.append(record)
+        loaded = store.load()["x"]
+        assert loaded == json.loads(json.dumps(record))
+        assert loaded["result"]["total_pj"] == record["result"]["total_pj"]

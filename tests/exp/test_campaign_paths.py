@@ -1,0 +1,187 @@
+"""Equivalence of the campaign-backed drivers with their inline paths.
+
+The Fig 2 / Fig 4 drivers evaluate their grids through the shared
+campaign runner, but fall back to an in-process loop when pre-built
+app/EMT instances are supplied.  Both paths (and any worker count) must
+produce identical numbers — the guarantee that lets callers scale sweeps
+without revalidating results — and the campaign path must resume from a
+result store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import make_app
+from repro.campaign import ResultStore
+from repro.emt import make_emt
+from repro.errors import ExperimentError
+from repro.exp import ExperimentConfig, fig2_spec, fig4_spec, run_fig2, run_fig4
+from repro.exp.energy_table import run_energy_analysis
+
+FAST = ExperimentConfig(records=("100",), duration_s=3.0, n_runs=2)
+VOLTAGES = (0.6, 0.8)
+
+
+class TestFig4Paths:
+    @pytest.fixture(scope="class")
+    def campaign_result(self):
+        return run_fig4(
+            app_names=("morphology",), config=FAST, voltages=VOLTAGES
+        )
+
+    def test_inline_instances_match_campaign(self, campaign_result):
+        inline = run_fig4(
+            app_names=("morphology",),
+            config=FAST,
+            voltages=VOLTAGES,
+            apps={"morphology": make_app("morphology")},
+            emts={n: make_emt(n) for n in ("none", "dream", "secded")},
+        )
+        for voltage in VOLTAGES:
+            assert (
+                inline.points["morphology"][voltage].snr_mean_db
+                == campaign_result.points["morphology"][voltage].snr_mean_db
+            )
+
+    def test_worker_pool_matches_serial(self, campaign_result):
+        parallel = run_fig4(
+            app_names=("morphology",),
+            config=FAST,
+            voltages=VOLTAGES,
+            n_workers=2,
+        )
+        for voltage in VOLTAGES:
+            assert (
+                parallel.points["morphology"][voltage].snr_mean_db
+                == campaign_result.points["morphology"][voltage].snr_mean_db
+            )
+
+    def test_store_resume_round_trips(self, campaign_result, tmp_path):
+        store = ResultStore(tmp_path / "fig4.jsonl")
+        first = run_fig4(
+            app_names=("morphology",),
+            config=FAST,
+            voltages=VOLTAGES,
+            store=store,
+        )
+        assert len(store.completed_hashes()) == len(VOLTAGES)
+        resumed = run_fig4(
+            app_names=("morphology",),
+            config=FAST,
+            voltages=VOLTAGES,
+            store=store,
+        )
+        for voltage in VOLTAGES:
+            point = resumed.points["morphology"][voltage]
+            assert point.snr_mean_db == first.points["morphology"][voltage].snr_mean_db
+            # JSON round-trip must preserve exact statistics.
+            assert (
+                point.snr_mean_db
+                == campaign_result.points["morphology"][voltage].snr_mean_db
+            )
+
+    def test_unknown_app_fails_before_any_grid_work(self):
+        """A typo'd name must not cost a full sweep of the valid points."""
+        with pytest.raises(ExperimentError, match="fft"):
+            run_fig4(app_names=("dwt", "fft"), config=FAST, voltages=(0.9,))
+        with pytest.raises(ExperimentError, match="bch"):
+            run_fig4(
+                app_names=("dwt",), emt_names=("none", "bch"),
+                config=FAST, voltages=(0.9,),
+            )
+
+    def test_degenerate_grids_return_empty_results(self):
+        """Empty selections behave as the pre-campaign drivers did:
+        empty results, not a spec-validation error."""
+        empty_apps = run_fig4(app_names=(), config=FAST, voltages=(0.9,))
+        assert empty_apps.points == {}
+        no_voltages = run_fig4(app_names=("dwt",), config=FAST, voltages=())
+        assert no_voltages.points == {"dwt": {}}
+        assert run_fig2(app_names=(), config=FAST).snr_db == {}
+        analysis = run_energy_analysis(voltages=())
+        assert analysis.total_pj["none"] == {}
+        assert analysis.encoder_area_ratio == pytest.approx(1.28, abs=0.01)
+        # ... but name validation still runs on a degenerate grid.
+        with pytest.raises(ExperimentError, match="typo"):
+            run_energy_analysis(emt_names=("none", "typo"), voltages=())
+
+
+class TestFig2Paths:
+    def test_inline_instances_match_campaign(self):
+        config = ExperimentConfig(records=("100",), duration_s=2.0)
+        via_campaign = run_fig2(app_names=("morphology",), config=config)
+        inline = run_fig2(
+            config=config, apps={"morphology": make_app("morphology")}
+        )
+        assert via_campaign.snr_db == inline.snr_db
+
+    def test_spec_covers_the_full_grid(self):
+        spec = fig2_spec(("dwt", "morphology"), FAST)
+        assert spec.grid_size == 2 * 2 * 16
+
+
+class TestTradeoffImplementationsAgree:
+    """Drift guard: ``exp.tradeoff.run_tradeoff`` (Fig 4 objects) and
+    ``campaign.analysis.extract_tradeoff`` (stored records) implement the
+    same Section VI-C rules; on one dataset they must produce identical
+    operating points."""
+
+    def test_same_operating_points_from_both_paths(self):
+        import numpy as np
+
+        from repro.campaign import extract_tradeoff
+        from repro.exp.energy_table import energy_spec, measure_workload
+        from repro.exp.tradeoff import run_tradeoff
+        from repro.campaign.runner import run_campaign
+
+        voltages = (0.55, 0.65, 0.75, 0.85, 0.9)
+        fig4 = run_fig4(
+            app_names=("morphology",), config=FAST, voltages=voltages
+        )
+        workload = measure_workload("morphology", record="100", duration_s=3.0)
+        tolerance = 40.0
+
+        via_exp = run_tradeoff(
+            fig4, app_name="morphology", tolerance_db=tolerance,
+            workload=workload,
+        )
+
+        energy = run_campaign(
+            energy_spec(("none", "dream", "secded"), voltages, workload)
+        )
+        rows = [
+            {
+                "emt": emt,
+                "voltage": voltage,
+                "snr_db": fig4.points["morphology"][voltage].snr_mean_db[emt],
+                "energy_pj": rec["result"]["total_pj"],
+            }
+            for rec in energy.records
+            for emt, voltage in [
+                (rec["params"]["emt"], rec["params"]["voltage"])
+            ]
+        ]
+        via_campaign = {
+            p.emt_name: p for p in extract_tradeoff(rows, tolerance)
+        }
+
+        assert len(via_campaign) == len(via_exp.operating_points)
+        for point in via_exp.operating_points:
+            twin = via_campaign[point.emt_name]
+            assert twin.v_min_safe == point.v_min_safe
+            assert np.isclose(twin.saving_vs_nominal, point.saving_vs_nominal)
+
+
+class TestSpecShapes:
+    def test_fig4_spec_groups_emts_per_point(self):
+        """Section V fairness: EMTs share defect samples, so they are a
+        fixed parameter of each point, not an axis."""
+        spec = fig4_spec(("dwt",), config=FAST, voltages=VOLTAGES)
+        assert "emts" in spec.fixed
+        assert set(spec.axes) == {"app", "voltage"}
+
+    def test_energy_analysis_unchanged_through_campaign(self):
+        analysis = run_energy_analysis()
+        assert analysis.mean_overhead("dream") == pytest.approx(0.34, abs=0.02)
+        assert analysis.mean_overhead("secded") == pytest.approx(0.55, abs=0.02)

@@ -27,6 +27,23 @@ class TestParser:
         args = build_parser().parse_args(["fig4"])
         assert args.runs == 12
         assert args.emts == ("none", "dream", "secded")
+        assert args.workers == 1
+        assert args.seed is None
+
+    def test_global_seed_option(self):
+        args = build_parser().parse_args(["--seed", "7", "fig4"])
+        assert args.seed == 7
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.apps == ("dwt",)
+        assert args.emts == ("none", "dream", "secded")
+        assert args.workers == 2
+        assert len(args.voltages) == 9
+
+    def test_sweep_voltage_csv(self):
+        args = build_parser().parse_args(["sweep", "--voltages", "0.5, 0.9"])
+        assert args.voltages == (0.5, 0.9)
 
 
 class TestCommands:
@@ -84,3 +101,162 @@ class TestCommands:
     def test_lifetime_unknown_emt(self, capsys):
         assert main(["lifetime", "--emt", "bch"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_fig4_seed_changes_output(self, capsys):
+        argv = [
+            "fig4", "--apps", "morphology", "--records", "100",
+            "--duration", "3", "--runs", "2",
+        ]
+        assert main(["--seed", "7", *argv]) == 0
+        seed7 = capsys.readouterr().out
+        assert main(["--seed", "7", *argv]) == 0
+        assert capsys.readouterr().out == seed7  # reproducible
+        assert main(["--seed", "8", *argv]) == 0
+        assert capsys.readouterr().out != seed7  # seed actually threads
+
+
+class TestSweep:
+    ARGS = [
+        "sweep", "--apps", "morphology", "--records", "100",
+        "--duration", "3", "--runs", "2", "--workers", "2",
+        "--voltages", "0.55,0.65,0.75,0.85,0.9", "--tolerance", "40",
+    ]
+
+    def test_runs_resumes_and_extracts(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "5 points — 5 executed, 0 cached, 0 failed" in out
+        assert "15 points — 15 executed, 0 cached, 0 failed" in out
+        assert "Pareto frontier" in out
+        assert "operating points at -40.0 dB" in out
+        # The paper's Section VI-C operating points are always appended.
+        assert "12.7" in out and "30.6" in out and "39.5" in out
+        assert (tmp_path / "sweep-quality.jsonl").exists()
+        assert (tmp_path / "sweep-energy.jsonl").exists()
+
+        # Second invocation resumes from the store: zero new executions.
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "5 points — 0 executed, 5 cached, 0 failed" in out
+        assert "15 points — 0 executed, 15 cached, 0 failed" in out
+
+    def test_fresh_reexecutes_but_still_writes_store(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        argv = [
+            "sweep", "--apps", "morphology", "--records", "100",
+            "--duration", "3", "--runs", "2",
+            "--voltages", "0.9", "--fresh",
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cached" in out  # second --fresh run re-executed everything
+        # ... but the recomputed records supersede the stored ones, so a
+        # later non-fresh run resumes from fresh data.
+        assert (tmp_path / "sweep-quality.jsonl").exists()
+        assert main(argv[:-1]) == 0  # without --fresh
+        out = capsys.readouterr().out
+        assert "0 executed, 1 cached" in out
+
+    def test_multi_app_sweep_prices_each_app_workload(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """The energy grid sweeps the workload's app as an axis, so each
+        application's operating points use its own workload energy."""
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        assert main([
+            "sweep", "--apps", "morphology,dwt", "--records", "100",
+            "--duration", "3", "--runs", "2",
+            "--voltages", "0.9", "--tolerance", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        # 2 quality points (2 apps x 1 V); 6 energy points (3 EMTs x 1 V
+        # x 2 workload apps).
+        assert "2 points — 2 executed" in out
+        assert "6 points — 6 executed" in out
+        assert "[morphology]" in out and "[dwt]" in out
+
+    def test_unknown_app_fails_cleanly(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        assert main(["sweep", "--apps", "fft", "--voltages", "0.9"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_baseline_fails_before_the_campaign(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        assert main(["sweep", "--emts", "dream,secded"]) == 1
+        assert "baseline 'none'" in capsys.readouterr().err
+        assert not list(tmp_path.iterdir())  # nothing ran or was stored
+
+    def test_growing_app_list_keeps_cached_energy_points(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Energy point hashes depend only on their own app's workload,
+        so extending --apps must not invalidate stored energy results."""
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        base = [
+            "sweep", "--records", "100", "--duration", "3", "--runs", "2",
+            "--voltages", "0.9", "--tolerance", "40",
+        ]
+        assert main([*base, "--apps", "dwt"]) == 0
+        capsys.readouterr()
+        assert main([*base, "--apps", "dwt,morphology"]) == 0
+        out = capsys.readouterr().out
+        # dwt's 3 energy points resume from the store; morphology's 3 run.
+        assert "6 points — 3 executed, 3 cached" in out
+
+    def test_nominal_voltage_failure_skips_analysis_not_report(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """A failed point at nominal supply must not abort the report:
+        the app's analysis is skipped, the rest still prints, exit is 1."""
+        from repro.campaign import evaluators, runner
+
+        def flaky(point):
+            if point.kind == "montecarlo" and point.params["voltage"] == 0.9:
+                raise RuntimeError("injected fault at nominal")
+            return evaluators.evaluate_point(point)
+
+        monkeypatch.setattr(runner, "evaluate_point", flaky)
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        assert main([
+            "sweep", "--apps", "morphology", "--records", "100",
+            "--duration", "3", "--runs", "2", "--workers", "1",
+            "--voltages", "0.85,0.9", "--tolerance", "40",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "analysis skipped" in captured.err
+        assert "results above are partial" in captured.err
+        assert "12.7" in captured.out  # paper-example table still printed
+
+    def test_failed_points_give_partial_results_and_nonzero_exit(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """A sweep with failed grid points must not exit 0: scripts
+        consuming its output need to see the result is partial."""
+        from repro.campaign import evaluators, runner
+
+        def flaky(point):
+            if point.kind == "montecarlo" and point.params["voltage"] == 0.75:
+                raise RuntimeError("injected fault")
+            return evaluators.evaluate_point(point)
+
+        monkeypatch.setattr(runner, "evaluate_point", flaky)
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        assert main([
+            "sweep", "--apps", "morphology", "--records", "100",
+            "--duration", "3", "--runs", "2", "--workers", "1",
+            "--voltages", "0.65,0.75,0.85,0.9", "--tolerance", "40",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "results above are partial" in captured.err
+        # The planned grid is threaded into the extraction, so no safe
+        # range crosses the unvalidated 0.75 V gap.
+        for line in captured.out.splitlines():
+            if "down to" in line:
+                assert "0.65" not in line
