@@ -1,0 +1,87 @@
+"""Adaptive-runtime benchmarks: mission-simulation throughput.
+
+Measures what makes long missions tractable: after the one-off
+calibration pass (real fault-injection runs per segment x operating
+point), the streaming loop must push a 24 h mission's windows at
+interactive rates for every shipped policy.
+
+The table reports windows/second of the *streaming* phase (calibration
+warmed up beforehand, as in any repeated exploration) plus each policy's
+headline mission metrics, and lands in
+``results/runtime_throughput.txt``.
+
+Scale knobs: ``REPRO_MISSION_SCENARIO`` (default ``active_day``) and
+``REPRO_MISSION_SCALE`` (default 1.0 — the full 24 h timeline).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.runtime import MissionSimulator, make_policy, scenario_spec
+from repro.runtime.policy import StaticPolicy
+
+POLICY_TOKENS = ("static", "quality", "soc", "hysteresis")
+
+
+def bench_scenario() -> str:
+    return os.environ.get("REPRO_MISSION_SCENARIO", "active_day")
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_MISSION_SCALE", "1.0"))
+
+
+def _policies():
+    return [
+        StaticPolicy() if name == "static" else make_policy(name)
+        for name in POLICY_TOKENS
+    ]
+
+
+def test_mission_streaming_throughput(benchmark, report_sink):
+    spec = scenario_spec(bench_scenario())
+    if bench_scale() != 1.0:
+        spec = spec.scaled(bench_scale())
+    simulator = MissionSimulator(spec)
+
+    # Warm the calibration caches: every policy's first run pays for the
+    # probe runs its trajectory needs; the measured passes then isolate
+    # the streaming loop.
+    for policy in _policies():
+        simulator.run(policy)
+
+    rows = []
+    for name, policy in zip(POLICY_TOKENS, _policies()):
+        if name == "hysteresis":
+            result = benchmark.pedantic(
+                lambda p=policy: simulator.run(p), rounds=1, iterations=1
+            )
+            elapsed = benchmark.stats.stats.mean
+        else:
+            started = time.perf_counter()
+            result = simulator.run(policy)
+            elapsed = time.perf_counter() - started
+        rows.append((result, result.n_processed / elapsed))
+
+    hours = spec.total_duration_s / 3600.0
+    lines = [
+        f"Adaptive runtime — streaming throughput, scenario "
+        f"{spec.name!r} ({hours:.1f} h, {spec.n_windows} windows of "
+        f"{spec.window_s:g} s)",
+        f"{'policy':>22s}  {'windows/s':>10s}  {'lifetime':>9s}  "
+        f"{'mean dB':>8s}  {'worst dB':>8s}  {'switches':>8s}",
+        f"{'-' * 22}  {'-' * 10}  {'-' * 9}  {'-' * 8}  {'-' * 8}  "
+        f"{'-' * 8}",
+    ]
+    for result, rate in rows:
+        lines.append(
+            f"{result.policy_name:>22s}  {rate:10.0f}  "
+            f"{result.lifetime_days:7.2f} d  {result.mean_snr_db:8.1f}  "
+            f"{result.worst_snr_db:8.1f}  {result.n_switches:8d}"
+        )
+    report_sink.add("runtime_throughput", "\n".join(lines))
+
+    # A 24 h mission must stream at interactive rates for every policy.
+    assert all(rate > 1_000 for _, rate in rows)

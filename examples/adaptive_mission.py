@@ -1,0 +1,119 @@
+"""Adaptive mission walkthrough: when should a wearable change gears?
+
+The paper picks one (voltage, EMT) operating point at design time.  This
+example builds a custom day-in-the-life mission, lets four run-time
+policies drive the operating point window by window, and shows where the
+adaptive controllers land on the lifetime-vs-worst-quality plane
+relative to every static choice — then runs the same comparison as a
+cached, resumable ``repro.campaign`` grid.
+
+Run:  python examples/adaptive_mission.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.campaign.analysis import pareto_frontier
+from repro.energy.battery import BatteryModel
+from repro.exp.report import format_mission
+from repro.runtime import (
+    MissionSimulator,
+    MissionSpec,
+    SegmentSpec,
+    StaticPolicy,
+    make_policy,
+)
+
+HOUR = 3600.0
+
+
+def build_mission() -> MissionSpec:
+    """A 12 h shift: calm monitoring, one PVC storm, one commute."""
+    return MissionSpec(
+        name="example-shift",
+        app="morphology",
+        segments=(
+            SegmentSpec("calm-morning", 4 * HOUR, record="100"),
+            SegmentSpec(
+                "pvc-storm", 1 * HOUR, record="119",
+                noise_gain=1.5, stress=0.7, ber_multiplier=20.0,
+            ),
+            SegmentSpec("calm-midday", 4 * HOUR, record="103", stress=0.1),
+            SegmentSpec(
+                "commute", 1 * HOUR, record="100",
+                noise_gain=2.0, stress=0.8, ber_multiplier=30.0,
+            ),
+            SegmentSpec("calm-evening", 2 * HOUR, record="100"),
+        ),
+        voltages=(0.65, 0.70, 0.80),
+        emts=("secded",),
+        battery=BatteryModel(capacity_mah=0.25),  # thin-film micro-cell
+    )
+
+
+def main() -> None:
+    mission = build_mission()
+    simulator = MissionSimulator(mission)
+    print(f"mission {mission.name!r}: {mission.total_duration_s / HOUR:.0f} h, "
+          f"{mission.n_windows} windows; ladder:")
+    for point in simulator.ladder:
+        print(f"  {point.index}: {point.label:13s} "
+              f"{point.energy_per_window_pj / 1e6:6.1f} uJ/window")
+
+    # -- direct simulation: every static rung plus the adaptive policies --
+    policies = [
+        StaticPolicy(index=i) for i in range(len(simulator.ladder))
+    ] + [make_policy("quality"), make_policy("soc"), make_policy("hysteresis")]
+    results = [simulator.run(policy) for policy in policies]
+    print()
+    print(format_mission(mission.name, results))
+
+    print("\nThe hysteresis controller rides the cheap rung through calm")
+    print("segments and jumps on the stress hint before a single window is")
+    print("corrupted: static-safe quality at near-static-cheap power.")
+
+    # -- the same exploration as a cached campaign grid -------------------
+    spec = CampaignSpec(
+        name="example-mission-grid",
+        kind="mission",
+        axes={
+            "policy": (
+                {"name": "static", "params": {"emt": "secded", "voltage": 0.70}},
+                "quality", "soc", "hysteresis",
+            ),
+        },
+        fixed={
+            "mission": mission.to_dict(),  # full spec travels as JSON
+            "duration_scale": 0.1,
+            "n_probe": 2,
+            "probe_duration_s": 3.0,
+        },
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / f"{spec.name}.jsonl")
+        campaign = run_campaign(spec, store=store, n_workers=2)
+        again = run_campaign(spec, store=store)  # resumes: executes nothing
+        print(f"\ncampaign: {campaign.n_executed} executed, then "
+              f"{again.n_cached} cached on resume")
+        frontier = pareto_frontier(
+            campaign.ok_records(),
+            x_key="lifetime_days", y_key="worst_snr_db",
+            minimize_x=False, maximize_y=True,
+        )
+        print("lifetime/worst-quality Pareto frontier (scaled mission):")
+        for record in frontier:
+            policy = record["coords"]["policy"]
+            label = policy if isinstance(policy, str) else (
+                f"static:{policy['params']['emt']}"
+                f"@{policy['params']['voltage']:.2f}"
+            )
+            result = record["result"]
+            print(f"  {label:22s} life {result['lifetime_days']:5.2f} d  "
+                  f"worst {result['worst_snr_db']:6.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,10 @@ depends on:
 * :mod:`repro.signals` — the synthetic MIT-BIH-like ECG corpus;
 * :mod:`repro.energy` — BER(V), CACTI-lite SRAM and codec-logic models;
 * :mod:`repro.soc` — the VirtualSOC-lite MPSoC platform;
-* :mod:`repro.exp` — drivers regenerating every figure and table.
+* :mod:`repro.exp` — drivers regenerating every figure and table;
+* :mod:`repro.campaign` — the parallel design-space-exploration engine;
+* :mod:`repro.runtime` — the adaptive runtime: closed-loop DVS/EMT
+  mission simulation with operating-point policies.
 
 Quickstart::
 
@@ -34,17 +37,19 @@ Quickstart::
     print(snr_db(record.samples, stored))
 """
 
-from . import apps, emt, energy, exp, mem, signals, soc
+from . import apps, campaign, emt, energy, exp, mem, runtime, signals, soc
 from .errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "apps",
+    "campaign",
     "emt",
     "energy",
     "exp",
     "mem",
+    "runtime",
     "signals",
     "soc",
     "ReproError",

@@ -12,7 +12,11 @@ methodologies:
 * ``bit_position`` — Fig 2's deterministic sweep: one bit position of
   every data word stuck at a chosen value, no EMT;
 * ``energy`` — the Section VI-B accounting model: workload energy of one
-  EMT-protected memory system at one supply voltage.
+  EMT-protected memory system at one supply voltage;
+* ``mission`` — the :mod:`repro.runtime` closed-loop mission simulator:
+  one (policy, scenario) pair per point, scoring lifetime and per-window
+  quality, so policy x scenario grids sweep through the same parallel
+  runner/store/Pareto machinery as the paper's static grids.
 
 Custom kinds can be added with :func:`register_evaluator`.
 
@@ -26,7 +30,7 @@ from __future__ import annotations
 
 import zlib
 from collections.abc import Callable
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from functools import lru_cache
 from typing import Any
 
@@ -274,6 +278,54 @@ def _eval_bit_position(params: dict[str, Any]) -> dict[str, Any]:
         output = app.run(samples, fabric)
         snrs.append(app.output_snr(samples, output, cap_db=cap_db))
     return {"snr_db": float(np.mean(snrs))}
+
+
+@register_evaluator("mission")
+def _eval_mission(params: dict[str, Any]) -> dict[str, Any]:
+    """Adaptive-runtime mission at one (policy, scenario) point.
+
+    Parameters: a ``policy`` (registry name or ``{"name", "params"}``
+    dict) plus either a ``scenario`` registry name or a full ``mission``
+    dict (:meth:`repro.runtime.MissionSpec.to_dict` form).  Optional:
+    ``duration_scale`` (shrink the timeline, preserving its shape),
+    ``seed``/``window_s`` overrides, and the simulator fidelity knobs
+    ``n_probe``/``probe_duration_s``.  Returns the
+    :class:`~repro.runtime.MissionResult` metrics dict (lifetime, mean/
+    worst/p5 quality, switches, violations, energy).
+    """
+    # Imported lazily: repro.runtime prices windows through this module,
+    # so the reverse edge must resolve at call time.
+    from ..runtime import MissionSimulator, policy_from_dict
+    from ..runtime.mission import MissionSpec
+    from ..runtime.scenarios import scenario_spec
+
+    if "mission" in params:
+        spec = MissionSpec.from_dict(params["mission"])
+    elif "scenario" in params:
+        spec = scenario_spec(params["scenario"])
+    else:
+        raise CampaignError(
+            "mission point needs a 'scenario' name or a 'mission' dict"
+        )
+    if "duration_scale" in params:
+        spec = spec.scaled(params["duration_scale"])
+    overrides = {
+        key: params[key] for key in ("seed", "window_s") if key in params
+    }
+    if overrides:
+        spec = replace(spec, **overrides)
+    if "policy" not in params:
+        raise CampaignError(
+            "mission point needs a 'policy' (registry name or "
+            "{'name', 'params'} dict)"
+        )
+    simulator = MissionSimulator(
+        spec,
+        n_probe=params.get("n_probe", 3),
+        probe_duration_s=params.get("probe_duration_s", 4.0),
+    )
+    result = simulator.run(policy_from_dict(params["policy"]))
+    return result.to_dict()
 
 
 @register_evaluator("energy")

@@ -23,13 +23,26 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from ..errors import CampaignError
 
 __all__ = ["CampaignPoint", "CampaignSpec", "canonical_json", "content_hash"]
 
 
 def _canonicalise(value: Any) -> Any:
-    """Normalise a parameter value for hashing (tuples become lists)."""
+    """Normalise a parameter value for hashing (tuples become lists).
+
+    Numpy scalars and arrays are unwrapped to their Python equivalents:
+    axes built with ``np.linspace``/``np.arange`` must hash (and store)
+    identically to hand-written value tuples.
+    """
+    if isinstance(value, np.generic):
+        return _canonicalise(value.item())
+    if isinstance(value, np.ndarray):
+        # tolist() of a 0-d array is a bare scalar, so recurse rather
+        # than iterate.
+        return _canonicalise(value.tolist())
     if isinstance(value, tuple):
         return [_canonicalise(v) for v in value]
     if isinstance(value, list):

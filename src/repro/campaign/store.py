@@ -33,11 +33,12 @@ def default_store_root() -> Path:
 
     ``REPRO_CAMPAIGN_DIR`` overrides the default
     ``benchmarks/results/campaigns`` (relative to the working directory),
-    mirroring the benchmark harness's results layout.
+    mirroring the benchmark harness's results layout.  ``~`` in the
+    override expands to the user's home directory.
     """
     raw = os.environ.get("REPRO_CAMPAIGN_DIR")
     if raw:
-        return Path(raw)
+        return Path(raw).expanduser()
     return Path("benchmarks") / "results" / "campaigns"
 
 

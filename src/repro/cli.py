@@ -10,6 +10,13 @@ Usage (installed as a module)::
     python -m repro record 106 --duration 10
     python -m repro lifetime --voltage 0.65 --emt dream
     python -m repro sweep --apps dwt --workers 4
+    python -m repro mission --scenario active_day
+
+``mission`` runs the :mod:`repro.runtime` closed-loop simulator: a
+scenario timeline streams through the application while each requested
+operating-point policy picks a (voltage, EMT) rung per window, and the
+report compares battery lifetime, mean/worst window quality and switch
+counts across policies.
 
 ``sweep`` runs a voltage x EMT x application design-space-exploration
 campaign through :mod:`repro.campaign`: the grid fans out across a
@@ -32,6 +39,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from . import __version__
 from .energy.technology import PAPER_VOLTAGE_GRID
 from .errors import ReproError
 
@@ -73,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Exploration in Biomedical Ultra-Low Power Devices' "
             "(Duch et al., DATE 2016)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
     )
     parser.add_argument(
         "--seed", type=int, default=None,
@@ -177,6 +188,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute every point, superseding stored results",
     )
     add_workers(sweep, default=2)
+
+    mission = sub.add_parser(
+        "mission",
+        help="closed-loop adaptive-runtime mission: compare operating-"
+             "point policies on one scenario (lifetime, quality, switches)",
+    )
+    mission.add_argument(
+        "--scenario", default="active_day",
+        help="scenario registry name (see repro.runtime.scenarios; "
+             "default: active_day)",
+    )
+    mission.add_argument(
+        "--policies",
+        type=_csv,
+        default=("static-ladder", "quality", "soc", "hysteresis"),
+        help="comma-separated policy tokens: registry names "
+             "('quality', 'soc', 'hysteresis'), 'static:EMT@V' for one "
+             "pinned rung, or 'static-ladder' for one static policy per "
+             "lattice rung (default: static-ladder plus every adaptive "
+             "policy)",
+    )
+    mission.add_argument(
+        "--duration-scale", type=float, default=1.0,
+        help="scale every segment duration AND the battery capacity "
+             "(e.g. 0.1 for a quick look; reported lifetimes shrink by "
+             "the same factor, policy orderings are preserved)",
+    )
+    mission.add_argument(
+        "--window", type=float, default=None,
+        help="override the scenario's processing window (seconds)",
+    )
+    mission.add_argument(
+        "--probe-runs", type=int, default=3,
+        help="fault-injection probes per calibrated quality model",
+    )
+    mission.add_argument(
+        "--probe-duration", type=float, default=4.0,
+        help="seconds of segment signal per calibration probe",
+    )
 
     sub.add_parser("overheads", help="Section V / Formula 2 bit overheads")
 
@@ -374,6 +424,59 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_mission(args) -> int:
+    from dataclasses import replace
+
+    from .exp.report import format_mission
+    from .runtime import MissionSimulator, StaticPolicy, policy_from_token
+    from .runtime.scenarios import scenario_spec
+
+    spec = scenario_spec(args.scenario)
+    if args.duration_scale != 1.0:
+        spec = spec.scaled(args.duration_scale)
+    overrides = {}
+    if args.window is not None:
+        overrides["window_s"] = args.window
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        spec = replace(spec, **overrides)
+
+    simulator = MissionSimulator(
+        spec,
+        n_probe=args.probe_runs,
+        probe_duration_s=args.probe_duration,
+    )
+    hours = spec.total_duration_s / 3600.0
+    print(
+        f"scenario {spec.name!r}: {hours:.1f} h, {spec.n_windows} windows "
+        f"of {spec.window_s:g} s, app {spec.app!r}, "
+        f"{spec.battery.capacity_mah:g} mAh cell"
+    )
+    print("timeline: " + ", ".join(
+        f"{seg.name} {seg.duration_s / 3600.0:.1f}h"
+        + (f" (stress {seg.stress:g})" if seg.stress else "")
+        for seg in spec.segments
+    ))
+    print("ladder:   " + ", ".join(
+        f"{p.label} {p.energy_per_window_pj / 1e6:.1f} uJ/window"
+        for p in simulator.ladder
+    ))
+    print()
+
+    policies = []
+    for token in args.policies:
+        if token == "static-ladder":
+            policies.extend(
+                StaticPolicy(index=i) for i in range(len(simulator.ladder))
+            )
+        else:
+            policies.append(policy_from_token(token))
+    results = [simulator.run(policy) for policy in policies]
+    print(format_mission(spec.name, results))
+    return 0
+
+
 def _cmd_overheads(args) -> int:
     from .exp.overheads import overhead_table
     from .exp.report import format_overheads
@@ -427,6 +530,7 @@ _HANDLERS = {
     "record": _cmd_record,
     "lifetime": _cmd_lifetime,
     "sweep": _cmd_sweep,
+    "mission": _cmd_mission,
 }
 
 

@@ -17,11 +17,15 @@ package provides calibrated analytical stand-ins:
 """
 
 from .accounting import EnergyBreakdown, EnergySystemModel
+from .battery import BatteryModel, BatteryState, estimate_lifetime
 from .logic_model import LogicBlockModel, logic_blocks_for
 from .sram_model import SramArrayModel
 from .technology import TECH_32NM_LP, Technology
 
 __all__ = [
+    "BatteryModel",
+    "BatteryState",
+    "estimate_lifetime",
     "EnergyBreakdown",
     "EnergySystemModel",
     "LogicBlockModel",

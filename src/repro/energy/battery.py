@@ -21,7 +21,12 @@ from ..errors import EnergyModelError
 from .accounting import EnergySystemModel, Workload
 from .technology import TECH_32NM_LP, Technology
 
-__all__ = ["BatteryModel", "LifetimeEstimate", "estimate_lifetime"]
+__all__ = [
+    "BatteryModel",
+    "BatteryState",
+    "LifetimeEstimate",
+    "estimate_lifetime",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,65 @@ class BatteryModel:
         """Extractable energy in joules."""
         return (
             self.capacity_mah * 3.6 * self.cell_voltage * self.usable_fraction
+        )
+
+
+class BatteryState:
+    """Mutable discharge state of one :class:`BatteryModel` cell.
+
+    The static model answers "how much energy does this cell hold"; the
+    state tracks how much of it is left as a mission drains it window by
+    window, which is what state-of-charge-aware runtime policies observe.
+
+    Example:
+        >>> state = BatteryState(BatteryModel(capacity_mah=1.0))
+        >>> state.drain(state.remaining_j / 2)
+        True
+        >>> round(state.state_of_charge, 2)
+        0.5
+    """
+
+    def __init__(self, model: BatteryModel) -> None:
+        self.model = model
+        self._remaining_j = model.usable_energy_j
+
+    @property
+    def remaining_j(self) -> float:
+        """Extractable energy still in the cell, in joules."""
+        return self._remaining_j
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining fraction of the usable capacity, in ``[0, 1]``."""
+        return self._remaining_j / self.model.usable_energy_j
+
+    @property
+    def depleted(self) -> bool:
+        """True once the usable capacity is exhausted."""
+        return self._remaining_j <= 0.0
+
+    def drain(self, energy_j: float) -> bool:
+        """Withdraw ``energy_j`` joules; return False once depleted.
+
+        The final withdrawal clamps at empty (an ideal cell delivers its
+        last joule, then cuts off), so ``remaining_j`` never goes
+        negative.
+        """
+        if energy_j < 0:
+            raise EnergyModelError(
+                f"drained energy must be non-negative, got {energy_j}"
+            )
+        self._remaining_j = max(0.0, self._remaining_j - energy_j)
+        return not self.depleted
+
+    def reset(self) -> None:
+        """Restore the cell to a full charge."""
+        self._remaining_j = self.model.usable_energy_j
+
+    def __repr__(self) -> str:
+        return (
+            f"BatteryState({self.model!r}, "
+            f"soc={self.state_of_charge:.3f})"
         )
 
 

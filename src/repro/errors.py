@@ -54,3 +54,7 @@ class ExperimentError(ReproError):
 
 class CampaignError(ReproError):
     """A design-space-exploration campaign is invalid or failed to run."""
+
+
+class MissionError(ReproError):
+    """An adaptive-runtime mission or policy is invalid or failed to run."""

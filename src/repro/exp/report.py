@@ -23,6 +23,7 @@ __all__ = [
     "format_overheads",
     "format_frontier",
     "format_operating_points",
+    "format_mission",
 ]
 
 
@@ -199,6 +200,37 @@ def format_operating_points(
             f"-> save {point.saving_vs_nominal * 100:5.1f}%"
         )
     return "\n".join(lines)
+
+
+def format_mission(mission_name: str, results) -> str:
+    """A ``repro mission`` policy comparison: one row per policy.
+
+    ``results`` are :class:`repro.runtime.MissionResult` objects (or
+    anything with the same fields), typically one per policy over the
+    same scenario.
+    """
+    header = [
+        "policy", "lifetime", "survives", "mean dB", "worst dB",
+        "p5 dB", "switches", "violations", "power",
+    ]
+    body = [
+        [
+            r.policy_name,
+            f"{r.lifetime_days:7.2f} d",
+            "yes" if r.survived else "NO",
+            f"{r.mean_snr_db:6.1f}",
+            f"{r.worst_snr_db:6.1f}",
+            f"{r.p5_snr_db:6.1f}",
+            str(r.n_switches),
+            str(r.n_violations),
+            f"{r.average_power_uw:5.2f} uW",
+        ]
+        for r in results
+    ]
+    return (
+        f"[{mission_name}] adaptive-runtime mission — "
+        "lifetime vs quality per policy\n" + _table(header, body)
+    )
 
 
 def format_overheads(rows: list[OverheadRow]) -> str:

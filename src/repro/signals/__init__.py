@@ -19,15 +19,23 @@ environment, so this package synthesises an equivalent corpus:
 * :mod:`repro.signals.metrics` — SNR (the paper's Formula 1), MSE and PRD.
 """
 
-from .dataset import Record, default_catalog, load_record
+from .dataset import (
+    Record,
+    RecordSpec,
+    default_catalog,
+    load_record,
+    synthesize_record,
+)
 from .metrics import mse, prd, snr_db
 from .quantize import adc_quantize, dac_restore
 from .synthesis import ECGGenerator, rr_tachogram
 
 __all__ = [
     "Record",
+    "RecordSpec",
     "default_catalog",
     "load_record",
+    "synthesize_record",
     "mse",
     "prd",
     "snr_db",

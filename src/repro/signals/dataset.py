@@ -24,7 +24,14 @@ from .pathologies import RhythmSpec, generate_rhythm
 from .quantize import DEFAULT_FULL_SCALE_MV, adc_quantize
 from .synthesis import render_beats, rr_tachogram
 
-__all__ = ["Record", "RecordSpec", "CATALOG", "default_catalog", "load_record"]
+__all__ = [
+    "Record",
+    "RecordSpec",
+    "CATALOG",
+    "default_catalog",
+    "load_record",
+    "synthesize_record",
+]
 
 
 #: Sampling rate of the MIT-BIH Arrhythmia database.
@@ -174,9 +181,27 @@ def load_record(
         raise SignalError(
             f"unknown record {name!r}; available: {default_catalog()}"
         )
+    return synthesize_record(
+        CATALOG[name], duration_s=duration_s, full_scale_mv=full_scale_mv
+    )
+
+
+def synthesize_record(
+    spec: RecordSpec,
+    duration_s: float = 30.0,
+    full_scale_mv: float = DEFAULT_FULL_SCALE_MV,
+) -> Record:
+    """Synthesise a record from an arbitrary :class:`RecordSpec`.
+
+    This is :func:`load_record` without the catalog lookup: callers (e.g.
+    the adaptive-runtime mission simulator) can derive variants of a
+    catalog entry — amplified noise for a motion-artifact episode, a
+    different rhythm for a pathology episode — and synthesise them with
+    the same deterministic pipeline.  The same spec always yields the
+    same trace.
+    """
     if duration_s <= 0:
         raise SignalError(f"duration must be positive, got {duration_s}")
-    spec = CATALOG[name]
     rng = np.random.default_rng(spec.seed)
 
     n_beats = int(np.ceil(duration_s * spec.rhythm.mean_hr_bpm / 60.0)) + 2
@@ -205,7 +230,7 @@ def load_record(
     signal_mv = clean + noise
     samples = adc_quantize(signal_mv, full_scale_mv)
     return Record(
-        name=name,
+        name=spec.name,
         fs_hz=MITBIH_FS_HZ,
         samples=samples,
         signal_mv=signal_mv,

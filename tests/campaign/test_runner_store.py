@@ -217,3 +217,29 @@ class TestResultStore:
         loaded = store.load()["x"]
         assert loaded == json.loads(json.dumps(record))
         assert loaded["result"]["total_pj"] == record["result"]["total_pj"]
+
+
+class TestDefaultStoreRoot:
+    def test_env_override_expands_user(self, monkeypatch):
+        from pathlib import Path
+
+        from repro.campaign.store import default_store_root
+
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", "~/campaigns")
+        root = default_store_root()
+        assert "~" not in str(root)
+        assert root == Path.home() / "campaigns"
+
+    def test_env_override_plain_path(self, monkeypatch, tmp_path):
+        from repro.campaign.store import default_store_root
+
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        assert default_store_root() == tmp_path
+
+    def test_default_without_env(self, monkeypatch):
+        from pathlib import Path
+
+        from repro.campaign.store import default_store_root
+
+        monkeypatch.delenv("REPRO_CAMPAIGN_DIR", raising=False)
+        assert default_store_root() == Path("benchmarks/results/campaigns")

@@ -116,3 +116,24 @@ class TestContentHash:
         assert content_hash({"a": 1, "b": [1, 2]}) == content_hash(
             {"b": (1, 2), "a": 1}
         )
+
+    def test_numpy_values_hash_like_python_values(self):
+        """Axes built with np.linspace must hash (and store) identically
+        to hand-written literals."""
+        import numpy as np
+
+        assert canonical_json(np.float64(0.65)) == canonical_json(0.65)
+        assert canonical_json(np.int64(7)) == canonical_json(7)
+        assert canonical_json(np.bool_(True)) == canonical_json(True)
+        assert canonical_json(np.array([0.5, 0.9])) == canonical_json(
+            [0.5, 0.9]
+        )
+        assert canonical_json(np.array(0.65)) == canonical_json(0.65)
+        numeric = small_spec(
+            axes={"emt": ("none",), "voltage": tuple(np.linspace(0.9, 0.9, 1))}
+        )
+        literal = small_spec(axes={"emt": ("none",), "voltage": (0.9,)})
+        assert (
+            numeric.expand()[0].content_hash()
+            == literal.expand()[0].content_hash()
+        )

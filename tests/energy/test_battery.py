@@ -6,7 +6,7 @@ import pytest
 
 from repro.emt import DreamEMT, NoProtection, SecDedEMT
 from repro.energy.accounting import Workload
-from repro.energy.battery import BatteryModel, estimate_lifetime
+from repro.energy.battery import BatteryModel, BatteryState, estimate_lifetime
 from repro.errors import EnergyModelError
 
 WORKLOAD = Workload(n_reads=200_000, n_writes=200_000, duration_s=5e-3)
@@ -20,13 +20,70 @@ class TestBatteryModel:
         # 100 mAh * 3.6 C/mAh * 3 V = 1080 J
         assert battery.usable_energy_j == pytest.approx(1080.0)
 
-    def test_validation(self):
-        with pytest.raises(EnergyModelError):
+    def test_capacity_bounds(self):
+        with pytest.raises(EnergyModelError, match="capacity"):
             BatteryModel(capacity_mah=0)
-        with pytest.raises(EnergyModelError):
+        with pytest.raises(EnergyModelError, match="capacity"):
+            BatteryModel(capacity_mah=-10.0)
+        # Micro-cell (uAh-class) capacities are legitimate.
+        assert BatteryModel(capacity_mah=1e-4).usable_energy_j > 0
+
+    def test_cell_voltage_bounds(self):
+        with pytest.raises(EnergyModelError, match="cell voltage"):
             BatteryModel(cell_voltage=-1)
-        with pytest.raises(EnergyModelError):
+        with pytest.raises(EnergyModelError, match="cell voltage"):
+            BatteryModel(cell_voltage=0.0)
+
+    def test_usable_fraction_bounds(self):
+        with pytest.raises(EnergyModelError, match="usable fraction"):
             BatteryModel(usable_fraction=1.5)
+        with pytest.raises(EnergyModelError, match="usable fraction"):
+            BatteryModel(usable_fraction=0.0)
+        with pytest.raises(EnergyModelError, match="usable fraction"):
+            BatteryModel(usable_fraction=-0.2)
+        # The closed upper bound is included: an ideal cell is legal.
+        full = BatteryModel(capacity_mah=1.0, usable_fraction=1.0)
+        derated = BatteryModel(capacity_mah=1.0, usable_fraction=0.5)
+        assert full.usable_energy_j == pytest.approx(
+            2 * derated.usable_energy_j
+        )
+
+
+class TestBatteryState:
+    def test_drain_tracks_state_of_charge(self):
+        state = BatteryState(BatteryModel(capacity_mah=1.0))
+        full = state.remaining_j
+        assert state.state_of_charge == pytest.approx(1.0)
+        assert state.drain(full / 4)
+        assert state.state_of_charge == pytest.approx(0.75)
+        assert state.remaining_j == pytest.approx(0.75 * full)
+        assert not state.depleted
+
+    def test_depletion_clamps_at_empty(self):
+        state = BatteryState(BatteryModel(capacity_mah=1.0))
+        assert not state.drain(state.remaining_j * 2)
+        assert state.depleted
+        assert state.remaining_j == 0.0
+        assert state.state_of_charge == 0.0
+        # Draining an empty cell stays empty, and stays reported dead.
+        assert not state.drain(1.0)
+
+    def test_exact_drain_depletes(self):
+        state = BatteryState(BatteryModel(capacity_mah=1.0))
+        assert not state.drain(state.remaining_j)
+        assert state.depleted
+
+    def test_negative_drain_rejected(self):
+        state = BatteryState(BatteryModel(capacity_mah=1.0))
+        with pytest.raises(EnergyModelError, match="non-negative"):
+            state.drain(-1.0)
+
+    def test_reset_restores_full_charge(self):
+        state = BatteryState(BatteryModel(capacity_mah=1.0))
+        state.drain(state.remaining_j)
+        state.reset()
+        assert state.state_of_charge == pytest.approx(1.0)
+        assert not state.depleted
 
 
 class TestLifetime:

@@ -1,0 +1,241 @@
+"""Tests for mission specs, scenarios and the mission simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.battery import BatteryModel
+from repro.errors import MissionError
+from repro.runtime import (
+    MissionSimulator,
+    MissionSpec,
+    SegmentSpec,
+    make_policy,
+    scenario_names,
+    scenario_spec,
+)
+from repro.runtime.policy import StaticPolicy
+
+
+def tiny_mission(**overrides) -> MissionSpec:
+    """A two-segment mission small enough for unit tests."""
+    defaults = dict(
+        name="tiny",
+        segments=(
+            SegmentSpec("calm", 240.0, record="100"),
+            SegmentSpec(
+                "burst", 80.0, record="100",
+                noise_gain=2.0, stress=0.8, ber_multiplier=30.0,
+            ),
+        ),
+        app="morphology",
+        window_s=8.0,
+        voltages=(0.65, 0.80),
+        emts=("secded",),
+        battery=BatteryModel(capacity_mah=0.25),
+    )
+    defaults.update(overrides)
+    return MissionSpec(**defaults)
+
+
+def simulator(spec: MissionSpec | None = None, **kwargs) -> MissionSimulator:
+    kwargs.setdefault("n_probe", 2)
+    kwargs.setdefault("probe_duration_s", 2.0)
+    return MissionSimulator(spec or tiny_mission(), **kwargs)
+
+
+class TestSegmentSpec:
+    def test_validation(self):
+        with pytest.raises(MissionError, match="name"):
+            SegmentSpec("", 10.0)
+        with pytest.raises(MissionError, match="duration"):
+            SegmentSpec("x", 0.0)
+        with pytest.raises(MissionError, match="stress"):
+            SegmentSpec("x", 10.0, stress=1.5)
+        with pytest.raises(MissionError, match="noise gain"):
+            SegmentSpec("x", 10.0, noise_gain=-1.0)
+        with pytest.raises(MissionError, match="multiplier"):
+            SegmentSpec("x", 10.0, ber_multiplier=-2.0)
+
+    def test_signature_ignores_name_and_stress(self):
+        a = SegmentSpec("a", 10.0, record="106", stress=0.8)
+        b = SegmentSpec("b", 99.0, record="106", stress=0.1)
+        assert a.signature == b.signature
+
+
+class TestMissionSpec:
+    def test_validation(self):
+        with pytest.raises(MissionError, match="at least one segment"):
+            tiny_mission(segments=())
+        with pytest.raises(MissionError, match="window"):
+            tiny_mission(window_s=0.0)
+        with pytest.raises(MissionError, match="lattice"):
+            tiny_mission(voltages=())
+        with pytest.raises(MissionError, match="platform power"):
+            tiny_mission(platform_power_uw=-1.0)
+        with pytest.raises(MissionError, match="shorter than one window"):
+            tiny_mission(window_s=1000.0)
+
+    def test_timeline_accessors(self):
+        spec = tiny_mission()
+        assert spec.total_duration_s == 320.0
+        assert spec.n_windows == 40
+        assert spec.segment_at(0.0).name == "calm"
+        assert spec.segment_at(239.9).name == "calm"
+        assert spec.segment_at(240.0).name == "burst"
+        assert spec.segment_at(320.0).name == "burst"
+        with pytest.raises(MissionError, match="past the mission end"):
+            spec.segment_at(321.0)
+        with pytest.raises(MissionError, match="non-negative"):
+            spec.segment_at(-1.0)
+
+    def test_scaled_preserves_shape(self):
+        spec = tiny_mission().scaled(0.5)
+        assert spec.total_duration_s == 160.0
+        assert [s.name for s in spec.segments] == ["calm", "burst"]
+        # The battery shrinks with the timeline so the state-of-charge
+        # trajectory (and any mid-mission depletion) is preserved.
+        assert spec.battery.capacity_mah == pytest.approx(0.125)
+        with pytest.raises(MissionError, match="scale factor"):
+            tiny_mission().scaled(0.0)
+
+    def test_dict_roundtrip(self):
+        spec = tiny_mission()
+        clone = MissionSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(MissionError, match="malformed"):
+            MissionSpec.from_dict({"name": "x"})
+
+
+class TestScenarios:
+    def test_registry_ships_at_least_three(self):
+        names = scenario_names()
+        assert len(names) >= 3
+        assert {"overnight", "active_day", "harvester"} <= set(names)
+
+    def test_specs_build_and_are_deterministic(self):
+        for name in scenario_names():
+            assert scenario_spec(name) == scenario_spec(name)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(MissionError, match="unknown scenario"):
+            scenario_spec("mars")
+
+
+class TestSimulator:
+    def test_ladder_is_energy_sorted(self):
+        sim = simulator()
+        energies = [p.energy_per_window_pj for p in sim.ladder]
+        assert energies == sorted(energies)
+        assert [p.index for p in sim.ladder] == list(range(len(sim.ladder)))
+
+    def test_validation(self):
+        with pytest.raises(MissionError, match="n_probe"):
+            simulator(n_probe=0)
+        with pytest.raises(MissionError, match="probe duration"):
+            simulator(probe_duration_s=0.0)
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="unknown application"):
+            simulator(tiny_mission(app="fft"))
+        with pytest.raises(MissionError, match="unknown record"):
+            simulator(
+                tiny_mission(
+                    segments=(SegmentSpec("x", 240.0, record="999"),)
+                )
+            )
+
+    def test_run_is_deterministic(self):
+        sim = simulator()
+        policy = make_policy("hysteresis")
+        first = sim.run(policy)
+        second = sim.run(make_policy("hysteresis"))
+        assert first == second
+
+    def test_static_policy_never_switches(self):
+        sim = simulator()
+        result = sim.run(StaticPolicy(index=0))
+        assert result.n_switches == 0
+        assert result.op_point_share == {sim.ladder[0].label: 1.0}
+        assert result.n_processed == result.n_windows
+
+    def test_quality_reflects_stress_at_low_rung(self):
+        sim = simulator()
+        low = sim.run(StaticPolicy(index=0))
+        high = sim.run(StaticPolicy(index=len(sim.ladder) - 1))
+        # The burst segment collapses the cheap rung but not the top one.
+        assert low.worst_snr_db < 30.0
+        assert high.worst_snr_db == pytest.approx(96.0)
+        # ... and the top rung pays for it in projected lifetime.
+        assert high.lifetime_days < low.lifetime_days
+        assert high.average_power_uw > low.average_power_uw
+
+    def test_battery_depletion_ends_mission_early(self):
+        # A cell holding ~10 windows' worth of top-rung energy.
+        spec = tiny_mission(
+            battery=BatteryModel(capacity_mah=1.2e-4),
+        )
+        result = simulator(spec).run(StaticPolicy(index=1))
+        assert not result.survived
+        assert 0 < result.n_processed < result.n_windows
+        # The node browns out at the start of the first window it cannot
+        # fully fund, so only fully-powered windows are scored ...
+        assert result.lifetime_days == pytest.approx(
+            result.n_processed * spec.window_s / 86_400.0
+        )
+        # ... and the drained energy never exceeds the usable capacity.
+        assert result.energy_mj * 1e-3 <= spec.battery.usable_energy_j
+
+    def test_battery_too_small_for_one_window_raises(self):
+        from repro.errors import MissionError
+
+        spec = tiny_mission(battery=BatteryModel(capacity_mah=1.2e-7))
+        with pytest.raises(MissionError, match="cannot fund a single"):
+            simulator(spec).run(StaticPolicy(index=1))
+
+    def test_projected_lifetime_matches_average_power(self):
+        spec = tiny_mission()
+        result = simulator(spec).run(StaticPolicy(index=0))
+        assert result.survived
+        expected_s = spec.battery.usable_energy_j / (
+            result.average_power_uw * 1e-6
+        )
+        assert result.lifetime_days == pytest.approx(expected_s / 86_400.0)
+
+    def test_platform_power_adds_to_every_window(self):
+        base = simulator(tiny_mission()).run(StaticPolicy(index=0))
+        loaded = simulator(
+            tiny_mission(platform_power_uw=5.0)
+        ).run(StaticPolicy(index=0))
+        assert loaded.average_power_uw == pytest.approx(
+            base.average_power_uw + 5.0
+        )
+
+    def test_trace_capture(self):
+        sim = simulator(keep_trace=True)
+        result = sim.run(make_policy("hysteresis"))
+        assert result.trace is not None
+        assert len(result.trace) == result.n_processed
+        first = result.trace[0]
+        assert {"window", "time_s", "segment", "op_point", "snr_db",
+                "soc", "stress_hint"} <= set(first)
+        assert result.to_dict().get("trace") is None  # JSON form drops it
+
+    def test_hysteresis_beats_reactive_on_worst_quality(self):
+        """The feed-forward term absorbs the burst before it corrupts a
+        window; pure reactive control eats the first bad window."""
+        sim = simulator()
+        hysteresis = sim.run(make_policy("hysteresis"))
+        reactive = sim.run(make_policy("quality"))
+        assert hysteresis.worst_snr_db > reactive.worst_snr_db
+        assert hysteresis.n_switches < reactive.n_switches
+
+    def test_result_to_dict_is_json_safe(self):
+        import json
+
+        result = simulator().run(make_policy("soc"))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["policy"] == "soc"
+        assert payload["n_windows"] == result.n_windows

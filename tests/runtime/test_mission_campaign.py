@@ -1,0 +1,188 @@
+"""Policy x scenario sweeps through the campaign engine.
+
+This is the PR's acceptance gate: a grid of >= 3 policies x >= 3 shipped
+scenarios runs through the existing ``repro.campaign`` runner and store
+(resume included), and on the lifetime-vs-worst-window-quality plane the
+hysteresis controller strictly dominates a static operating point that
+sits on the static Pareto frontier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.campaign.analysis import pareto_frontier
+
+#: Static design points (the paper's answer) plus the adaptive policies.
+STATIC_POLICIES = tuple(
+    {"name": "static", "params": {"emt": "secded", "voltage": voltage}}
+    for voltage in (0.65, 0.70, 0.80)
+)
+ADAPTIVE_POLICIES = ("quality", "soc", "hysteresis")
+SCENARIOS = ("overnight", "active_day", "harvester")
+
+
+def mission_campaign(name: str = "mission-grid") -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        kind="mission",
+        axes={
+            "policy": STATIC_POLICIES + ADAPTIVE_POLICIES,
+            "scenario": SCENARIOS,
+        },
+        # Scaled timelines keep the sweep fast while preserving every
+        # segment proportion and stress episode.
+        fixed={"duration_scale": 0.1, "n_probe": 2, "probe_duration_s": 3.0},
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    """One shared sweep: first run executes, second resumes from disk."""
+    store = ResultStore(
+        tmp_path_factory.mktemp("campaigns") / "mission-grid.jsonl"
+    )
+    first = run_campaign(mission_campaign(), store=store, n_workers=2)
+    resumed = run_campaign(mission_campaign(), store=store)
+    return first, resumed
+
+
+def records_for(result, scenario: str) -> list[dict]:
+    return [
+        record
+        for record in result.ok_records()
+        if record["coords"]["scenario"] == scenario
+    ]
+
+
+class TestEvaluatorValidation:
+    def test_missing_scenario_and_policy_fail_descriptively(self):
+        from repro.campaign.evaluators import evaluate_point
+        from repro.campaign.spec import CampaignPoint
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError, match="'scenario' name"):
+            evaluate_point(
+                CampaignPoint(
+                    kind="mission", coords={"policy": "soc"}, fixed={}
+                )
+            )
+        with pytest.raises(CampaignError, match="needs a 'policy'"):
+            evaluate_point(
+                CampaignPoint(
+                    kind="mission",
+                    coords={"scenario": "overnight"},
+                    fixed={"duration_scale": 0.01},
+                )
+            )
+
+
+class TestSweepMechanics:
+    def test_grid_covers_policies_by_scenarios(self, sweep):
+        first, _ = sweep
+        assert len(first.records) == len(STATIC_POLICIES + ADAPTIVE_POLICIES) * len(
+            SCENARIOS
+        )
+        assert first.n_failed == 0
+        assert first.n_executed == len(first.records)
+
+    def test_resume_executes_nothing(self, sweep):
+        first, resumed = sweep
+        assert resumed.n_executed == 0
+        assert resumed.n_cached == len(first.records)
+        assert [r["result"] for r in resumed.records] == [
+            r["result"] for r in first.records
+        ]
+
+    def test_results_carry_mission_metrics(self, sweep):
+        first, _ = sweep
+        for record in first.ok_records():
+            result = record["result"]
+            assert {"lifetime_days", "mean_snr_db", "worst_snr_db",
+                    "n_switches", "n_violations", "survived"} <= set(result)
+
+
+class TestAdaptiveDominance:
+    """The acceptance criterion, verified scenario by scenario."""
+
+    def static_frontier(self, records) -> list[dict]:
+        statics = [
+            r for r in records if isinstance(r["coords"]["policy"], dict)
+        ]
+        assert len(statics) == len(STATIC_POLICIES)
+        return pareto_frontier(
+            statics,
+            x_key="lifetime_days",
+            y_key="worst_snr_db",
+            minimize_x=False,
+            maximize_y=True,
+        )
+
+    def adaptive(self, records, name: str) -> dict:
+        return next(
+            r["result"] for r in records if r["coords"]["policy"] == name
+        )
+
+    @staticmethod
+    def dominates(a: dict, b: dict) -> bool:
+        """Pareto domination on (lifetime, worst window quality)."""
+        no_worse = (
+            a["lifetime_days"] >= b["lifetime_days"]
+            and a["worst_snr_db"] >= b["worst_snr_db"]
+        )
+        better = (
+            a["lifetime_days"] > b["lifetime_days"]
+            or a["worst_snr_db"] > b["worst_snr_db"]
+        )
+        return no_worse and better
+
+    def test_hysteresis_dominates_a_static_frontier_point(self, sweep):
+        first, _ = sweep
+        dominated_somewhere = []
+        for scenario in SCENARIOS:
+            records = records_for(first, scenario)
+            frontier = self.static_frontier(records)
+            assert frontier, f"no static frontier in {scenario}"
+            hysteresis = self.adaptive(records, "hysteresis")
+            dominated = [
+                point
+                for point in frontier
+                if self.dominates(hysteresis, point["result"])
+            ]
+            dominated_somewhere.append(bool(dominated))
+        # The criterion asks for at least one scenario; the shipped
+        # timelines deliver it in every one.
+        assert any(dominated_somewhere)
+        assert all(dominated_somewhere)
+
+    def test_hysteresis_beats_best_safe_static_on_lifetime(self, sweep):
+        """Against the static point with the best worst-window quality
+        (the conservative design-time choice), the adaptive controller
+        buys strictly longer lifetime at no worst-quality cost."""
+        first, _ = sweep
+        for scenario in SCENARIOS:
+            records = records_for(first, scenario)
+            frontier = self.static_frontier(records)
+            safest = max(
+                (p["result"] for p in frontier),
+                key=lambda r: (r["worst_snr_db"], r["lifetime_days"]),
+            )
+            hysteresis = self.adaptive(records, "hysteresis")
+            assert hysteresis["worst_snr_db"] >= safest["worst_snr_db"]
+            assert hysteresis["lifetime_days"] > safest["lifetime_days"]
+
+    def test_soc_scheduler_survives_where_top_static_dies(self, sweep):
+        """The harvester scenario's buffer cannot sustain the top rung;
+        the state-of-charge scheduler degrades instead of dying."""
+        first, _ = sweep
+        records = records_for(first, "harvester")
+        top_static = next(
+            r["result"]
+            for r in records
+            if isinstance(r["coords"]["policy"], dict)
+            and r["coords"]["policy"]["params"]["voltage"] == 0.80
+        )
+        soc = self.adaptive(records, "soc")
+        assert not top_static["survived"]
+        assert soc["survived"]

@@ -1,0 +1,238 @@
+"""Tests for the operating-point policy engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MissionError
+from repro.runtime.policy import (
+    POLICIES,
+    HysteresisPolicy,
+    LadderPoint,
+    Observation,
+    Policy,
+    PolicyContext,
+    QualityThresholdPolicy,
+    SoCSchedulerPolicy,
+    StaticPolicy,
+    make_policy,
+    policy_from_dict,
+    policy_from_token,
+    register_policy,
+)
+
+
+def ladder(n: int = 3) -> tuple[LadderPoint, ...]:
+    return tuple(
+        LadderPoint(
+            index=i,
+            emt_name="secded",
+            voltage=0.6 + 0.1 * i,
+            energy_per_window_pj=1e6 * (i + 1),
+        )
+        for i in range(n)
+    )
+
+
+def context(n: int = 3) -> PolicyContext:
+    return PolicyContext(
+        ladder=ladder(n), window_s=8.0, quality_floor_db=30.0,
+        snr_cap_db=96.0,
+    )
+
+
+def obs(
+    current: int = 1,
+    last: float | None = 96.0,
+    soc: float = 1.0,
+    stress: float = 0.0,
+    window: int = 5,
+) -> Observation:
+    return Observation(
+        window_index=window,
+        time_s=window * 8.0,
+        soc=soc,
+        last_snr_db=last,
+        stress_hint=stress,
+        current_index=current,
+    )
+
+
+class TestRegistry:
+    def test_shipped_policies_registered(self):
+        assert {"static", "quality", "soc", "hysteresis"} <= set(POLICIES)
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(MissionError, match="unknown policy"):
+            make_policy("pid")
+
+    def test_make_policy_bad_params(self):
+        with pytest.raises(MissionError, match="bad parameters"):
+            make_policy("hysteresis", gain=2.0)
+
+    def test_register_duplicate_rejected(self):
+        class Dupe(StaticPolicy):
+            name = "static"
+
+        with pytest.raises(MissionError, match="already registered"):
+            register_policy(Dupe)
+
+    def test_register_needs_concrete_name(self):
+        class Anon(Policy):
+            def decide(self, o):
+                return 0
+
+        with pytest.raises(MissionError, match="concrete name"):
+            register_policy(Anon)
+
+    def test_policy_from_dict_forms(self):
+        assert policy_from_dict("soc").name == "soc"
+        policy = policy_from_dict(
+            {"name": "hysteresis", "params": {"dwell": 2}}
+        )
+        assert policy.dwell == 2
+        with pytest.raises(MissionError, match="needs a 'name'"):
+            policy_from_dict({"params": {}})
+
+    def test_policy_from_token(self):
+        assert policy_from_token("quality").name == "quality"
+        static = policy_from_token("static:dream@0.65")
+        static.reset(
+            PolicyContext(
+                ladder=(
+                    LadderPoint(0, "dream", 0.65, 1.0),
+                    LadderPoint(1, "secded", 0.7, 2.0),
+                ),
+                window_s=8.0, quality_floor_db=30.0, snr_cap_db=96.0,
+            )
+        )
+        assert static.decide(obs(current=1)) == 0
+
+    def test_policy_from_token_errors(self):
+        with pytest.raises(MissionError, match="only 'static'"):
+            policy_from_token("soc:dream@0.65")
+        with pytest.raises(MissionError, match="emt@voltage"):
+            policy_from_token("static:dream")
+        with pytest.raises(MissionError, match="bad voltage"):
+            policy_from_token("static:dream@low")
+
+    def test_decide_before_reset_raises(self):
+        with pytest.raises(MissionError, match="before reset"):
+            StaticPolicy().decide(obs())
+
+
+class TestStatic:
+    def test_defaults_to_top_rung(self):
+        policy = StaticPolicy()
+        policy.reset(context())
+        assert policy.decide(obs(current=0)) == 2
+        assert policy.describe() == "static:secded@0.80"
+
+    def test_pinned_by_point_and_index(self):
+        by_point = StaticPolicy(emt="secded", voltage=0.7)
+        by_point.reset(context())
+        assert by_point.decide(obs()) == 1
+        by_index = StaticPolicy(index=0)
+        by_index.reset(context())
+        assert by_index.decide(obs()) == 0
+
+    def test_point_not_on_ladder(self):
+        policy = StaticPolicy(emt="dream", voltage=0.7)
+        with pytest.raises(MissionError, match="not on the ladder"):
+            policy.reset(context())
+
+    def test_index_out_of_range(self):
+        with pytest.raises(MissionError, match="out of range"):
+            StaticPolicy(index=5).reset(context())
+
+    def test_conflicting_arguments(self):
+        with pytest.raises(MissionError, match="not both"):
+            StaticPolicy(emt="secded", voltage=0.7, index=1)
+        with pytest.raises(MissionError, match="together"):
+            StaticPolicy(emt="secded")
+
+
+class TestQualityThreshold:
+    def test_steps_up_on_degradation(self):
+        policy = QualityThresholdPolicy(target_db=40.0, margin_db=30.0)
+        policy.reset(context())
+        assert policy.decide(obs(current=1, last=20.0)) == 2
+
+    def test_steps_down_above_band(self):
+        policy = QualityThresholdPolicy(target_db=40.0, margin_db=30.0)
+        policy.reset(context())
+        assert policy.decide(obs(current=1, last=96.0)) == 0
+
+    def test_holds_inside_band_and_on_first_window(self):
+        policy = QualityThresholdPolicy(target_db=40.0, margin_db=30.0)
+        policy.reset(context())
+        assert policy.decide(obs(current=1, last=55.0)) == 1
+        assert policy.decide(obs(current=1, last=None)) == 1
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(MissionError, match="non-negative"):
+            QualityThresholdPolicy(margin_db=-1.0)
+
+
+class TestSoCScheduler:
+    def test_bands_map_soc_to_rungs(self):
+        policy = SoCSchedulerPolicy()
+        policy.reset(context())
+        assert policy.decide(obs(soc=0.9)) == 2
+        assert policy.decide(obs(soc=0.3)) == 1
+        assert policy.decide(obs(soc=0.05)) == 0
+
+    def test_band_validation(self):
+        with pytest.raises(MissionError, match="at least one band"):
+            SoCSchedulerPolicy(bands=())
+        with pytest.raises(MissionError, match="descending"):
+            SoCSchedulerPolicy(bands=((0.2, 0.5), (0.5, 1.0), (0.0, 0.0)))
+        with pytest.raises(MissionError, match="cover SoC 0.0"):
+            SoCSchedulerPolicy(bands=((0.5, 1.0),))
+        with pytest.raises(MissionError, match=r"in \[0, 1\]"):
+            SoCSchedulerPolicy(bands=((0.5, 1.5), (0.0, 0.0)))
+
+
+class TestHysteresis:
+    def test_feed_forward_jumps_on_stress(self):
+        policy = HysteresisPolicy()
+        policy.reset(context())
+        assert policy.decide(obs(current=0, stress=0.8)) == 2
+
+    def test_stress_never_steps_down(self):
+        policy = HysteresisPolicy(stress_fraction=0.5)
+        policy.reset(context())
+        assert policy.decide(obs(current=2, stress=0.9)) == 2
+
+    def test_climbs_below_band(self):
+        policy = HysteresisPolicy(low_db=35.0)
+        policy.reset(context())
+        assert policy.decide(obs(current=0, last=20.0)) == 1
+
+    def test_descends_only_after_dwell(self):
+        policy = HysteresisPolicy(high_db=70.0, dwell=3)
+        policy.reset(context())
+        assert policy.decide(obs(current=2, last=96.0)) == 2
+        assert policy.decide(obs(current=2, last=96.0)) == 2
+        assert policy.decide(obs(current=2, last=96.0)) == 1
+
+    def test_dwell_resets_inside_band(self):
+        policy = HysteresisPolicy(high_db=70.0, dwell=2)
+        policy.reset(context())
+        assert policy.decide(obs(current=2, last=96.0)) == 2
+        assert policy.decide(obs(current=2, last=50.0)) == 2  # resets
+        assert policy.decide(obs(current=2, last=96.0)) == 2
+        assert policy.decide(obs(current=2, last=96.0)) == 1
+
+    def test_first_window_holds(self):
+        policy = HysteresisPolicy()
+        policy.reset(context())
+        assert policy.decide(obs(current=1, last=None)) == 1
+
+    def test_validation(self):
+        with pytest.raises(MissionError, match="inverted"):
+            HysteresisPolicy(low_db=50.0, high_db=40.0)
+        with pytest.raises(MissionError, match="dwell"):
+            HysteresisPolicy(dwell=0)
+        with pytest.raises(MissionError, match="stress fraction"):
+            HysteresisPolicy(stress_fraction=1.5)

@@ -34,6 +34,21 @@ class TestParser:
         args = build_parser().parse_args(["--seed", "7", "fig4"])
         assert args.seed == 7
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_mission_defaults(self):
+        args = build_parser().parse_args(["mission"])
+        assert args.scenario == "active_day"
+        assert "static-ladder" in args.policies
+        assert "hysteresis" in args.policies
+        assert args.duration_scale == 1.0
+
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep"])
         assert args.apps == ("dwt",)
@@ -101,6 +116,29 @@ class TestCommands:
     def test_lifetime_unknown_emt(self, capsys):
         assert main(["lifetime", "--emt", "bch"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_mission_small(self, capsys):
+        assert main([
+            "mission", "--scenario", "overnight",
+            "--duration-scale", "0.02", "--probe-runs", "2",
+            "--probe-duration", "2", "--policies",
+            "static:secded@0.65,hysteresis",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'overnight'" in out
+        assert "adaptive-runtime mission" in out
+        assert "static:secded@0.65" in out
+        assert "hysteresis" in out
+
+    def test_mission_unknown_scenario(self, capsys):
+        assert main(["mission", "--scenario", "mars"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_mission_bad_policy_token(self, capsys):
+        assert main([
+            "mission", "--scenario", "overnight", "--policies", "pid",
+        ]) == 1
+        assert "unknown policy" in capsys.readouterr().err
 
     def test_fig4_seed_changes_output(self, capsys):
         argv = [

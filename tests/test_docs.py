@@ -30,7 +30,9 @@ DOCTEST_MODULES = [
     "repro.mem.fabric",
     "repro.energy.sram_model",
     "repro.energy.accounting",
+    "repro.energy.battery",
     "repro.apps.dwt",
+    "repro.runtime.simulator",
 ]
 
 
