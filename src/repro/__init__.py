@@ -19,7 +19,11 @@ depends on:
 * :mod:`repro.exp` — drivers regenerating every figure and table;
 * :mod:`repro.campaign` — the parallel design-space-exploration engine;
 * :mod:`repro.runtime` — the adaptive runtime: closed-loop DVS/EMT
-  mission simulation with operating-point policies.
+  mission simulation with operating-point policies;
+* :mod:`repro.cohort` — population-scale fleet simulation over
+  synthetic patient cohorts, with survival/percentile analytics;
+* :mod:`repro.cache` — the process-safe disk calibration cache shared
+  by missions and fleets.
 
 Quickstart::
 

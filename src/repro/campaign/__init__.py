@@ -8,8 +8,8 @@ scalable subsystem:
 * :mod:`repro.campaign.spec` — a declarative :class:`CampaignSpec`
   naming the grid's axes, shared parameters and filters;
 * :mod:`repro.campaign.evaluators` — pure per-point scoring functions
-  (Monte-Carlo quality, bit-position significance, energy accounting)
-  with deterministic seeding;
+  (Monte-Carlo quality, bit-position significance, energy accounting,
+  closed-loop missions, population cohorts) with deterministic seeding;
 * :mod:`repro.campaign.runner` — :func:`run_campaign`, fanning points
   across a ``multiprocessing`` pool with progress reporting and graceful
   failure capture;

@@ -16,7 +16,12 @@ methodologies:
 * ``mission`` — the :mod:`repro.runtime` closed-loop mission simulator:
   one (policy, scenario) pair per point, scoring lifetime and per-window
   quality, so policy x scenario grids sweep through the same parallel
-  runner/store/Pareto machinery as the paper's static grids.
+  runner/store/Pareto machinery as the paper's static grids;
+* ``cohort`` — the :mod:`repro.cohort` fleet simulator: one (policy,
+  cohort) pair per point, scoring *population* statistics (survival
+  fraction, lifetime/quality percentiles), so policy x cohort grids run
+  through the same machinery and feed
+  :func:`repro.cohort.analytics.population_frontier`.
 
 Custom kinds can be added with :func:`register_evaluator`.
 
@@ -326,6 +331,59 @@ def _eval_mission(params: dict[str, Any]) -> dict[str, Any]:
     )
     result = simulator.run(policy_from_dict(params["policy"]))
     return result.to_dict()
+
+
+@register_evaluator("cohort")
+def _eval_cohort(params: dict[str, Any]) -> dict[str, Any]:
+    """Population fleet at one (policy, cohort) point.
+
+    Parameters: a ``policy`` (registry name or ``{"name", "params"}``
+    dict) plus a ``cohort`` dict
+    (:meth:`repro.cohort.CohortSpec.to_dict` form).  Optional: ``size``/
+    ``duration_scale``/``seed`` overrides on the cohort, and the
+    simulator fidelity knobs ``n_probe``/``probe_duration_s``.  Patients
+    run serially inside this worker — the campaign runner already fans
+    *points* across processes, and the shared disk calibration cache
+    keeps the fleet-wide calibration work deduplicated either way.
+
+    Returns the :meth:`~repro.cohort.FleetResult.summary` population
+    metrics; a point with any failed patient raises, so the campaign
+    records it as failed (and retries it on the next run).
+    """
+    # Imported lazily: repro.cohort builds on repro.runtime, which
+    # prices windows through this module.
+    from ..cohort import CohortSpec, FleetSimulator
+
+    if "cohort" not in params:
+        raise CampaignError("cohort point needs a 'cohort' dict")
+    if "policy" not in params:
+        raise CampaignError(
+            "cohort point needs a 'policy' (registry name or "
+            "{'name', 'params'} dict)"
+        )
+    payload = dict(params["cohort"])
+    for key in ("size", "duration_scale", "seed"):
+        if key in params:
+            payload[key] = params[key]
+    fleet = FleetSimulator(
+        CohortSpec.from_dict(payload),
+        n_probe=params.get("n_probe", 3),
+        probe_duration_s=params.get("probe_duration_s", 4.0),
+    )
+    result = fleet.run(params["policy"])
+    failures = result.failures()
+    if failures:
+        first = failures[0]
+        raise CampaignError(
+            f"{len(failures)} of {len(result.rows)} patients failed; "
+            f"first (patient {first['patient']}): {first['error']}"
+        )
+    summary = result.summary()
+    # Wall-clock and cache-occupancy figures vary run to run; stored
+    # campaign results carry only the deterministic population metrics.
+    for volatile in ("elapsed_s", "patients_per_s", "cache"):
+        summary.pop(volatile, None)
+    return summary
 
 
 @register_evaluator("energy")

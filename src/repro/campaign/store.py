@@ -10,8 +10,15 @@ The append-only discipline makes writes crash-safe (a torn final line is
 skipped on load) and keeps concurrent readers simple.  Records are keyed
 by the point's content hash (:meth:`CampaignPoint.content_hash`);
 re-appending a hash supersedes the earlier record, so a store never needs
-compaction to stay correct.  Only ``status == "ok"`` records count as
-completed — failed points are retried on the next run.
+compaction to stay *correct* — :meth:`ResultStore.compact` exists to
+reclaim the superseded lines' disk space, not to fix anything.  Only
+``status == "ok"`` records count as completed — failed points are
+retried on the next run.
+
+Loads are memoized against the file's (size, mtime) signature: repeated
+``load()``/``__len__``/``completed_hashes()`` calls between writes parse
+the file once, which matters once fleet-scale campaigns hold thousands
+of records.
 """
 
 from __future__ import annotations
@@ -47,6 +54,10 @@ class ResultStore:
 
     def __init__(self, path: Path | str) -> None:
         self.path = Path(path)
+        # load() memo: (file signature, parsed records, raw line count).
+        self._memo: tuple[tuple[int, int], dict[str, dict], int] | None = None
+        #: Number of full file parses (diagnostic; exercised by tests).
+        self.n_parses = 0
 
     @classmethod
     def for_campaign(
@@ -56,27 +67,47 @@ class ResultStore:
         root = Path(root) if root is not None else default_store_root()
         return cls(root / f"{name}.jsonl")
 
+    def _signature(self) -> tuple[int, int] | None:
+        """The file's (size, mtime_ns) identity, or None when absent."""
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        return (stat.st_size, stat.st_mtime_ns)
+
     def load(self) -> dict[str, dict]:
         """Read all records, keyed by point hash (later lines win).
 
         Malformed lines (e.g. a torn tail from an interrupted run) are
-        skipped silently; an absent file is an empty store.
+        skipped silently; an absent file is an empty store.  Duplicate
+        lines from resumed or ``resume=False`` runs collapse here —
+        last write wins.  The parse is memoized against the file's
+        (size, mtime) signature; the returned mapping is a fresh dict
+        each call, but the record dicts themselves are shared — treat
+        them as read-only.
         """
+        signature = self._signature()
+        if signature is None:
+            return {}
+        if self._memo is not None and self._memo[0] == signature:
+            return dict(self._memo[1])
         records: dict[str, dict] = {}
-        if not self.path.exists():
-            return records
+        n_lines = 0
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
                     continue
+                n_lines += 1
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue
                 if isinstance(record, dict) and "hash" in record:
                     records[record["hash"]] = record
-        return records
+        self.n_parses += 1
+        self._memo = (signature, records, n_lines)
+        return dict(records)
 
     def completed_hashes(self) -> set[str]:
         """Hashes of points with a successful stored result."""
@@ -96,6 +127,34 @@ class ResultStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # The next load() re-stats the file; dropping the memo eagerly
+        # also covers filesystems with coarse mtime resolution.
+        self._memo = None
+
+    def compact(self) -> int:
+        """Rewrite the store with one line per hash (last write wins).
+
+        Long-lived stores accumulate superseded lines — every
+        ``resume=False`` re-run appends a fresh record per point.  The
+        rewrite goes through a temporary file and an atomic
+        :func:`os.replace`, so a crash mid-compaction leaves the
+        original store untouched.  Returns the number of superseded (or
+        malformed) lines dropped; an absent store is a no-op.
+        """
+        records = self.load()
+        if self._memo is None:
+            return 0
+        n_lines = self._memo[2]
+        dropped = n_lines - len(records)
+        if dropped <= 0:
+            return 0
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in records.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+        self._memo = None
+        return dropped
 
     def __len__(self) -> int:
         return len(self.load())

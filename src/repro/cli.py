@@ -11,12 +11,21 @@ Usage (installed as a module)::
     python -m repro lifetime --voltage 0.65 --emt dream
     python -m repro sweep --apps dwt --workers 4
     python -m repro mission --scenario active_day
+    python -m repro cohort --size 500 --workers 4
+    python -m repro cache --info
 
 ``mission`` runs the :mod:`repro.runtime` closed-loop simulator: a
 scenario timeline streams through the application while each requested
 operating-point policy picks a (voltage, EMT) rung per window, and the
 report compares battery lifetime, mean/worst window quality and switch
 counts across policies.
+
+``cohort`` scales ``mission`` to a population: a synthetic patient
+cohort (:mod:`repro.cohort`) fans out over worker processes, every
+calibration is shared fleet-wide through the disk cache, and the report
+compares *population* statistics — battery-survival curves, quality
+percentile bands and the tail-statistic Pareto frontier — across
+policies.  ``cache`` inspects or clears that shared calibration cache.
 
 ``sweep`` runs a voltage x EMT x application design-space-exploration
 campaign through :mod:`repro.campaign`: the grid fans out across a
@@ -226,6 +235,64 @@ def build_parser() -> argparse.ArgumentParser:
     mission.add_argument(
         "--probe-duration", type=float, default=4.0,
         help="seconds of segment signal per calibration probe",
+    )
+
+    cohort = sub.add_parser(
+        "cohort",
+        help="population fleet simulation: survival curves, quality "
+             "bands and tail-statistic Pareto frontier per policy",
+    )
+    cohort.add_argument(
+        "--size", type=int, default=200,
+        help="number of synthetic patients (default: 200)",
+    )
+    cohort.add_argument(
+        "--policies", type=_csv, default=("static", "soc", "hysteresis"),
+        help="comma-separated policy tokens (registry names or "
+             "'static:EMT@V'; default: static,soc,hysteresis)",
+    )
+    cohort.add_argument(
+        "--scenarios", default="active_day:0.7,overnight:0.3",
+        help="scenario mix as name:weight pairs "
+             "(default: active_day:0.7,overnight:0.3)",
+    )
+    cohort.add_argument(
+        "--pathology", default=None,
+        help="record mix as name:weight pairs (default: the "
+             "PatientModel mix; e.g. '100:0.6,119:0.4' for a PVC-heavy "
+             "ward)",
+    )
+    cohort.add_argument(
+        "--duration-scale", type=float, default=1.0,
+        help="scale each patient's timeline AND battery (e.g. 0.02 for "
+             "a quick look; policy orderings are preserved)",
+    )
+    cohort.add_argument(
+        "--name", default="cohort",
+        help="cohort name (seeds patient draws; default: cohort)",
+    )
+    cohort.add_argument(
+        "--probe-runs", type=int, default=3,
+        help="fault-injection probes per calibrated quality model",
+    )
+    cohort.add_argument(
+        "--probe-duration", type=float, default=4.0,
+        help="seconds of segment signal per calibration probe",
+    )
+    add_workers(cohort, default=2)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the shared calibration cache "
+             "(REPRO_CACHE_DIR)",
+    )
+    cache.add_argument(
+        "--info", action="store_true",
+        help="print cache diagnostics (the default action)",
+    )
+    cache.add_argument(
+        "--clear", action="store_true",
+        help="delete every cached calibration entry",
     )
 
     sub.add_parser("overheads", help="Section V / Formula 2 bit overheads")
@@ -477,6 +544,148 @@ def _cmd_mission(args) -> int:
     return 0
 
 
+def _parse_mix(raw: str, value_type=str) -> tuple:
+    """Parse a ``name:weight,name:weight`` mix argument."""
+    from .errors import CohortError
+
+    pairs = []
+    for token in _csv(raw):
+        name, sep, weight = token.partition(":")
+        if not sep:
+            raise CohortError(
+                f"mix entries are 'name:weight', got {token!r}"
+            )
+        try:
+            pairs.append((value_type(name.strip()), float(weight)))
+        except ValueError as exc:
+            raise CohortError(f"bad mix entry {token!r}: {exc}") from exc
+    return tuple(pairs)
+
+
+def _cmd_cohort(args) -> int:
+    from dataclasses import replace
+
+    from .cohort import (
+        CohortSpec,
+        FleetSimulator,
+        PatientModel,
+        population_frontier,
+        survival_curve,
+    )
+    from .exp.report import format_fleet, format_survival
+
+    model = PatientModel(scenario_mix=_parse_mix(args.scenarios))
+    if args.pathology:
+        model = replace(model, record_mix=_parse_mix(args.pathology))
+    spec = CohortSpec(
+        name=args.name,
+        size=args.size,
+        model=model,
+        duration_scale=args.duration_scale,
+        seed=args.seed if getattr(args, "seed", None) is not None else 2016,
+    )
+    fleet = FleetSimulator(
+        spec,
+        n_probe=args.probe_runs,
+        probe_duration_s=args.probe_duration,
+    )
+    print(
+        f"cohort {spec.name!r}: {spec.size} patients, scenarios "
+        f"{args.scenarios}, duration scale {spec.duration_scale:g}, "
+        f"{args.workers} workers"
+    )
+
+    def _progress(done: int, total: int, row: dict) -> None:
+        marker = "." if row["status"] == "ok" else "!"
+        print(f"\r  [{done}/{total}] {marker}", end="", file=sys.stderr)
+
+    results = []
+    for token in args.policies:
+        from .runtime import policy_from_token
+
+        # Validate the token up front (clear error before a long run),
+        # then ship the JSON-safe payload to the workers.
+        policy_from_token(token)
+        payload = _policy_payload(token)
+        result = fleet.run(
+            payload, n_workers=args.workers, progress=_progress
+        )
+        print(file=sys.stderr)
+        results.append(result)
+
+    summaries = [result.summary() for result in results]
+    print()
+    print(format_fleet(spec.name, summaries))
+    n_failed = 0
+    for result in results:
+        ok = result.ok_rows()
+        if ok:
+            print()
+            print(format_survival(
+                result.summary()["policy"],
+                survival_curve(ok, n_points=9),
+            ))
+        for failure in result.failures():
+            n_failed += 1
+            print(
+                f"  failed: patient {failure['patient']} -> "
+                f"{failure['error']}",
+                file=sys.stderr,
+            )
+    scored = [s for s in summaries if "survival_fraction" in s]
+    if scored:
+        frontier = population_frontier(scored)
+        print()
+        print("population Pareto frontier "
+              "(p5 lifetime vs p10 worst-window quality):")
+        for s in frontier:
+            print(
+                f"  {s['policy']:>24s}  p5 {s['lifetime_p5_days']:6.2f} d  "
+                f"p10 {s['quality_p10_db']:6.1f} dB"
+            )
+    if n_failed:
+        print(
+            f"warning: {n_failed} patients failed; population statistics "
+            "above exclude them",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _policy_payload(token: str) -> str | dict:
+    """The JSON-safe campaign form of a CLI policy token."""
+    name, _, arg = token.partition(":")
+    if not arg:
+        return name.strip()
+    emt_name, _, voltage = arg.partition("@")
+    return {
+        "name": name.strip(),
+        "params": {"emt": emt_name.strip(), "voltage": float(voltage)},
+    }
+
+
+def _cmd_cache(args) -> int:
+    from .cache import shared_cache
+
+    cache = shared_cache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached calibrations from {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"calibration cache at {info['root']}")
+    print(f"  persistent: {info['persistent']}")
+    print(f"  entries:    {info['entries']}")
+    print(f"  size:       {info['size_bytes']} bytes")
+    stats = info["process"]
+    print(
+        f"  this process: {stats['memory_hits']} memory hits, "
+        f"{stats['disk_hits']} disk hits, {stats['computed']} computed"
+    )
+    return 0
+
+
 def _cmd_overheads(args) -> int:
     from .exp.overheads import overhead_table
     from .exp.report import format_overheads
@@ -531,6 +740,8 @@ _HANDLERS = {
     "lifetime": _cmd_lifetime,
     "sweep": _cmd_sweep,
     "mission": _cmd_mission,
+    "cohort": _cmd_cohort,
+    "cache": _cmd_cache,
 }
 
 

@@ -1,0 +1,127 @@
+"""Population reliability analytics over fleet result rows.
+
+A fleet run reduces to three deployment questions the paper's
+single-device tables cannot answer:
+
+* **battery survival** — what fraction of the fleet is still alive after
+  t days?  (:func:`survival_curve`, an empirical survival function over
+  per-patient lifetimes);
+* **quality spread** — what output quality do the best and worst
+  wearers get?  (:func:`quality_bands`, percentile bands of any
+  per-patient metric);
+* **population trade-off** — which policy x lattice configurations are
+  Pareto-optimal when each configuration is judged by its *tail*
+  statistics (5th-percentile lifetime vs worst-decile quality), not its
+  mean?  (:func:`population_frontier`).
+
+Everything operates on plain row/summary dicts as produced by
+:class:`~repro.cohort.fleet.FleetResult`, so analyses run over stored
+campaign records without re-simulation — the same post-hoc discipline as
+:mod:`repro.campaign.analysis`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..campaign.analysis import pareto_frontier
+from ..errors import CohortError
+
+__all__ = [
+    "survival_curve",
+    "median_survival_days",
+    "quality_bands",
+    "population_frontier",
+]
+
+
+def _lifetimes(rows: Iterable[dict]) -> np.ndarray:
+    values = [
+        float(row["lifetime_days"])
+        for row in rows
+        if row.get("status", "ok") == "ok"
+    ]
+    if not values:
+        raise CohortError("no successful patient rows to analyse")
+    return np.asarray(values)
+
+
+def survival_curve(
+    rows: Iterable[dict],
+    times_days: Sequence[float] | None = None,
+    n_points: int = 25,
+) -> list[tuple[float, float]]:
+    """Empirical battery-survival curve of a fleet.
+
+    A patient "survives" time ``t`` when their battery lifetime reaches
+    it, so the curve starts at 1.0 and steps down monotonically.  With
+    ``times_days`` omitted, the curve is evaluated on an even grid from
+    zero to the longest observed lifetime.  Returns ``(t_days,
+    fraction_alive)`` pairs.
+    """
+    lifetimes = _lifetimes(rows)
+    if times_days is None:
+        horizon = float(lifetimes.max())
+        times = np.linspace(0.0, horizon, n_points)
+    else:
+        times = np.asarray(list(times_days), dtype=float)
+        if times.size == 0:
+            raise CohortError("survival curve needs at least one time")
+    return [
+        (float(t), float(np.mean(lifetimes >= t))) for t in times
+    ]
+
+
+def median_survival_days(rows: Iterable[dict]) -> float:
+    """The time by which half the fleet's batteries have died."""
+    return float(np.percentile(_lifetimes(rows), 50.0))
+
+
+def quality_bands(
+    rows: Iterable[dict],
+    metric: str = "worst_snr_db",
+    percentiles: Sequence[float] = (5.0, 25.0, 50.0, 75.0, 95.0),
+) -> dict[float, float]:
+    """Population percentile bands of a per-patient metric.
+
+    The default metric is each patient's *worst* window SNR — the
+    population spread of the guarantee a clinician actually cares
+    about.  Returns ``{percentile: value}`` over successful rows.
+    """
+    ok = [row for row in rows if row.get("status", "ok") == "ok"]
+    if not ok:
+        raise CohortError("no successful patient rows to analyse")
+    try:
+        values = np.asarray([float(row[metric]) for row in ok])
+    except KeyError as exc:
+        raise CohortError(
+            f"rows have no metric {exc.args[0]!r}"
+        ) from exc
+    return {
+        float(p): float(np.percentile(values, p)) for p in percentiles
+    }
+
+
+def population_frontier(
+    summaries: Iterable[dict],
+    x_key: str = "lifetime_p5_days",
+    y_key: str = "quality_p10_db",
+) -> list[dict]:
+    """Pareto-optimal fleet configurations by tail statistics.
+
+    ``summaries`` are :meth:`~repro.cohort.fleet.FleetResult.summary`
+    dicts (or stored ``cohort`` campaign records), one per policy x
+    cohort configuration.  Both default objectives are *maximised*: the
+    lifetime 95 % of wearers exceed, and the quality the worst decile
+    of wearers still gets.  Returns the non-dominated summaries, best
+    ``x`` first.
+    """
+    return pareto_frontier(
+        list(summaries),
+        x_key=x_key,
+        y_key=y_key,
+        minimize_x=False,
+        maximize_y=True,
+    )

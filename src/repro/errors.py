@@ -58,3 +58,7 @@ class CampaignError(ReproError):
 
 class MissionError(ReproError):
     """An adaptive-runtime mission or policy is invalid or failed to run."""
+
+
+class CohortError(ReproError):
+    """A patient cohort or fleet simulation is invalid or failed to run."""

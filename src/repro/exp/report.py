@@ -24,6 +24,8 @@ __all__ = [
     "format_frontier",
     "format_operating_points",
     "format_mission",
+    "format_fleet",
+    "format_survival",
 ]
 
 
@@ -252,3 +254,54 @@ def format_overheads(rows: list[OverheadRow]) -> str:
         "Section V — protection bits per word "
         "(paper: DREAM 5, ECC 6 for 16-bit words)\n" + _table(header, body)
     )
+
+
+def format_fleet(cohort_name: str, summaries) -> str:
+    """A ``repro cohort`` policy comparison: one row per fleet summary.
+
+    ``summaries`` are :meth:`repro.cohort.FleetResult.summary` dicts
+    (population tail statistics), typically one per policy over the
+    same cohort.
+    """
+    header = [
+        "policy", "survive", "p5 life", "p50 life", "p10 worst",
+        "p50 worst", "mean dB", "viol/1k", "power",
+    ]
+    body = []
+    for s in summaries:
+        if "survival_fraction" not in s:
+            body.append(
+                [s.get("policy", "?"), "-", "-", "-", "-", "-", "-", "-",
+                 f"({s.get('n_failed', '?')} failed)"]
+            )
+            continue
+        body.append(
+            [
+                str(s["policy"]),
+                f"{s['survival_fraction'] * 100:5.1f}%",
+                f"{s['lifetime_p5_days']:6.2f} d",
+                f"{s['lifetime_p50_days']:6.2f} d",
+                f"{s['quality_p10_db']:6.1f}",
+                f"{s['quality_p50_db']:6.1f}",
+                f"{s['mean_snr_db']:6.1f}",
+                f"{s['violations_per_1k_windows']:6.1f}",
+                f"{s['average_power_uw']:5.2f} uW",
+            ]
+        )
+    return (
+        f"[{cohort_name}] population fleet — tail statistics per policy\n"
+        + _table(header, body)
+    )
+
+
+def format_survival(policy_name: str, curve, width: int = 40) -> str:
+    """Render a battery-survival curve as an ASCII step plot.
+
+    ``curve`` is the ``(t_days, fraction_alive)`` sequence from
+    :func:`repro.cohort.analytics.survival_curve`.
+    """
+    lines = [f"battery survival — {policy_name}"]
+    for t_days, alive in curve:
+        bar = "#" * round(alive * width)
+        lines.append(f"  {t_days:7.2f} d |{bar:<{width}s}| {alive * 100:5.1f}%")
+    return "\n".join(lines)

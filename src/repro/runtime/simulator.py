@@ -21,6 +21,14 @@ configuration's content (CRC-32, like the campaign grid seeds), the
 streaming draws from the mission seed — so the same mission under the
 same policy always produces the same :class:`MissionResult`, regardless
 of which process ran it or what was cached.
+
+Calibrations are cached at two levels: a per-process ``lru_cache`` memo
+for the hot path, backed by the shared on-disk
+:class:`~repro.cache.DiskCache` so repeated ``repro mission`` runs — and
+every worker of a :class:`~repro.cohort.FleetSimulator` fleet — compute
+each (segment signature, operating point) model exactly once machine-wide
+(``REPRO_CACHE_DIR`` moves the cache, ``REPRO_CACHE_DISABLE=1`` turns
+the disk layer off).
 """
 
 from __future__ import annotations
@@ -28,10 +36,12 @@ from __future__ import annotations
 import zlib
 from dataclasses import replace
 from functools import lru_cache
+from typing import Any
 
 import numpy as np
 
 from ..apps.registry import make_app
+from ..cache import shared_cache
 from ..emt import make_emt
 from ..energy.accounting import EnergySystemModel
 from ..energy.battery import BatteryState
@@ -103,6 +113,48 @@ def _calibrated_quality(
 ) -> tuple[float, float]:
     """Quality model of one (segment signature, operating point) pair.
 
+    The ``lru_cache`` is the per-process memory layer; behind it the
+    shared disk cache (:func:`repro.cache.shared_cache`) makes the
+    underlying fault-injection run (:func:`_probe_quality`) a
+    once-per-machine event, shared by every mission, fleet worker and
+    CLI invocation that needs the same model.
+    """
+    payload = {
+        "kind": "mission-quality",
+        "v": 1,
+        "app": app_name,
+        "record": record,
+        "noise_gain": noise_gain,
+        "emt": emt_name,
+        "ber": ber,
+        "n_probe": n_probe,
+        "probe_duration_s": probe_duration_s,
+        "snr_cap_db": snr_cap_db,
+    }
+    mean, std = shared_cache().get_or_compute(
+        payload,
+        lambda: list(
+            _probe_quality(
+                app_name, record, noise_gain, emt_name, ber,
+                n_probe, probe_duration_s, snr_cap_db,
+            )
+        ),
+    )
+    return float(mean), float(std)
+
+
+def _probe_quality(
+    app_name: str,
+    record: str,
+    noise_gain: float,
+    emt_name: str,
+    ber: float,
+    n_probe: int,
+    probe_duration_s: float,
+    snr_cap_db: float,
+) -> tuple[float, float]:
+    """The real calibration work behind :func:`_calibrated_quality`.
+
     Runs the paper's fault-injection pipeline ``n_probe`` times — fresh
     fault map per probe, as in the Section V protocol — and returns the
     (mean, std) window SNR.  Keyed by the *effective* BER, so segments
@@ -138,12 +190,43 @@ def _window_energy_pj(
 ) -> float:
     """Memory-system energy of one window at one operating point.
 
+    ``tech`` is a frozen (and therefore hashable) dataclass, so two
+    nodes differing in any constant cache separately even if they share
+    a name; its full serialised form is part of the disk-cache key for
+    the same reason.
+    """
+    from ..campaign.evaluators import technology_to_dict
+
+    payload = {
+        "kind": "window-energy",
+        "v": 1,
+        "app": app_name,
+        "emt": emt_name,
+        "voltage": voltage,
+        "window_s": window_s,
+        "tech": technology_to_dict(tech),
+    }
+    return float(
+        shared_cache().get_or_compute(
+            payload,
+            lambda: _price_window(app_name, emt_name, voltage, window_s, tech),
+        )
+    )
+
+
+def _price_window(
+    app_name: str,
+    emt_name: str,
+    voltage: float,
+    window_s: float,
+    tech: Technology,
+) -> float:
+    """The real pricing work behind :func:`_window_energy_pj`.
+
     The access counts come from a measured run of the application on one
     window's worth of signal; leakage integrates over the *full* window
     (the array retains state between bursts), so energy keeps its supply
-    dependence even for sparse workloads.  ``tech`` is a frozen (and
-    therefore hashable) dataclass, so two nodes differing in any
-    constant cache separately even if they share a name.
+    dependence even for sparse workloads.
     """
     from ..campaign.evaluators import measured_workload
 
@@ -157,12 +240,17 @@ def _window_energy_pj(
     return model.evaluate(voltage, workload).total_pj
 
 
-def calibration_cache_info() -> dict[str, str]:
-    """Diagnostic view of the per-process calibration caches."""
+def calibration_cache_info() -> dict[str, Any]:
+    """Diagnostic view of the calibration caches.
+
+    ``quality``/``energy``/``probes`` are the per-process memory memos;
+    ``shared`` is the machine-wide disk layer both are backed by.
+    """
     return {
         "quality": str(_calibrated_quality.cache_info()),
         "energy": str(_window_energy_pj.cache_info()),
         "probes": str(_probe_samples.cache_info()),
+        "shared": shared_cache().info(),
     }
 
 
@@ -251,10 +339,19 @@ class MissionSimulator:
     def _build_schedule(self) -> tuple[SegmentSpec, ...]:
         """Active segment per window, resolved once up front."""
         spec = self.spec
-        return tuple(
+        schedule = tuple(
             spec.segment_at(w * spec.window_s)
             for w in range(spec.n_windows)
         )
+        # Hot-path companions: the stress vector feeds the batched hint
+        # draw; the per-window segment ids key the per-run quality-model
+        # memo without hashing SegmentSpec objects window by window.
+        self._stress = np.asarray([seg.stress for seg in schedule])
+        unique: dict[int, int] = {}
+        self._segment_ids = tuple(
+            unique.setdefault(id(seg), len(unique)) for seg in schedule
+        )
+        return schedule
 
     @property
     def ladder(self) -> tuple[LadderPoint, ...]:
@@ -272,12 +369,12 @@ class MissionSimulator:
 
     # -- the loop ----------------------------------------------------------
 
-    def _window_quality(
-        self, segment: SegmentSpec, point: LadderPoint, z: float
-    ) -> float:
-        """One window's output quality at one operating point."""
+    def _quality_model(
+        self, segment: SegmentSpec, point: LadderPoint
+    ) -> tuple[float, float]:
+        """The calibrated (mean, std) SNR of one (segment, rung) pair."""
         ber = self.tech.ber(point.voltage) * segment.ber_multiplier
-        mean, std = _calibrated_quality(
+        return _calibrated_quality(
             self.spec.app,
             segment.record,
             segment.noise_gain,
@@ -287,10 +384,20 @@ class MissionSimulator:
             self.probe_duration_s,
             self.snr_cap_db,
         )
+
+    def _draw_quality(self, mean: float, std: float, z: float) -> float:
+        """One truncated-Gaussian quality draw from a calibrated model."""
         quality = mean + std * float(
             np.clip(z, -_TRUNCATE_SIGMA, _TRUNCATE_SIGMA)
         )
         return min(quality, self.snr_cap_db)
+
+    def _window_quality(
+        self, segment: SegmentSpec, point: LadderPoint, z: float
+    ) -> float:
+        """One window's output quality at one operating point."""
+        mean, std = self._quality_model(segment, point)
+        return self._draw_quality(mean, std, z)
 
     def run(self, policy: Policy) -> MissionResult:
         """Simulate the full mission under ``policy``.
@@ -306,6 +413,24 @@ class MissionSimulator:
         battery = BatteryState(spec.battery)
         top = len(self._ladder) - 1
 
+        # The environment's draws are batched up front — two per window,
+        # in the same order scalar calls would consume them, so results
+        # are bit-identical to the window-by-window formulation at a
+        # fraction of the RNG cost.  Window pricing is likewise resolved
+        # to a per-rung vector once, and quality models to a per-run
+        # memo keyed by (segment id, rung).
+        draws = rng.standard_normal(2 * spec.n_windows)
+        hints = np.clip(
+            self._stress + draws[0::2] * spec.hint_noise, 0.0, 1.0
+        )
+        zs = draws[1::2]
+        window_pj_by_rung = tuple(
+            point.energy_per_window_pj
+            + spec.platform_power_uw * spec.window_s * 1e6
+            for point in self._ladder
+        )
+        models: dict[tuple[int, int], tuple[float, float]] = {}
+
         current = top  # boot on the most capable rung, like real firmware
         last_snr: float | None = None
         qualities: list[float] = []
@@ -319,16 +444,8 @@ class MissionSimulator:
 
         for w, segment in enumerate(self._schedule):
             time_s = w * spec.window_s
-            # Draws happen unconditionally, in a fixed order, so the
-            # stream stays aligned whatever any policy decides.
-            hint = float(
-                np.clip(
-                    segment.stress + rng.normal(0.0, spec.hint_noise),
-                    0.0,
-                    1.0,
-                )
-            )
-            z = float(rng.standard_normal())
+            hint = float(hints[w])
+            z = zs[w]
             decision = int(
                 policy.decide(
                     Observation(
@@ -343,10 +460,7 @@ class MissionSimulator:
             )
             decision = max(0, min(top, decision))
             point = self._ladder[decision]
-            window_pj = (
-                point.energy_per_window_pj
-                + spec.platform_power_uw * spec.window_s * 1e6
-            )
+            window_pj = window_pj_by_rung[decision]
             # A window the cell cannot fully fund is never processed:
             # the node browns out at this window's start.
             if battery.remaining_j < window_pj * 1e-12:
@@ -358,7 +472,12 @@ class MissionSimulator:
             current = decision
             dwell[current] += 1
 
-            quality = self._window_quality(segment, point, z)
+            model_key = (self._segment_ids[w], decision)
+            model = models.get(model_key)
+            if model is None:
+                model = self._quality_model(segment, point)
+                models[model_key] = model
+            quality = self._draw_quality(*model, z)
             qualities.append(quality)
             if quality < spec.quality_floor_db:
                 n_violations += 1

@@ -243,3 +243,76 @@ class TestDefaultStoreRoot:
 
         monkeypatch.delenv("REPRO_CAMPAIGN_DIR", raising=False)
         assert default_store_root() == Path("benchmarks/results/campaigns")
+
+
+class TestLoadMemoization:
+    def append_n(self, store, n, start=0):
+        for k in range(start, start + n):
+            store.append({"hash": f"h{k}", "status": "ok", "result": k})
+
+    def test_repeated_loads_parse_once(self, tmp_path):
+        store = ResultStore(tmp_path / "memo.jsonl")
+        self.append_n(store, 5)
+        for _ in range(4):
+            assert len(store.load()) == 5
+        assert store.n_parses == 1
+
+    def test_append_invalidates_memo(self, tmp_path):
+        store = ResultStore(tmp_path / "memo.jsonl")
+        self.append_n(store, 2)
+        assert len(store.load()) == 2
+        self.append_n(store, 1, start=2)
+        assert len(store.load()) == 3
+        assert store.n_parses == 2
+
+    def test_external_write_invalidates_memo(self, tmp_path):
+        store = ResultStore(tmp_path / "memo.jsonl")
+        self.append_n(store, 1)
+        store.load()
+        # Another process appends behind this instance's back.
+        other = ResultStore(tmp_path / "memo.jsonl")
+        other.append({"hash": "ext", "status": "ok", "result": 9})
+        assert "ext" in store.load()
+
+    def test_returned_mapping_is_a_copy(self, tmp_path):
+        store = ResultStore(tmp_path / "memo.jsonl")
+        self.append_n(store, 2)
+        first = store.load()
+        first.pop("h0")
+        assert len(store.load()) == 2
+
+
+class TestCompaction:
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        store = ResultStore(tmp_path / "dup.jsonl")
+        for _ in range(3):  # e.g. repeated resume=False re-runs
+            store.append({"hash": "a", "status": "ok", "result": 1})
+        store.append({"hash": "a", "status": "ok", "result": 99})
+        store.append({"hash": "b", "status": "failed", "error": "x"})
+        before = store.load()
+        assert store.compact() == 3
+        lines = [
+            json.loads(line)
+            for line in store.path.read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert store.load() == before
+        assert store.load()["a"]["result"] == 99
+
+    def test_compact_noop_when_unique(self, tmp_path):
+        store = ResultStore(tmp_path / "unique.jsonl")
+        store.append({"hash": "a", "status": "ok", "result": 1})
+        text = store.path.read_text()
+        assert store.compact() == 0
+        assert store.path.read_text() == text
+
+    def test_compact_missing_store(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").compact() == 0
+
+    def test_compact_drops_malformed_lines(self, tmp_path):
+        store = ResultStore(tmp_path / "torn.jsonl")
+        store.append({"hash": "a", "status": "ok", "result": 1})
+        with store.path.open("a") as handle:
+            handle.write('{"hash": "torn", "status"')
+        assert store.compact() == 1
+        assert set(store.load()) == {"a"}

@@ -1,0 +1,96 @@
+"""Tests for population analytics (repro.cohort.analytics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cohort import (
+    median_survival_days,
+    population_frontier,
+    quality_bands,
+    survival_curve,
+)
+from repro.errors import CohortError
+
+
+def rows(lifetimes, worst=None):
+    worst = worst if worst is not None else [90.0] * len(lifetimes)
+    return [
+        {
+            "status": "ok",
+            "lifetime_days": life,
+            "worst_snr_db": quality,
+        }
+        for life, quality in zip(lifetimes, worst)
+    ]
+
+
+class TestSurvivalCurve:
+    def test_monotone_step_down(self):
+        curve = survival_curve(rows([1.0, 2.0, 3.0, 4.0]), n_points=9)
+        fractions = [fraction for _, fraction in curve]
+        assert fractions[0] == 1.0
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[-1] == pytest.approx(0.25)  # one patient at max
+
+    def test_explicit_times(self):
+        curve = survival_curve(
+            rows([1.0, 3.0]), times_days=[0.0, 2.0, 5.0]
+        )
+        assert curve == [(0.0, 1.0), (2.0, 0.5), (5.0, 0.0)]
+
+    def test_failed_rows_excluded(self):
+        mixed = rows([2.0]) + [{"status": "failed", "error": "boom"}]
+        assert survival_curve(mixed, times_days=[1.0]) == [(1.0, 1.0)]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(CohortError, match="no successful"):
+            survival_curve([])
+        with pytest.raises(CohortError, match="at least one time"):
+            survival_curve(rows([1.0]), times_days=[])
+
+    def test_median(self):
+        assert median_survival_days(rows([1.0, 2.0, 9.0])) == 2.0
+
+
+class TestQualityBands:
+    def test_percentiles(self):
+        bands = quality_bands(
+            rows([1.0] * 5, worst=[10.0, 20.0, 30.0, 40.0, 50.0]),
+            percentiles=(50.0,),
+        )
+        assert bands == {50.0: 30.0}
+
+    def test_other_metric(self):
+        data = [
+            {"status": "ok", "mean_snr_db": 60.0},
+            {"status": "ok", "mean_snr_db": 80.0},
+        ]
+        bands = quality_bands(data, metric="mean_snr_db", percentiles=(50.0,))
+        assert bands == {50.0: 70.0}
+
+    def test_unknown_metric(self):
+        with pytest.raises(CohortError, match="no metric"):
+            quality_bands(rows([1.0]), metric="nope")
+
+
+class TestPopulationFrontier:
+    def summaries(self):
+        return [
+            {"policy": "a", "lifetime_p5_days": 3.0, "quality_p10_db": 40.0},
+            {"policy": "b", "lifetime_p5_days": 2.0, "quality_p10_db": 60.0},
+            # dominated by both a and b:
+            {"policy": "c", "lifetime_p5_days": 1.0, "quality_p10_db": 30.0},
+        ]
+
+    def test_dominated_configs_dropped(self):
+        frontier = population_frontier(self.summaries())
+        assert [s["policy"] for s in frontier] == ["a", "b"]
+
+    def test_single_summary(self):
+        frontier = population_frontier(self.summaries()[:1])
+        assert [s["policy"] for s in frontier] == ["a"]
+
+    def test_missing_keys_ignored(self):
+        summaries = self.summaries() + [{"policy": "failed-fleet"}]
+        assert len(population_frontier(summaries)) == 2

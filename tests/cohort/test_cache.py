@@ -1,0 +1,144 @@
+"""Tests for the process-safe disk calibration cache (repro.cache)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cache import (
+    DiskCache,
+    computed_events,
+    default_cache_root,
+    shared_cache,
+)
+from repro.errors import ReproError
+
+
+class TestDiskCache:
+    def test_computes_once_then_hits_memory(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        calls = []
+        value = cache.get_or_compute({"k": 1}, lambda: calls.append(1) or 42)
+        again = cache.get_or_compute({"k": 1}, lambda: calls.append(1) or 99)
+        assert (value, again) == (42, 42)
+        assert len(calls) == 1
+        assert cache.stats.computed == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_distinct_payloads_distinct_entries(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get_or_compute({"k": 1}, lambda: "a") == "a"
+        assert cache.get_or_compute({"k": 2}, lambda: "b") == "b"
+        assert cache.info()["entries"] == 2
+
+    def test_fresh_instance_hits_disk(self, tmp_path):
+        DiskCache(tmp_path).get_or_compute({"k": 1}, lambda: [1, 2])
+        fresh = DiskCache(tmp_path)
+        value = fresh.get_or_compute(
+            {"k": 1}, lambda: pytest.fail("must not recompute")
+        )
+        assert value == [1, 2]
+        assert fresh.stats.disk_hits == 1
+
+    def test_key_order_does_not_matter(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_compute({"a": 1, "b": 2}, lambda: "x")
+        value = cache.get_or_compute(
+            {"b": 2, "a": 1}, lambda: pytest.fail("same content, same entry")
+        )
+        assert value == "x"
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_compute({"k": 1}, lambda: 7)
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{torn", encoding="utf-8")
+        fresh = DiskCache(tmp_path)
+        assert fresh.get_or_compute({"k": 1}, lambda: 8) == 8
+
+    def test_unserialisable_value_raises(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        with pytest.raises(ReproError, match="JSON-serialisable"):
+            cache.get_or_compute({"k": 1}, lambda: object())
+
+    def test_non_persistent_mode_stays_in_memory(self, tmp_path):
+        cache = DiskCache(tmp_path, persistent=False)
+        assert cache.get_or_compute({"k": 1}, lambda: 5) == 5
+        assert cache.get_or_compute({"k": 1}, lambda: 9) == 5
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_clear_and_info(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_compute({"k": 1}, lambda: 1)
+        cache.get_or_compute({"k": 2}, lambda: 2)
+        info = cache.info()
+        assert info["entries"] == 2
+        assert info["size_bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.info()["entries"] == 0
+        assert computed_events(tmp_path) == []
+        # cleared from memory too: recomputes
+        assert cache.get_or_compute({"k": 1}, lambda: 11) == 11
+
+    def test_event_log_audits_computations(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_compute({"k": 1}, lambda: 1)
+        cache.get_or_compute({"k": 2}, lambda: 2)
+        cache.get_or_compute({"k": 1}, lambda: 3)
+        events = computed_events(tmp_path)
+        assert len(events) == 2
+        assert len(set(events)) == 2
+
+
+def _hammer(payload):
+    """Worker body: many lookups of the same small key set."""
+    root, worker = payload
+    cache = DiskCache(root)
+    return [
+        cache.get_or_compute({"key": k}, lambda k=k: {"value": k * k})
+        for k in (0, 1, 2, 0, 1, 2)
+    ]
+
+
+class TestProcessSafety:
+    def test_exactly_once_across_processes(self, tmp_path):
+        with multiprocessing.Pool(4) as pool:
+            results = pool.map(_hammer, [(str(tmp_path), w) for w in range(8)])
+        # Every worker saw identical values ...
+        assert all(result == results[0] for result in results)
+        # ... and each of the three keys was computed exactly once
+        # fleet-wide, despite 8 workers racing for it.
+        events = computed_events(tmp_path)
+        assert sorted(events) == sorted(set(events))
+        assert len(set(events)) == 3
+
+
+class TestSharedCache:
+    def test_follows_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        first = shared_cache()
+        assert first.root == tmp_path / "a"
+        assert shared_cache() is first  # stable while env is stable
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+        assert shared_cache().root == tmp_path / "b"
+
+    def test_disable_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        cache = shared_cache()
+        assert not cache.persistent
+        cache.get_or_compute({"k": 1}, lambda: 1)
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_default_root_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_root() == tmp_path
+
+    def test_entries_are_keyed_json(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.get_or_compute({"kind": "quality", "x": 1}, lambda: [0.5, 0.1])
+        entry = json.loads(next(tmp_path.glob("*.json")).read_text())
+        assert entry["key"] == {"kind": "quality", "x": 1}
+        assert entry["value"] == [0.5, 0.1]

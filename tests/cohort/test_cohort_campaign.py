@@ -1,0 +1,105 @@
+"""Policy x cohort grids through the campaign engine (kind="cohort")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.cohort import CohortSpec, population_frontier
+
+POLICIES = ("hysteresis", {"name": "static", "params": {"index": 0}})
+
+
+def cohort_campaign(name: str = "cohort-grid") -> CampaignSpec:
+    cohort = CohortSpec(
+        name="campaign-cohort",
+        size=4,
+        duration_scale=0.01,
+        voltages=(0.65, 0.8),
+    )
+    return CampaignSpec(
+        name=name,
+        kind="cohort",
+        axes={"policy": POLICIES},
+        fixed={
+            "cohort": cohort.to_dict(),
+            "n_probe": 2,
+            "probe_duration_s": 2.0,
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    """One shared sweep: first run executes, second resumes from disk."""
+    store = ResultStore(
+        tmp_path_factory.mktemp("campaigns") / "cohort-grid.jsonl"
+    )
+    first = run_campaign(cohort_campaign(), store=store)
+    resumed = run_campaign(cohort_campaign(), store=store)
+    return first, resumed
+
+
+class TestCohortEvaluator:
+    def test_population_metrics_per_point(self, sweep):
+        first, _ = sweep
+        assert first.n_executed == len(POLICIES)
+        assert not first.failures()
+        for record in first.records:
+            result = record["result"]
+            assert result["n_patients"] == 4
+            assert "lifetime_p5_days" in result
+            assert "quality_p10_db" in result
+            # Volatile fields are stripped from stored results.
+            assert "elapsed_s" not in result
+            assert "cache" not in result
+
+    def test_resume_executes_nothing(self, sweep):
+        first, resumed = sweep
+        assert resumed.n_executed == 0
+        assert resumed.n_cached == len(POLICIES)
+        assert [r["result"] for r in resumed.records] == [
+            r["result"] for r in first.records
+        ]
+
+    def test_frontier_over_stored_records(self, sweep):
+        first, _ = sweep
+        frontier = population_frontier(
+            [record["result"] for record in first.records]
+        )
+        assert 1 <= len(frontier) <= len(POLICIES)
+
+    def test_overrides_and_validation(self):
+        base = cohort_campaign("cohort-overrides")
+        point = type(base.expand()[0])(
+            kind="cohort",
+            coords={"policy": "hysteresis", "size": 2},
+            fixed=dict(base.fixed),
+        )
+        from repro.campaign.evaluators import evaluate_point
+
+        result = evaluate_point(point)
+        assert result["n_patients"] == 2
+
+    def test_missing_parameters(self):
+        from repro.campaign.evaluators import EVALUATORS
+        from repro.errors import CampaignError
+
+        evaluator = EVALUATORS["cohort"]
+        with pytest.raises(CampaignError, match="'cohort' dict"):
+            evaluator({"policy": "hysteresis"})
+        with pytest.raises(CampaignError, match="'policy'"):
+            evaluator({"cohort": {}})
+
+    def test_patient_failure_fails_the_point(self):
+        spec = cohort_campaign("cohort-failing")
+        result = run_campaign(
+            CampaignSpec(
+                name="cohort-failing",
+                kind="cohort",
+                axes={"policy": ("no-such-policy",)},
+                fixed=dict(spec.fixed),
+            )
+        )
+        assert result.n_failed == 1
+        assert "patients failed" in result.failures()[0]["error"]

@@ -1,0 +1,190 @@
+"""Tests for patient sampling and cohort specs (repro.cohort.population)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cohort import CohortSpec, PatientModel
+from repro.errors import CohortError
+
+
+def cohort(**overrides) -> CohortSpec:
+    defaults = dict(name="test-cohort", size=50)
+    defaults.update(overrides)
+    return CohortSpec(**defaults)
+
+
+class TestPatientModel:
+    def test_defaults_valid(self):
+        PatientModel()
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(CohortError, match="at least one option"):
+            PatientModel(scenario_mix=())
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(CohortError, match="negative"):
+            PatientModel(record_mix=(("100", -1.0),))
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(CohortError, match="sum to zero"):
+            PatientModel(environment_mix=((1.0, 0.0),))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(CohortError, match="unknown scenario"):
+            PatientModel(scenario_mix=(("marathon", 1.0),))
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(CohortError, match="unknown record"):
+            PatientModel(record_mix=(("999", 1.0),))
+
+    def test_battery_validation(self):
+        with pytest.raises(CohortError, match="battery spread"):
+            PatientModel(battery_cv=-0.1)
+        with pytest.raises(CohortError, match="battery clip"):
+            PatientModel(battery_clip=(0.0, 1.0))
+
+    def test_round_trip(self):
+        model = PatientModel(
+            record_mix=(("100", 0.5), ("119", 0.5)), battery_cv=0.2
+        )
+        assert PatientModel.from_dict(model.to_dict()) == model
+
+    def test_malformed_payload(self):
+        with pytest.raises(CohortError, match="malformed"):
+            PatientModel.from_dict({"scenario_mix": [["active_day", 1.0]]})
+
+
+class TestCohortSpec:
+    def test_validation(self):
+        with pytest.raises(CohortError, match="name"):
+            cohort(name="")
+        with pytest.raises(CohortError, match="size"):
+            cohort(size=0)
+        with pytest.raises(CohortError, match="duration scale"):
+            cohort(duration_scale=0.0)
+
+    def test_patient_reproducible_in_isolation(self):
+        spec = cohort()
+        assert spec.patient(7) == spec.patient(7)
+        # ... and independent of the cohort size: patient 7 of a
+        # 50-patient cohort is patient 7 of a 5000-patient cohort.
+        assert cohort(size=5000).patient(7) == spec.patient(7)
+
+    def test_patient_index_bounds(self):
+        with pytest.raises(CohortError, match="outside cohort"):
+            cohort(size=3).patient(3)
+        with pytest.raises(CohortError, match="outside cohort"):
+            cohort().patient(-1)
+
+    def test_patients_differ(self):
+        spec = cohort()
+        profiles = spec.patients()
+        assert len(profiles) == spec.size
+        assert len({p.seed for p in profiles}) == spec.size
+        assert len({p.battery_scale for p in profiles}) > 10
+
+    def test_seed_changes_population(self):
+        a = cohort(seed=1).patient(0)
+        b = cohort(seed=2).patient(0)
+        assert a != b
+
+    def test_name_is_a_label_not_a_seed(self):
+        # Patient k depends on (seed, k) alone: renaming a cohort keeps
+        # its population paired patient by patient.
+        renamed = cohort(name="other-label")
+        assert renamed.patient(7) == cohort().patient(7)
+
+    def test_mixes_respected(self):
+        spec = cohort(
+            size=400,
+            model=PatientModel(
+                record_mix=(("100", 0.8), ("119", 0.2)),
+                environment_mix=((1.0, 1.0),),
+                shielding_mix=((1.0, 1.0),),
+            ),
+        )
+        profiles = spec.patients()
+        share_100 = np.mean([p.record == "100" for p in profiles])
+        assert 0.7 < share_100 < 0.9
+        assert {p.noise_gain for p in profiles} == {1.0}
+
+    def test_battery_spread_clipped(self):
+        spec = cohort(
+            size=200,
+            model=PatientModel(battery_cv=1.0, battery_clip=(0.8, 1.2)),
+        )
+        scales = [p.battery_scale for p in spec.patients()]
+        assert min(scales) >= 0.8
+        assert max(scales) <= 1.2
+
+    def test_phenotype_metadata(self):
+        spec = cohort(
+            model=PatientModel(record_mix=(("231", 1.0),))
+        )
+        profile = spec.patient(0)
+        assert profile.heart_rate_bpm == 58.0
+        assert "RBBB" in profile.description
+
+    def test_round_trip(self):
+        spec = cohort(
+            duration_scale=0.1,
+            voltages=(0.65, 0.8),
+            emts=("secded",),
+            window_s=4.0,
+            app="dwt",
+        )
+        assert CohortSpec.from_dict(spec.to_dict()) == spec
+
+    def test_malformed_payload(self):
+        with pytest.raises(CohortError, match="malformed cohort"):
+            CohortSpec.from_dict({"name": "x", "size": 3})
+
+
+class TestMissionFor:
+    def test_profile_shapes_mission(self):
+        spec = cohort(
+            model=PatientModel(
+                scenario_mix=(("overnight", 1.0),),
+                record_mix=(("119", 1.0),),
+                environment_mix=((1.5, 1.0),),
+                shielding_mix=((2.0, 1.0),),
+            ),
+        )
+        profile = spec.patient(3)
+        mission = spec.mission_for(profile)
+        from repro.runtime.scenarios import scenario_spec
+
+        base = scenario_spec("overnight")
+        assert mission.name == "test-cohort-p00003"
+        assert mission.seed == profile.seed
+        assert all(seg.record == "119" for seg in mission.segments)
+        for seg, base_seg in zip(mission.segments, base.segments):
+            assert seg.noise_gain == pytest.approx(base_seg.noise_gain * 1.5)
+            assert seg.ber_multiplier == pytest.approx(
+                base_seg.ber_multiplier * 2.0
+            )
+        assert mission.battery.capacity_mah == pytest.approx(
+            base.battery.capacity_mah * profile.battery_scale
+        )
+
+    def test_lattice_overrides_and_scale(self):
+        spec = cohort(
+            duration_scale=0.5,
+            voltages=(0.7, 0.8),
+            emts=("dream",),
+            window_s=4.0,
+            app="dwt",
+        )
+        mission = spec.mission_for(spec.patient(0))
+        from repro.runtime.scenarios import scenario_spec
+
+        base = scenario_spec(spec.patient(0).scenario)
+        assert mission.voltages == (0.7, 0.8)
+        assert mission.emts == ("dream",)
+        assert mission.window_s == 4.0
+        assert mission.app == "dwt"
+        assert mission.total_duration_s == pytest.approx(
+            base.total_duration_s * 0.5
+        )

@@ -6,11 +6,34 @@ scale, so the common ones are session-scoped.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.mem.layout import MemoryGeometry
 from repro.signals.dataset import load_record
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_calibration_cache(tmp_path_factory):
+    """Point the shared calibration cache at a session-scoped tmp dir.
+
+    Keeps the suite hermetic: runs never read calibrations persisted by
+    earlier runs (or leave any behind in the working tree), while tests
+    still exercise the real disk layer — and worker processes, which
+    inherit the environment, share the same root.  Tests that need a
+    private cache root override ``REPRO_CACHE_DIR`` themselves.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("calibration-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

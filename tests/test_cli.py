@@ -298,3 +298,124 @@ class TestSweep:
         for line in captured.out.splitlines():
             if "down to" in line:
                 assert "0.65" not in line
+
+
+class TestCohortParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["cohort"])
+        assert args.size == 200
+        assert args.policies == ("static", "soc", "hysteresis")
+        assert args.workers == 2
+        assert args.duration_scale == 1.0
+
+    def test_cache_flags(self):
+        args = build_parser().parse_args(["cache", "--clear"])
+        assert args.clear and not args.info
+        args = build_parser().parse_args(["cache", "--info"])
+        assert args.info and not args.clear
+
+
+class TestCohortCommand:
+    ARGS = [
+        "cohort", "--size", "6", "--duration-scale", "0.01",
+        "--policies", "static:secded@0.65,hysteresis",
+        "--probe-runs", "2", "--probe-duration", "2", "--workers", "1",
+    ]
+
+    def test_population_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "population fleet" in out
+        assert "battery survival" in out
+        assert "Pareto frontier" in out
+        assert "static:secded@0.65" in out or "static(" in out
+
+    def test_seed_threads_into_population(self, capsys):
+        assert main(["--seed", "7", *self.ARGS]) == 0
+        seed7 = capsys.readouterr().out
+        assert main(["--seed", "7", *self.ARGS]) == 0
+        assert capsys.readouterr().out == seed7  # reproducible
+        assert main(["--seed", "8", *self.ARGS]) == 0
+        assert capsys.readouterr().out != seed7
+
+    def test_bad_mix_rejected(self, capsys):
+        assert main(["cohort", "--scenarios", "active_day"]) == 1
+        assert "name:weight" in capsys.readouterr().err
+
+    def test_bad_policy_rejected_before_running(self, capsys):
+        assert main([*self.ARGS[:-8], "--policies", "pid"]) == 1
+        assert "unknown policy" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.cache import shared_cache
+
+        shared_cache().get_or_compute({"k": 1}, lambda: 1)
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    1" in out
+        assert str(tmp_path) in out
+        assert main(["cache", "--clear"]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert main(["cache", "--info"]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+
+
+class TestGridFailureExitCodes:
+    """`repro sweep`/`repro mission` must exit non-zero when any grid
+    point (or the mission itself) fails."""
+
+    def test_sweep_failed_points_exit_nonzero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path))
+        import repro.exp.common as common
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected grid failure")
+
+        monkeypatch.setattr(common, "run_monte_carlo", boom)
+        assert main([
+            "sweep", "--apps", "morphology", "--records", "100",
+            "--duration", "3", "--runs", "2", "--workers", "1",
+            "--voltages", "0.9",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "failed" in err
+        assert "injected grid failure" in err
+
+    def test_mission_failure_exits_nonzero(self, capsys, monkeypatch):
+        from repro.errors import MissionError
+        from repro.runtime import MissionSimulator
+
+        def boom(self, policy):
+            raise MissionError("injected mission failure")
+
+        monkeypatch.setattr(MissionSimulator, "run", boom)
+        assert main([
+            "mission", "--scenario", "overnight",
+            "--duration-scale", "0.02",
+        ]) == 1
+        assert "injected mission failure" in capsys.readouterr().err
+
+    def test_cohort_failed_patients_exit_nonzero(self, capsys, monkeypatch):
+        import repro.cohort.fleet as fleet_module
+        from repro.errors import MissionError
+
+        original = fleet_module.MissionSimulator.run
+
+        def flaky(self, policy):
+            if "p00002" in self.spec.name:
+                raise MissionError("injected patient failure")
+            return original(self, policy)
+
+        monkeypatch.setattr(fleet_module.MissionSimulator, "run", flaky)
+        assert main([
+            "cohort", "--size", "4", "--duration-scale", "0.01",
+            "--policies", "hysteresis", "--probe-runs", "2",
+            "--probe-duration", "2", "--workers", "1",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "patients failed" in err or "failed: patient" in err
