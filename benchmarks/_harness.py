@@ -1,0 +1,206 @@
+"""Shared benchmark runner: machine-readable results + regression gate.
+
+Every performance benchmark routes its numbers through this module
+instead of ad-hoc prints: :func:`write_bench` deposits one
+``results/BENCH_<name>.json`` per benchmark with wall-clock seconds,
+derived ops/s and speedup metrics, plus enough environment metadata
+(python / numpy / platform) to interpret the file later.
+
+Regression discipline: ``baselines.json`` (committed next to this file)
+records the *gated* metrics of each benchmark — dimensionless ratios
+like batched-vs-sequential speedup, which transfer across machines far
+better than raw wall-clock does.  :func:`compare_to_baseline` flags any
+gated metric that fell more than :data:`REGRESSION_TOLERANCE` below its
+committed value; ``python benchmarks/check_regression.py`` wraps that in
+a CI-friendly exit code and prints the per-run speedup summary table.
+
+Typical benchmark shape::
+
+    from _harness import time_call, write_bench
+
+    result_a, seq_s = time_call(run_sequential)
+    result_b, bat_s = time_call(run_batched)
+    assert result_a == result_b          # perf never buys wrong answers
+    write_bench(
+        "cold_calibration",
+        metrics={
+            "sequential_s": seq_s,
+            "batched_s": bat_s,
+            "speedup": seq_s / bat_s,
+            "probes_per_s": n / bat_s,
+        },
+        gate=("speedup",),
+        meta={"app": "dwt", "n_probe": n},
+    )
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from collections.abc import Callable, Iterable
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINE_PATH = BENCH_DIR / "baselines.json"
+
+#: A gated metric may fall this fraction below its committed baseline
+#: before the regression check fails (ISSUE 4: fail on >30% regression).
+REGRESSION_TOLERANCE = 0.30
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 1) -> tuple[Any, float]:
+    """Run ``fn`` ``repeat`` times; return (last result, best wall s).
+
+    Best-of-N is the standard noise reducer for single-process
+    benchmarks; the result of the final invocation is returned so
+    callers can assert correctness on exactly what was timed.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def write_bench(
+    name: str,
+    metrics: dict[str, float],
+    gate: Iterable[str] = (),
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write one ``results/BENCH_<name>.json`` artefact.
+
+    Args:
+        name: benchmark identifier (also the baseline key).
+        metrics: numeric results — wall-clock seconds, ops/s, speedups.
+        gate: metric names the regression check compares against the
+            committed baseline (higher is better for gated metrics).
+        meta: free-form scenario description (apps, trial counts, ...).
+    """
+    unknown = set(gate) - set(metrics)
+    if unknown:
+        raise ValueError(f"gated metrics missing from metrics: {unknown}")
+    payload = {
+        "name": name,
+        "metrics": {key: float(value) for key, value in metrics.items()},
+        "gate": sorted(gate),
+        "meta": meta or {},
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_benches(results_dir: Path | None = None) -> dict[str, dict]:
+    """All ``BENCH_*.json`` payloads in ``results_dir``, keyed by name."""
+    root = results_dir or RESULTS_DIR
+    benches: dict[str, dict] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        benches[payload["name"]] = payload
+    return benches
+
+
+def load_baselines(path: Path | None = None) -> dict[str, dict[str, float]]:
+    """The committed baseline metrics (empty when none are recorded)."""
+    baseline_path = path or BASELINE_PATH
+    if not baseline_path.exists():
+        return {}
+    return json.loads(baseline_path.read_text())
+
+
+def compare_to_baseline(
+    benches: dict[str, dict],
+    baselines: dict[str, dict[str, float]],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> tuple[list[dict], list[str]]:
+    """Grade fresh benchmark results against the committed baseline.
+
+    Returns ``(rows, failures)``: one row per (benchmark, gated metric)
+    with current/baseline/floor values and a status, plus the list of
+    human-readable failure strings (regressions and baseline entries
+    with no fresh measurement).
+    """
+    rows: list[dict] = []
+    failures: list[str] = []
+    for name, gated in sorted(baselines.items()):
+        bench = benches.get(name)
+        if bench is None:
+            failures.append(f"{name}: baseline present but no BENCH_{name}.json")
+            continue
+        for metric, baseline_value in sorted(gated.items()):
+            current = bench["metrics"].get(metric)
+            floor = baseline_value * (1.0 - tolerance)
+            if metric not in bench.get("gate", []):
+                # The benchmark opted this metric out on this
+                # environment (e.g. popcount's native-vs-fallback ratio
+                # is meaningless on numpy < 2.0): report, don't gate.
+                status = "ungated"
+            elif current is None:
+                status = "missing"
+                failures.append(f"{name}.{metric}: not measured")
+            elif current < floor:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}.{metric}: {current:.2f} fell below the "
+                    f"{floor:.2f} floor (baseline {baseline_value:.2f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+            else:
+                status = "ok"
+            rows.append(
+                {
+                    "bench": name,
+                    "metric": metric,
+                    "current": current,
+                    "baseline": baseline_value,
+                    "floor": floor,
+                    "status": status,
+                }
+            )
+    return rows, failures
+
+
+def format_summary(
+    benches: dict[str, dict], rows: list[dict]
+) -> str:
+    """The per-run speedup summary table printed into the CI job log."""
+    lines = [
+        f"{'benchmark':<24s} {'metric':<16s} {'current':>10s} "
+        f"{'baseline':>10s} {'floor':>10s}  status",
+        "-" * 80,
+    ]
+    graded = {(row["bench"], row["metric"]) for row in rows}
+    for row in rows:
+        current = (
+            f"{row['current']:.2f}" if row["current"] is not None else "-"
+        )
+        lines.append(
+            f"{row['bench']:<24s} {row['metric']:<16s} {current:>10s} "
+            f"{row['baseline']:>10.2f} {row['floor']:>10.2f}  {row['status']}"
+        )
+    for name, bench in sorted(benches.items()):
+        for metric, value in sorted(bench["metrics"].items()):
+            if (name, metric) in graded:
+                continue
+            lines.append(
+                f"{name:<24s} {metric:<16s} {value:>10.2f} "
+                f"{'-':>10s} {'-':>10s}  info"
+            )
+    return "\n".join(lines)

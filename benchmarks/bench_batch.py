@@ -1,0 +1,256 @@
+"""Trial-batched pipeline benchmarks: the ISSUE 4 speedup evidence.
+
+Every benchmark times the *same computation* twice — the historical
+per-trial Python loop and the batched 2-D ``(n_trials, n_words)``
+pipeline — asserts the results are bit-identical, and records the
+speedup as a ``BENCH_*.json`` artefact through the shared harness
+(``_harness.py``).  CI runs this file in fast mode and
+``check_regression.py`` fails the job if any gated speedup falls more
+than 30 % below the committed ``baselines.json``.
+
+Fast-mode scale knobs (environment):
+
+* ``REPRO_BENCH_PROBES`` — Monte-Carlo probes for the cold-calibration
+  benchmark (default 16).
+* ``REPRO_BENCH_SWEEP_RUNS`` — runs per point of the cold-sweep
+  benchmark (default 12).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import time_call, write_bench  # noqa: E402
+
+from repro._bitops import HAS_BITWISE_COUNT, _popcount_swar, popcount  # noqa: E402
+from repro.apps.registry import make_app  # noqa: E402
+from repro.emt import make_emt  # noqa: E402
+from repro.exp.common import (  # noqa: E402
+    ExperimentConfig,
+    load_corpus,
+    run_monte_carlo,
+    run_monte_carlo_sequential,
+)
+from repro.exp.fig2 import run_fig2  # noqa: E402
+from repro.mem.fabric import MemoryFabric  # noqa: E402
+from repro.mem.faults import position_fault_map  # noqa: E402
+from repro.runtime.simulator import BatchCalibrator  # noqa: E402
+
+
+def _probes(default: int = 16) -> int:
+    return int(os.environ.get("REPRO_BENCH_PROBES", default))
+
+
+def _sweep_runs(default: int = 12) -> int:
+    return int(os.environ.get("REPRO_BENCH_SWEEP_RUNS", default))
+
+
+def test_cold_calibration_speedup():
+    """Cold Fig 2-style calibration: seed implementation vs batched path.
+
+    The seed implementation calibrated the 32 (stuck value, bit
+    position) significance configurations of one application point by
+    point — a fresh application instance per configuration (so the
+    clean reference outputs were recomputed every time, exactly as the
+    seed ``bit_position`` evaluator did) and one full pipeline pass per
+    (configuration, record).  The trial-batched ``run_fig2`` fast path
+    stacks all 32 configurations into a single ``(32, n_words)``
+    fault-map batch, folds the window loop into the batch, and shares
+    one cached application instance.  Both produce identical curves
+    (the sweep is deterministic; asserted here).
+
+    Scale: the library-default reproduction configuration (the paper's
+    five records, 10 s each) — what ``run_fig2`` runs out of the box.
+    """
+    config = ExperimentConfig()
+    corpus = load_corpus(config)  # the record cache both legs share
+
+    def seed_path():
+        per_value = {0: [], 1: []}
+        for stuck_value in (0, 1):
+            for position in range(16):
+                # One self-contained point, as the seed evaluator ran it.
+                app = make_app("dwt")
+                fault_map = position_fault_map(
+                    config.geometry.n_words, 16, position, stuck_value
+                )
+                snrs = []
+                for samples in corpus.values():
+                    fabric = MemoryFabric(
+                        make_emt("none"),
+                        fault_map=fault_map,
+                        geometry=config.geometry,
+                    )
+                    output = app.run(samples, fabric)
+                    snrs.append(
+                        app.output_snr(
+                            samples, output, cap_db=config.snr_cap_db
+                        )
+                    )
+                per_value[stuck_value].append(float(np.mean(snrs)))
+        return per_value
+
+    seq_curves, seq_s = time_call(seed_path, repeat=2)
+    batched, bat_s = time_call(
+        lambda: run_fig2(app_names=("dwt",), config=config), repeat=2
+    )
+    assert batched.snr_db["dwt"] == seq_curves, "batched Fig 2 curves moved"
+
+    n_configs = 32 * len(config.records)
+    write_bench(
+        "cold_calibration",
+        metrics={
+            "sequential_s": seq_s,
+            "batched_s": bat_s,
+            "speedup": seq_s / bat_s,
+            "configs_per_s": n_configs / bat_s,
+        },
+        gate=("speedup",),
+        meta={
+            "app": "dwt",
+            "style": "fig2 bit-significance, 32 stacked configurations",
+            "records": list(config.records),
+            "duration_s": config.duration_s,
+        },
+    )
+
+
+def test_probe_calibration_speedup():
+    """BatchCalibrator vs the per-probe loop on one cold quality model.
+
+    This is the unit of work every cold ``repro mission`` / ``repro
+    cohort`` / fleet worker pays per (app, segment, operating point);
+    the disk cache only helps the *second* time.  The speedup here is
+    bounded by Monte-Carlo map sampling, which must consume the RNG
+    stream exactly as the sequential loop did (bit-identical results)
+    and is therefore shared by both legs.
+    """
+    n_probe = _probes()
+    calibrator = BatchCalibrator(n_probe=n_probe, probe_duration_s=4.0)
+    args = ("dwt", "100", 1.0, "dream", 3e-3)
+
+    sequential, seq_s = time_call(
+        lambda: calibrator.calibrate_sequential(*args), repeat=2
+    )
+    batched, bat_s = time_call(lambda: calibrator.calibrate(*args), repeat=2)
+    assert batched == sequential, "batched calibration changed the model"
+
+    write_bench(
+        "probe_calibration",
+        metrics={
+            "sequential_s": seq_s,
+            "batched_s": bat_s,
+            "speedup": seq_s / bat_s,
+            "probes_per_s": n_probe / bat_s,
+        },
+        gate=("speedup",),
+        meta={"app": "dwt", "emt": "dream", "ber": 3e-3, "n_probe": n_probe},
+    )
+
+
+def test_cold_sweep_speedup():
+    """A cold ``repro sweep`` quality grid, batched vs run loop.
+
+    The montecarlo evaluator behind ``repro sweep`` (and Fig 4) spends
+    its time in :func:`run_monte_carlo`; this measures a fast-mode
+    voltage grid — the paper's 0.90 V (error-free) down into the
+    multi-error regime — exactly the per-point work a cold sweep pays.
+    The sequential leg reconstructs the seed evaluator (fresh app
+    instance per point, run-by-run Monte-Carlo loop); the batched leg
+    is the shipped path (cached app, stacked trials and windows).  The
+    grid's own BER(V) profile decides how much of each point is
+    fault-map sampling — shared by both legs, since the batched draws
+    must consume the RNG stream identically to stay bit-identical.
+    """
+    from repro.apps.registry import cached_app
+    from repro.campaign.evaluators import grid_seed
+    from repro.energy.technology import TECH_32NM_LP
+
+    config = ExperimentConfig(n_runs=_sweep_runs())
+    corpus = load_corpus(config)
+    emts = {name: make_emt(name) for name in ("none", "dream", "secded")}
+    voltages = (0.9, 0.8, 0.7, 0.6, 0.5)
+
+    def sweep(runner, app_for_point):
+        return [
+            runner(
+                app_for_point(),
+                emts,
+                TECH_32NM_LP.ber(voltage),
+                config,
+                corpus,
+                grid_seed("dwt", voltage),
+            )
+            for voltage in voltages
+        ]
+
+    sequential, seq_s = time_call(
+        lambda: sweep(run_monte_carlo_sequential, lambda: make_app("dwt")),
+        repeat=2,
+    )
+    batched, bat_s = time_call(
+        lambda: sweep(run_monte_carlo, lambda: cached_app("dwt")), repeat=2
+    )
+    for seq_point, bat_point in zip(sequential, batched):
+        assert bat_point.snr_mean_db == seq_point.snr_mean_db
+        assert bat_point.snr_std_db == seq_point.snr_std_db
+
+    n_pipeline_runs = (
+        len(voltages) * config.n_runs * len(emts) * len(corpus)
+    )
+    write_bench(
+        "cold_sweep",
+        metrics={
+            "sequential_s": seq_s,
+            "batched_s": bat_s,
+            "speedup": seq_s / bat_s,
+            "pipeline_runs_per_s": n_pipeline_runs / bat_s,
+        },
+        gate=("speedup",),
+        meta={
+            "app": "dwt",
+            "emts": sorted(emts),
+            "voltages": list(voltages),
+            "n_runs": config.n_runs,
+            "records": list(config.records),
+        },
+    )
+
+
+def test_popcount_native_vs_swar():
+    """Micro-benchmark: ``np.bitwise_count`` vs the SWAR fallback.
+
+    Proves the numpy >= 2.0 fast path is worth dispatching to — and
+    that both implementations agree bit-for-bit on the codec workload
+    (22-bit codewords, the widest the EMTs store).
+    """
+    rng = np.random.default_rng(20160131)
+    words = rng.integers(0, 1 << 22, size=1_000_000, dtype=np.int64)
+
+    swar_counts, swar_s = time_call(lambda: _popcount_swar(words), repeat=3)
+    fast_counts, fast_s = time_call(lambda: popcount(words), repeat=3)
+    assert np.array_equal(swar_counts, fast_counts)
+
+    metrics = {
+        "swar_s": swar_s,
+        "dispatch_s": fast_s,
+        "words_per_s": words.size / fast_s,
+        "speedup": swar_s / fast_s,
+    }
+    # Gate only where the native ufunc exists; on numpy < 2.0 the
+    # dispatcher *is* the SWAR path and the ratio is ~1 by construction.
+    gate = ("speedup",) if HAS_BITWISE_COUNT else ()
+    write_bench(
+        "popcount",
+        metrics=metrics,
+        gate=gate,
+        meta={
+            "n_words": int(words.size),
+            "native_bitwise_count": HAS_BITWISE_COUNT,
+        },
+    )

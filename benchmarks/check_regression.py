@@ -1,0 +1,76 @@
+"""CI regression gate over the ``BENCH_*.json`` artefacts.
+
+Usage (after running the fast-mode benchmark suite)::
+
+    python -m pytest benchmarks/bench_batch.py -q
+    python benchmarks/check_regression.py
+
+Loads every ``results/BENCH_*.json``, compares the gated metrics against
+the committed ``baselines.json`` and exits non-zero if any metric fell
+more than 30 % below its baseline (or a baselined benchmark produced no
+fresh measurement).  Always prints the per-run speedup summary table, so
+the CI job log carries the numbers even on success.
+
+``--update-baselines`` rewrites ``baselines.json`` from the current
+results' gated metrics — run locally after an intentional performance
+change, then commit the file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import (  # noqa: E402
+    BASELINE_PATH,
+    compare_to_baseline,
+    format_summary,
+    load_baselines,
+    load_benches,
+)
+
+
+def update_baselines(benches: dict[str, dict]) -> dict[str, dict[str, float]]:
+    """Gated metrics of the current results, in baseline layout."""
+    baselines: dict[str, dict[str, float]] = {}
+    for name, bench in sorted(benches.items()):
+        gated = {
+            metric: bench["metrics"][metric] for metric in bench.get("gate", [])
+        }
+        if gated:
+            baselines[name] = gated
+    return baselines
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    benches = load_benches()
+    if not benches:
+        print("no BENCH_*.json results found; run the benchmark suite first")
+        return 1
+
+    if "--update-baselines" in args:
+        baselines = update_baselines(benches)
+        BASELINE_PATH.write_text(
+            json.dumps(baselines, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {len(baselines)} baselines to {BASELINE_PATH}")
+        return 0
+
+    baselines = load_baselines()
+    rows, failures = compare_to_baseline(benches, baselines)
+    print(format_summary(benches, rows))
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print()
+    print("benchmark regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

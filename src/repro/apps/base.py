@@ -23,7 +23,7 @@ from ..emt.base import NoProtection
 from ..errors import SignalError
 from ..fixedpoint import Q15
 from ..mem.fabric import MemoryFabric
-from ..signals.metrics import SNR_CAP_DB, snr_db
+from ..signals.metrics import SNR_CAP_DB, snr_db, snr_db_batch
 
 __all__ = ["BiomedicalApp", "clean_fabric"]
 
@@ -48,6 +48,14 @@ class BiomedicalApp(ABC):
     #: Human-readable summary for reports.
     description: str = ""
 
+    #: Whether :meth:`run` is written shape-agnostically — every
+    #: intermediate treats the word index as the *last* axis, so handing
+    #: it a trial-batched fabric processes all ``(n_trials, n_words)``
+    #: rows in single numpy passes.  Applications with data-dependent
+    #: control flow (delineation, classifier) leave this False and fall
+    #: back to a per-trial loop in :meth:`run_batch`.
+    supports_batch: bool = False
+
     def __init__(self) -> None:
         self._reference_cache: dict[bytes, np.ndarray] = {}
 
@@ -64,6 +72,91 @@ class BiomedicalApp(ABC):
         Returns:
             The application's output buffer as signed ``int64`` values.
         """
+
+    def run_batch(self, samples: np.ndarray, fabric: MemoryFabric) -> np.ndarray:
+        """Process one sample stream under every trial of a batched fabric.
+
+        The trial-batched hot path of the fault-injection pipeline: the
+        fabric stacks ``n_trials`` independent fault maps, and the
+        result row ``t`` is bit-identical to a sequential
+        :meth:`run` against trial ``t``'s single fault map
+        (property-tested across all EMTs).
+
+        Returns:
+            ``(n_trials, output_length)`` signed ``int64`` array.
+        """
+        if not fabric.is_batched:
+            out = self.run(samples, fabric)
+            return out[None, :]
+        if self.supports_batch:
+            return self.run(samples, fabric)
+        # Sequential fallback for apps with data-dependent control flow:
+        # one fresh single-trial fabric per row, exactly the historical
+        # Monte-Carlo loop.
+        return np.stack(
+            [
+                self.run(samples, fabric.trial(t))
+                for t in range(fabric.n_trials)
+            ]
+        )
+
+    @staticmethod
+    def _window_stack(
+        arr: np.ndarray, window: int, fabric: MemoryFabric
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """Split samples into a stackable block of full windows + a tail.
+
+        When the fabric supports window stacking (batched, untraced),
+        returns ``(full, tail)`` where ``full`` is a ``(1, W, window)``
+        array of the leading complete windows (``None`` when there are
+        none) ready for a single stacked roundtrip, and ``tail`` is the
+        remaining samples — processed through the classic path so
+        partial windows keep their historical handling.
+        """
+        if not getattr(fabric, "window_stacking", False):
+            return None, arr
+        n_full = arr.shape[-1] // window
+        if n_full < 1:
+            return None, arr
+        full = arr[: n_full * window].reshape(1, n_full, window)
+        return full, arr[n_full * window :]
+
+    def _run_in_windows(
+        self,
+        arr: np.ndarray,
+        window: int,
+        fabric: MemoryFabric,
+        run_window,
+        pad: bool = False,
+        trim: bool = False,
+    ) -> np.ndarray:
+        """Drive ``run_window`` over ``arr`` in fixed windows.
+
+        The shared chunking engine of the batchable applications: on a
+        window-stacking fabric every complete window rides one stacked
+        call, and the trailing partial window takes the historical
+        per-window path — zero-padded first when ``pad`` is set, its
+        padding trimmed from the output when ``trim`` is set.  Output
+        windows concatenate along the last axis in window order,
+        exactly as the historical loop emitted them.
+        """
+        full, tail = self._window_stack(arr, window, fabric)
+        outputs = []
+        if full is not None:
+            stacked = run_window(full)
+            outputs.append(stacked.reshape(stacked.shape[0], -1))
+        for start in range(0, tail.shape[-1], window):
+            chunk = tail[..., start : start + window]
+            valid = chunk.shape[-1]
+            if pad and valid < window:
+                padded = np.pad(chunk, (0, window - valid))
+                out = run_window(padded)
+                outputs.append(out[..., :valid] if trim else out)
+            else:
+                outputs.append(run_window(chunk))
+        if len(outputs) == 1:
+            return outputs[0]
+        return np.concatenate(outputs, axis=-1)
 
     def _check_samples(self, samples: np.ndarray) -> np.ndarray:
         arr = np.asarray(samples, dtype=np.int64)
@@ -92,6 +185,21 @@ class BiomedicalApp(ABC):
         """Formula 1 SNR of a corrupted output against the clean one."""
         reference = self.reference_output(samples)
         return snr_db(reference, corrupted_output, cap_db=cap_db)
+
+    def output_snr_batch(
+        self,
+        samples: np.ndarray,
+        corrupted_outputs: np.ndarray,
+        cap_db: float = SNR_CAP_DB,
+    ) -> np.ndarray:
+        """Per-trial Formula 1 SNR of a :meth:`run_batch` result.
+
+        Row ``t`` equals ``output_snr(samples, corrupted_outputs[t])``
+        exactly; the reduction runs once over the whole
+        ``(n_trials, k)`` stack instead of once per trial.
+        """
+        reference = self.reference_output(samples)
+        return snr_db_batch(reference, corrupted_outputs, cap_db=cap_db)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -59,10 +59,13 @@ def fixed_point_matmul(a_q15: np.ndarray, b_q15: np.ndarray) -> np.ndarray:
     overflows for K <= 2**15 operands); each element is then shifted back
     to Q15 with rounding and saturated — one quantisation per output
     element, as a fixed-point MAC loop produces.
+
+    Accepts stacked operands: ``(..., k, k) @ (..., k, m)`` multiplies
+    every trial of a batch in one integer-exact ``matmul`` call.
     """
     a = np.asarray(a_q15, dtype=np.int64)
     b = np.asarray(b_q15, dtype=np.int64)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+    if a.ndim < 2 or b.ndim < 2 or a.shape[-1] != b.shape[-2]:
         raise SignalError(
             f"incompatible matmul shapes {a.shape} x {b.shape}"
         )
@@ -87,6 +90,9 @@ class MatrixFilterApp(BiomedicalApp):
 
     name = "matrix_filter"
     description = "iterated fixed-point matrix filtering"
+    #: The window pipeline is reshapes plus stacked matmuls, so a
+    #: batched fabric multiplies all trials in single ``matmul`` calls.
+    supports_batch = True
 
     def __init__(
         self,
@@ -108,30 +114,51 @@ class MatrixFilterApp(BiomedicalApp):
 
     def run(self, samples: np.ndarray, fabric: MemoryFabric) -> np.ndarray:
         arr = self._check_samples(samples)
-        k = self.block_size
-        window = k * k
-        outputs = []
-        for start in range(0, arr.size, window):
-            chunk = arr[start : start + window]
-            valid = chunk.size
-            if valid < window:
-                chunk = np.concatenate(
-                    [chunk, np.zeros(window - valid, dtype=np.int64)]
-                )
-            outputs.append(self._run_window(chunk, fabric)[:valid])
-        return np.concatenate(outputs)
+        # Complete windows (of every stream) stack into batched matmuls
+        # on a batched fabric; the zero-padded trailing window keeps the
+        # classic path (its padding trimmed from the output as before).
+        return self._run_in_windows(
+            arr,
+            self.block_size * self.block_size,
+            fabric,
+            lambda chunk: self._run_window(chunk, fabric),
+            pad=True,
+            trim=True,
+        )
+
+    @staticmethod
+    def _as_colmajor(flat: np.ndarray, k: int) -> np.ndarray:
+        """Per-trial ``reshape(k, k, order="F")`` for any leading shape.
+
+        For a square matrix, Fortran-order reshape equals C-order
+        reshape followed by a transpose of the trailing two axes — the
+        form that also handles a stacked ``(n_trials, k*k)`` batch.
+        """
+        return flat.reshape(flat.shape[:-1] + (k, k)).swapaxes(-1, -2)
+
+    @staticmethod
+    def _colmajor_ravel(matrices: np.ndarray) -> np.ndarray:
+        """Per-trial ``ravel(order="F")`` for any leading shape."""
+        return np.ascontiguousarray(matrices.swapaxes(-1, -2)).reshape(
+            matrices.shape[:-2] + (-1,)
+        )
 
     def _run_window(
         self, chunk: np.ndarray, fabric: MemoryFabric
     ) -> np.ndarray:
         k = self.block_size
-        # The coefficient matrix is data in the faulty memory too.
+        # The coefficient matrix is data in the faulty memory too.  Its
+        # roundtrip is deterministic (same values, addresses and masks
+        # every window), so one read serves a whole window stack.
         coeffs = fabric.roundtrip("matfilt.A", self._coefficients.ravel())
-        a = coeffs.reshape(k, k)
-        b = fabric.roundtrip("matfilt.B", chunk).reshape(k, k, order="F")
+        a = coeffs.reshape(coeffs.shape[:-1] + (k, k))
+        b = self._as_colmajor(fabric.roundtrip("matfilt.B", chunk), k)
+        if b.ndim == a.ndim + 1:
+            # Window-stacked b: broadcast A across the window axis.
+            a = a[..., None, :, :]
         for iteration in range(self.n_iterations):
             c = fixed_point_matmul(a, b)
-            b = fabric.roundtrip(
-                "matfilt.C", c.ravel(order="F")
-            ).reshape(k, k, order="F")
-        return b.ravel(order="F")
+            b = self._as_colmajor(
+                fabric.roundtrip("matfilt.C", self._colmajor_ravel(c)), k
+            )
+        return self._colmajor_ravel(b)

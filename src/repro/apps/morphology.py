@@ -36,7 +36,9 @@ def _sliding_extreme(values: np.ndarray, length: int, take_max: bool) -> np.ndar
     """Running min/max with a centred flat structuring element.
 
     The input is edge-padded so the output has the same length (flat
-    extension, the standard choice for ECG morphology).
+    extension, the standard choice for ECG morphology).  Shape-agnostic:
+    the sample index is the last axis, so a trial-batched
+    ``(n_trials, n)`` array is filtered in one strided pass.
     """
     if length < 1:
         raise SignalError(f"structuring element must be >= 1, got {length}")
@@ -47,10 +49,17 @@ def _sliding_extreme(values: np.ndarray, length: int, take_max: bool) -> np.ndar
     arr = np.asarray(values, dtype=np.int64)
     half = length // 2
     padded = np.concatenate(
-        [np.full(half, arr[0]), arr, np.full(half, arr[-1])]
+        [
+            np.repeat(arr[..., :1], half, axis=-1),
+            arr,
+            np.repeat(arr[..., -1:], half, axis=-1),
+        ],
+        axis=-1,
     )
-    windows = np.lib.stride_tricks.sliding_window_view(padded, length)
-    return windows.max(axis=1) if take_max else windows.min(axis=1)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, length, axis=-1
+    )
+    return windows.max(axis=-1) if take_max else windows.min(axis=-1)
 
 
 def erode(values: np.ndarray, length: int) -> np.ndarray:
@@ -90,6 +99,9 @@ class MorphologicalFilterApp(BiomedicalApp):
 
     name = "morphology"
     description = "morphological baseline removal and noise suppression"
+    #: Erosion/dilation are last-axis sliding extrema and the arithmetic
+    #: is elementwise, so a batched fabric vectorises across trials.
+    supports_batch = True
 
     def __init__(
         self,
@@ -123,11 +135,16 @@ class MorphologicalFilterApp(BiomedicalApp):
 
     def run(self, samples: np.ndarray, fabric: MemoryFabric) -> np.ndarray:
         arr = self._check_samples(samples)
-        outputs = []
-        for start in range(0, arr.size, self.window):
-            chunk = arr[start : start + self.window]
-            outputs.append(self._run_window(chunk, fabric))
-        return np.concatenate(outputs)
+        # Complete windows (of every stream) stack into one batched
+        # roundtrip per buffer on a batched fabric; the trailing partial
+        # window (and every window on a classic fabric) takes the
+        # historical loop.
+        return self._run_in_windows(
+            arr,
+            self.window,
+            fabric,
+            lambda chunk: self._run_window(chunk, fabric),
+        )
 
     def _run_window(
         self, chunk: np.ndarray, fabric: MemoryFabric

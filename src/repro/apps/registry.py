@@ -7,6 +7,8 @@ top (not part of Fig 2 / Fig 4).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..errors import ExperimentError
 from .base import BiomedicalApp
 from .classifier import HeartbeatClassifierApp
@@ -16,7 +18,7 @@ from .dwt import DwtApp
 from .matrix_filter import MatrixFilterApp
 from .morphology import MorphologicalFilterApp
 
-__all__ = ["PAPER_APPS", "EXTENSION_APPS", "make_app"]
+__all__ = ["PAPER_APPS", "EXTENSION_APPS", "make_app", "cached_app"]
 
 
 #: The paper's five case studies (Section II), keyed by registry name.
@@ -42,3 +44,16 @@ def make_app(name: str, **kwargs) -> BiomedicalApp:
             f"unknown application {name!r}; available: {sorted(registry)}"
         )
     return registry[name](**kwargs)
+
+
+@lru_cache(maxsize=16)
+def cached_app(name: str) -> BiomedicalApp:
+    """A shared per-process instance with default construction arguments.
+
+    Applications are deterministic and their only mutable state is the
+    clean-reference memo, so sharing one instance lets every driver in a
+    process reuse the (expensive) reference outputs instead of re-running
+    the clean pipeline per invocation.  Use :func:`make_app` when custom
+    constructor arguments or instance isolation are needed.
+    """
+    return make_app(name)

@@ -42,7 +42,7 @@ from typing import Any
 import numpy as np
 
 from ..apps.base import clean_fabric
-from ..apps.registry import make_app
+from ..apps.registry import cached_app, make_app
 from ..emt import make_emt
 from ..emt.base import NoProtection
 from ..energy.accounting import EnergySystemModel, Workload
@@ -244,8 +244,11 @@ def _eval_montecarlo(params: dict[str, Any]) -> dict[str, Any]:
     )
     corpus = _cached_corpus(config.records, config.duration_s)
     emts = {name: make_emt(name) for name in params["emts"]}
+    # The shared per-process instance keeps clean reference outputs warm
+    # across the worker's points (the historical per-point instance
+    # recomputed them for every voltage).
     result = run_monte_carlo(
-        make_app(app_name),
+        cached_app(app_name),
         emts,
         tech.ber(voltage),
         config,
@@ -274,7 +277,7 @@ def _eval_bit_position(params: dict[str, Any]) -> dict[str, Any]:
     fault_map = position_fault_map(
         geometry.n_words, data_bits, params["position"], params["stuck_value"]
     )
-    app = make_app(params["app"])
+    app = cached_app(params["app"])
     snrs = []
     for samples in corpus.values():
         fabric = MemoryFabric(

@@ -17,6 +17,7 @@ going, and failed points are retried on the next run.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 import traceback
 from collections.abc import Callable
@@ -162,29 +163,79 @@ def run_campaign(
         else:
             todo.append((point_hash, point))
 
-    def _absorb(record: dict) -> None:
+    def _absorb_many(records: list[dict]) -> None:
+        """Fold a tick's completed points in: one locked store write."""
         nonlocal n_done
-        by_hash[record["hash"]] = record
-        result.n_executed += 1
-        if record["status"] == "failed":
-            result.n_failed += 1
+        for record in records:
+            by_hash[record["hash"]] = record
+            result.n_executed += 1
+            if record["status"] == "failed":
+                result.n_failed += 1
         if store is not None:
-            store.append(record)
-        n_done += 1
-        if progress is not None:
-            progress(n_done, total, record)
+            store.append_many(records)
+        for record in records:
+            n_done += 1
+            if progress is not None:
+                progress(n_done, total, record)
 
     if todo:
         if n_workers == 1 or len(todo) == 1:
+            # Serial execution keeps per-point durability: every point
+            # is persisted before the next one starts.
             for payload in todo:
-                _absorb(_evaluate_payload(payload))
+                _absorb_many([_evaluate_payload(payload)])
         else:
+            # Pool execution drains *all* results that completed since
+            # the last wake-up in one tick, so a burst of fast points
+            # costs one store append (single open + flock) instead of
+            # one per point.
             workers = min(n_workers, len(todo))
+            ready: list[dict] = []
+            condition = threading.Condition()
+
+            def _collect(record: dict) -> None:
+                with condition:
+                    ready.append(record)
+                    condition.notify()
+
+            def _submit(pool, payload: tuple[str, CampaignPoint]) -> None:
+                point_hash, point = payload
+
+                def _on_error(exc: BaseException) -> None:
+                    # _evaluate_payload never raises, so this only fires
+                    # on transport faults (e.g. an unpicklable result);
+                    # record the failure instead of hanging the drain.
+                    _collect(
+                        {
+                            "hash": point_hash,
+                            "kind": point.kind,
+                            "params": point.params,
+                            "coords": dict(point.coords),
+                            "status": "failed",
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "elapsed_s": 0.0,
+                        }
+                    )
+
+                pool.apply_async(
+                    _evaluate_payload,
+                    (payload,),
+                    callback=_collect,
+                    error_callback=_on_error,
+                )
+
             with multiprocessing.Pool(processes=workers) as pool:
-                for record in pool.imap_unordered(
-                    _evaluate_payload, todo, chunksize=1
-                ):
-                    _absorb(record)
+                for payload in todo:
+                    _submit(pool, payload)
+                remaining = len(todo)
+                while remaining:
+                    with condition:
+                        while not ready:
+                            condition.wait()
+                        batch = list(ready)
+                        ready.clear()
+                    _absorb_many(batch)
+                    remaining -= len(batch)
 
     result.records = [by_hash[h] for h in point_hashes]
     return result

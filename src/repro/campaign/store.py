@@ -117,16 +117,46 @@ class ResultStore:
 
     def append(self, record: dict) -> None:
         """Persist one point record (creates the store on first write)."""
-        status = record.get("status")
-        if status not in _STATUSES:
-            raise CampaignError(
-                f"record status must be one of {_STATUSES}, got {status!r}"
-            )
-        if "hash" not in record:
-            raise CampaignError("record must carry the point hash")
+        self.append_many([record])
+
+    def append_many(self, records: list[dict]) -> None:
+        """Persist several point records under one open + file lock.
+
+        The campaign runner flushes every point that completed in one
+        pool tick through this path: the records are validated up
+        front, serialised, and written in a single locked append — one
+        ``open``/``flock``/``write`` per tick instead of per point,
+        while the JSONL format and content-hash keys stay exactly as
+        :meth:`append` writes them.  The exclusive ``fcntl`` lock keeps
+        concurrent appenders (e.g. two campaigns sharing a store file)
+        line-atomic even when a tick's payload exceeds the pipe-atomic
+        write size.
+        """
+        if not records:
+            return
+        for record in records:
+            status = record.get("status")
+            if status not in _STATUSES:
+                raise CampaignError(
+                    f"record status must be one of {_STATUSES}, got {status!r}"
+                )
+            if "hash" not in record:
+                raise CampaignError("record must carry the point hash")
+        payload = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            try:
+                import fcntl
+
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            except (ImportError, OSError):  # pragma: no cover
+                # Best-effort locking: non-POSIX platforms have no
+                # fcntl, and some network filesystems refuse flock —
+                # appends stay as unlocked as they historically were.
+                pass
+            handle.write(payload)
         # The next load() re-stats the file; dropping the memo eagerly
         # also covers filesystems with coarse mtime resolution.
         self._memo = None

@@ -100,11 +100,16 @@ class EMT(ABC):
     # -- vectorised paths -------------------------------------------------
 
     @abstractmethod
-    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+    def encode(
+        self, payload: np.ndarray, checked: bool = False
+    ) -> tuple[np.ndarray, np.ndarray | None]:
         """Encode payload bit patterns for storage.
 
         Args:
             payload: ``int64`` array of unsigned ``data_bits`` patterns.
+            checked: the caller guarantees the patterns are in range
+                (the fabric's ``to_unsigned`` output is by construction),
+                skipping the validation scan.
 
         Returns:
             ``(stored, side)`` — the ``stored_bits`` patterns destined for
@@ -118,6 +123,7 @@ class EMT(ABC):
         stored: np.ndarray,
         side: np.ndarray | None,
         stats: DecodeStats | None = None,
+        checked: bool = False,
     ) -> np.ndarray:
         """Decode possibly corrupted stored patterns back to payloads.
 
@@ -126,6 +132,9 @@ class EMT(ABC):
             side: side-memory patterns as produced by :meth:`encode`
                 (always intact — the side memory runs at nominal supply).
             stats: optional counter object updated in place.
+            checked: the caller guarantees the patterns are in range
+                (faulty-SRAM cells are by construction), skipping the
+                validation scan.
 
         Returns:
             ``int64`` array of recovered ``data_bits`` payload patterns.
@@ -143,22 +152,30 @@ class EMT(ABC):
 
     # -- shared validation --------------------------------------------------
 
-    def _check_payload(self, payload: np.ndarray) -> np.ndarray:
+    def _check_payload(
+        self, payload: np.ndarray, checked: bool = False
+    ) -> np.ndarray:
         arr = np.asarray(payload, dtype=np.int64)
-        limit = bit_mask(self.data_bits)
-        if arr.size and (int(arr.min()) < 0 or int(arr.max()) > limit):
-            raise EMTError(
-                f"payload patterns must be unsigned {self.data_bits}-bit values"
-            )
+        if not checked:
+            limit = bit_mask(self.data_bits)
+            if arr.size and (int(arr.min()) < 0 or int(arr.max()) > limit):
+                raise EMTError(
+                    f"payload patterns must be unsigned "
+                    f"{self.data_bits}-bit values"
+                )
         return arr
 
-    def _check_stored(self, stored: np.ndarray) -> np.ndarray:
+    def _check_stored(
+        self, stored: np.ndarray, checked: bool = False
+    ) -> np.ndarray:
         arr = np.asarray(stored, dtype=np.int64)
-        limit = bit_mask(self.stored_bits)
-        if arr.size and (int(arr.min()) < 0 or int(arr.max()) > limit):
-            raise EMTError(
-                f"stored patterns must be unsigned {self.stored_bits}-bit values"
-            )
+        if not checked:
+            limit = bit_mask(self.stored_bits)
+            if arr.size and (int(arr.min()) < 0 or int(arr.max()) > limit):
+                raise EMTError(
+                    f"stored patterns must be unsigned "
+                    f"{self.stored_bits}-bit values"
+                )
         return arr
 
     def __repr__(self) -> str:
@@ -178,16 +195,19 @@ class NoProtection(EMT):
     def stored_bits(self) -> int:
         return self.data_bits
 
-    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, None]:
-        return self._check_payload(payload).copy(), None
+    def encode(
+        self, payload: np.ndarray, checked: bool = False
+    ) -> tuple[np.ndarray, None]:
+        return self._check_payload(payload, checked).copy(), None
 
     def decode(
         self,
         stored: np.ndarray,
         side: np.ndarray | None,
         stats: DecodeStats | None = None,
+        checked: bool = False,
     ) -> np.ndarray:
-        arr = self._check_stored(stored).copy()
+        arr = self._check_stored(stored, checked).copy()
         if stats is not None:
             stats.words += arr.size
         return arr

@@ -78,6 +78,10 @@ class DreamEMT(EMT):
         self._run_mask_lut, self._boundary_lut = self._build_luts()
         if not compensate_boundary:
             self._boundary_lut = np.zeros_like(self._boundary_lut)
+        # Complement tables: gathering the inverted masks directly saves
+        # two whole-array inversions per decode on the batched hot path.
+        self._not_run_mask_lut = ~self._run_mask_lut
+        self._not_boundary_lut = ~self._boundary_lut
 
     # -- geometry ---------------------------------------------------------
 
@@ -128,9 +132,11 @@ class DreamEMT(EMT):
 
     # -- vectorised paths -------------------------------------------------
 
-    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def encode(
+        self, payload: np.ndarray, checked: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Store the raw word; derive ``sign | mask_id`` side info."""
-        arr = self._check_payload(payload)
+        arr = self._check_payload(payload, checked)
         run = sign_run_length(arr, self.data_bits)
         mask_id = run - 1
         sign = np.bitwise_and(arr >> np.int64(self.data_bits - 1), 1)
@@ -142,11 +148,12 @@ class DreamEMT(EMT):
         stored: np.ndarray,
         side: np.ndarray | None,
         stats: DecodeStats | None = None,
+        checked: bool = False,
     ) -> np.ndarray:
         """Fig 3 read path: LUT -> AND/OR -> set-one-bit -> sign mux."""
         if side is None:
             raise EMTError("DREAM decode requires side (mask memory) info")
-        corrupted = self._check_stored(stored)
+        corrupted = self._check_stored(stored, checked)
         side_arr = np.asarray(side, dtype=np.int64)
         if side_arr.shape != corrupted.shape:
             raise EMTError(
@@ -162,10 +169,12 @@ class DreamEMT(EMT):
         # Positive samples: clear the run, set the boundary bit (inverted
         # sign = 1).  Negative samples: set the run, clear the boundary.
         positive = np.bitwise_or(
-            np.bitwise_and(corrupted, ~run_mask), boundary
+            np.bitwise_and(corrupted, self._not_run_mask_lut[mask_id]),
+            boundary,
         )
         negative = np.bitwise_and(
-            np.bitwise_or(corrupted, run_mask), ~boundary
+            np.bitwise_or(corrupted, run_mask),
+            self._not_boundary_lut[mask_id],
         )
         decoded = np.where(sign == 1, negative, positive)
 

@@ -69,10 +69,12 @@ class DreamSecDedEMT(EMT):
 
     # -- vectorised paths -------------------------------------------------
 
-    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        arr = self._check_payload(payload)
-        codeword, _ = self._secded.encode(arr)
-        _, side = self._dream.encode(arr)
+    def encode(
+        self, payload: np.ndarray, checked: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        arr = self._check_payload(payload, checked)
+        codeword, _ = self._secded.encode(arr, checked=True)
+        _, side = self._dream.encode(arr, checked=True)
         return codeword, side
 
     def decode(
@@ -80,30 +82,33 @@ class DreamSecDedEMT(EMT):
         stored: np.ndarray,
         side: np.ndarray | None,
         stats: DecodeStats | None = None,
+        checked: bool = False,
     ) -> np.ndarray:
         if side is None:
             raise EMTError(
                 "DREAM+SEC/DED decode requires mask-memory side info"
             )
-        corrupted = self._check_stored(stored)
+        corrupted = self._check_stored(stored, checked)
         data_mask = (np.int64(1) << np.int64(self.data_bits)) - 1
 
         # Pass 1 — DREAM patches the masked MSBs inside the codeword,
-        # eliminating those faults before the syndrome is formed.
+        # eliminating those faults before the syndrome is formed.  The
+        # inner inputs are masked in-range by construction, so the
+        # sub-codecs skip their validation scans.
         raw_data = np.bitwise_and(corrupted, data_mask)
         patched = np.bitwise_or(
             np.bitwise_and(corrupted, ~data_mask),
-            self._dream.decode(raw_data, side),
+            self._dream.decode(raw_data, side, checked=True),
         )
 
         # Pass 2 — SEC/DED handles whatever remains (LSB and check-bit
         # faults), now with a strictly smaller error count per word.
-        ecc_stats = DecodeStats()
-        data = self._secded.decode(patched, None, ecc_stats)
+        ecc_stats = DecodeStats() if stats is not None else None
+        data = self._secded.decode(patched, None, ecc_stats, checked=True)
 
         # Pass 3 — final mask veto: an ECC miscorrection cannot stand
         # inside the region the side info pins down.
-        repaired = self._dream.decode(data, side)
+        repaired = self._dream.decode(data, side, checked=True)
         if stats is not None:
             raw_data = np.bitwise_and(
                 corrupted, (np.int64(1) << np.int64(self.data_bits)) - 1

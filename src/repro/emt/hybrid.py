@@ -143,16 +143,19 @@ class HybridEMT(EMT):
 
     # -- delegated EMT interface --------------------------------------------
 
-    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
-        return self.active.encode(payload)
+    def encode(
+        self, payload: np.ndarray, checked: bool = False
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        return self.active.encode(payload, checked)
 
     def decode(
         self,
         stored: np.ndarray,
         side: np.ndarray | None,
         stats: DecodeStats | None = None,
+        checked: bool = False,
     ) -> np.ndarray:
-        return self.active.decode(stored, side, stats)
+        return self.active.decode(stored, side, stats, checked)
 
     def encode_word(self, payload: int) -> tuple[int, int]:
         return self.active.encode_word(payload)

@@ -32,8 +32,10 @@ class ParityEMT(EMT):
     def stored_bits(self) -> int:
         return self.data_bits + 1
 
-    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, None]:
-        data = self._check_payload(payload)
+    def encode(
+        self, payload: np.ndarray, checked: bool = False
+    ) -> tuple[np.ndarray, None]:
+        data = self._check_payload(payload, checked)
         check = parity(data)
         stored = np.bitwise_or(data, check << np.int64(self.data_bits))
         return stored, None
@@ -43,8 +45,9 @@ class ParityEMT(EMT):
         stored: np.ndarray,
         side: np.ndarray | None,
         stats: DecodeStats | None = None,
+        checked: bool = False,
     ) -> np.ndarray:
-        codeword = self._check_stored(stored)
+        codeword = self._check_stored(stored, checked)
         if stats is not None:
             stats.words += codeword.size
             stats.detected_uncorrectable += int(

@@ -130,20 +130,91 @@ class SecDedEMT(EMT):
             pos_to_index[1 << check_index] = k + check_index
         self._pos_to_index = pos_to_index
 
+        # Byte-folded lookup tables for the vectorised paths.  Parity is
+        # linear over GF(2) — ``parity(a ^ b) == parity(a) ^ parity(b)``
+        # — so the syndrome and overall-parity contributions of each
+        # 8-bit chunk of a word fold independently and XOR together.
+        # One gather + XOR per chunk replaces the per-check-bit
+        # mask/popcount loop (bit-identical; the scalar reference paths
+        # still run the direct parity-tree transcription and the test
+        # suite pins the two together).
+        # The encode fold's parity bit must cover the *codeword*: the
+        # data chunk's own parity XOR the parity of the check bits that
+        # chunk induces (parity distributes over XOR, so per-chunk
+        # contributions compose).  The syndrome fold's parity bit covers
+        # the received word alone.
+        self._encode_luts = self._build_chunk_luts(
+            n_bits=k, masks=self._encode_masks, fold_mask_parity=True
+        )
+        self._syndrome_luts = self._build_chunk_luts(
+            n_bits=self.stored_bits,
+            masks=self._syndrome_masks,
+            fold_mask_parity=False,
+        )
+
+    def _build_chunk_luts(
+        self, n_bits: int, masks: np.ndarray, fold_mask_parity: bool
+    ) -> list[tuple[int, np.ndarray]]:
+        """Per-byte-chunk tables of packed ``[parity | bits]`` words.
+
+        Chunk table ``c`` maps a byte value ``v`` (bits ``[8c, 8c+8)``
+        of the word) to ``r`` packed parity bits — bit ``j`` is the
+        parity of the chunk against ``masks[j]`` — plus an overall
+        parity contribution in bit ``r``: the chunk's own parity,
+        additionally folded with the parity of its induced mask bits
+        when ``fold_mask_parity`` is set.
+        """
+        r = masks.shape[0]
+        luts: list[tuple[int, np.ndarray]] = []
+        values = np.arange(256, dtype=np.int64)
+        for shift in range(0, n_bits, 8):
+            chunk_words = values << np.int64(shift)
+            packed = np.zeros(256, dtype=np.int64)
+            for j in range(r):
+                bits = parity(np.bitwise_and(chunk_words, masks[j]))
+                packed |= bits << np.int64(j)
+            own = parity(chunk_words)
+            if fold_mask_parity:
+                own = np.bitwise_xor(own, parity(packed))
+            packed |= own << np.int64(r)
+            luts.append((shift, packed))
+        return luts
+
+    @staticmethod
+    def _fold_chunks(
+        words: np.ndarray, luts: list[tuple[int, np.ndarray]]
+    ) -> np.ndarray:
+        """XOR-fold the per-chunk packed parities of each word."""
+        # Chunk 0 needs no shift: index the table with the low byte.
+        packed = luts[0][1][np.bitwise_and(words, 0xFF)]
+        for shift, lut in luts[1:]:
+            packed = np.bitwise_xor(
+                packed, lut[np.bitwise_and(words >> np.int64(shift), 0xFF)]
+            )
+        return packed
+
     # -- vectorised paths -------------------------------------------------
 
-    def encode(self, payload: np.ndarray) -> tuple[np.ndarray, None]:
-        """Append Hamming check bits and the overall parity bit."""
-        data = self._check_payload(payload)
-        codeword = data.copy()
-        for j in range(self.check_bits):
-            check = parity(np.bitwise_and(data, self._encode_masks[j]))
-            codeword = np.bitwise_or(
-                codeword, check << np.int64(self.data_bits + j)
-            )
-        overall = parity(codeword)
+    def encode(
+        self, payload: np.ndarray, checked: bool = False
+    ) -> tuple[np.ndarray, None]:
+        """Append Hamming check bits and the overall parity bit.
+
+        One byte-LUT gather per data chunk folds all check bits and the
+        overall parity at once (see :meth:`_build_chunk_luts`);
+        bit-identical to the per-check-bit parity tree the scalar
+        reference path still computes.
+        """
+        data = self._check_payload(payload, checked)
+        packed = self._fold_chunks(data, self._encode_luts)
+        check = np.bitwise_and(packed, bit_mask(self.check_bits))
+        overall = packed >> np.int64(self.check_bits)
         codeword = np.bitwise_or(
-            codeword, overall << np.int64(self.stored_bits - 1)
+            data,
+            np.bitwise_or(
+                check << np.int64(self.data_bits),
+                overall << np.int64(self.stored_bits - 1),
+            ),
         )
         return codeword, None
 
@@ -152,15 +223,14 @@ class SecDedEMT(EMT):
         stored: np.ndarray,
         side: np.ndarray | None,
         stats: DecodeStats | None = None,
+        checked: bool = False,
     ) -> np.ndarray:
         """Syndrome decode with SEC/DED semantics (see module docstring)."""
-        codeword = self._check_stored(stored)
+        codeword = self._check_stored(stored, checked)
 
-        syndrome = np.zeros(codeword.shape, dtype=np.int64)
-        for j in range(self.check_bits):
-            bit = parity(np.bitwise_and(codeword, self._syndrome_masks[j]))
-            syndrome = np.bitwise_or(syndrome, bit << np.int64(j))
-        overall_odd = parity(codeword) == 1
+        packed = self._fold_chunks(codeword, self._syndrome_luts)
+        syndrome = np.bitwise_and(packed, bit_mask(self.check_bits))
+        overall_odd = (packed >> np.int64(self.check_bits)) == 1
 
         error_index = self._pos_to_index[syndrome]
         single_error = (syndrome != 0) & overall_odd & (error_index >= 0)

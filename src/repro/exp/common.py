@@ -13,7 +13,13 @@ The paper's Monte-Carlo protocol (Section V):
 * 200 runs per voltage point, averaging the SNRs in dB.
 
 :func:`run_monte_carlo` implements exactly that protocol for one
-application and one voltage across a set of EMTs.
+application and one voltage across a set of EMTs.  By default all
+``n_runs`` defect samples are drawn as one stacked batch and flow
+through the pipeline as a 2-D ``(n_runs, n_words)`` block — the
+trial-batched hot path (see PERFORMANCE.md) — which is bit-identical to
+the historical run-by-run loop (kept as
+:func:`run_monte_carlo_sequential`, the property-test reference) because
+the batched draw consumes the RNG stream in the same per-run order.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from ..apps.base import BiomedicalApp
 from ..emt.base import EMT
 from ..errors import ExperimentError
 from ..mem.fabric import MemoryFabric
-from ..mem.faults import sample_fault_map
+from ..mem.faults import sample_fault_map, sample_fault_map_batch
 from ..mem.layout import PAPER_GEOMETRY, MemoryGeometry
 from ..signals.dataset import load_record
 from ..signals.metrics import SNR_CAP_DB
@@ -38,6 +44,7 @@ __all__ = [
     "default_runs",
     "load_corpus",
     "run_monte_carlo",
+    "run_monte_carlo_sequential",
     "validate_registry_names",
 ]
 
@@ -165,12 +172,65 @@ def run_monte_carlo(
 ) -> MonteCarloResult:
     """The paper's Section V protocol at one (app, BER) grid point.
 
-    For each of ``config.n_runs`` runs, one defect sample is drawn at the
-    widest stored width among ``emts`` and restricted to each technique's
-    width, so all EMTs face the same error locations.  The per-run SNR is
-    the application's quality metric averaged over the record corpus;
-    per-EMT statistics are computed over runs, averaging SNRs "in dB" as
-    the paper specifies.
+    All ``config.n_runs`` defect samples are drawn as one stacked batch
+    at the widest stored width among ``emts`` and restricted to each
+    technique's width, so all EMTs face the same error locations; every
+    (EMT, record) pair then makes a single trial-batched pipeline pass.
+    The per-run SNR is the application's quality metric averaged over
+    the record corpus; per-EMT statistics are computed over runs,
+    averaging SNRs "in dB" as the paper specifies.
+
+    Bit-identical to :func:`run_monte_carlo_sequential` (property-tested
+    per EMT x voltage x trial count): the batched draw consumes the RNG
+    stream in the sequential per-run order, and the per-run mean over
+    records reduces the same values along the same axis order.
+    """
+    if not emts:
+        raise ExperimentError("at least one EMT is required")
+    widest = max(emt.stored_bits for emt in emts.values())
+    rng = np.random.default_rng((config.seed, grid_seed))
+
+    shared_maps = sample_fault_map_batch(
+        config.n_runs, config.geometry.n_words, widest, ber, rng
+    )
+    result = MonteCarloResult(n_runs=config.n_runs)
+    for name, emt in emts.items():
+        fault_map = shared_maps.restricted_to(emt.stored_bits)
+        per_record = []
+        for samples in corpus.values():
+            fabric = MemoryFabric(
+                emt,
+                fault_map=fault_map,
+                geometry=config.geometry,
+                collect_decode_stats=False,
+            )
+            outputs = app.run_batch(samples, fabric)
+            per_record.append(
+                app.output_snr_batch(
+                    samples, outputs, cap_db=config.snr_cap_db
+                )
+            )
+        # (n_records, n_runs) -> per-run corpus mean, then run statistics.
+        runs = np.mean(np.stack(per_record, axis=0), axis=0)
+        result.snr_mean_db[name] = float(runs.mean())
+        result.snr_std_db[name] = float(runs.std())
+    return result
+
+
+def run_monte_carlo_sequential(
+    app: BiomedicalApp,
+    emts: dict[str, EMT],
+    ber: float,
+    config: ExperimentConfig,
+    corpus: dict[str, np.ndarray],
+    grid_seed: int,
+) -> MonteCarloResult:
+    """The historical run-by-run form of :func:`run_monte_carlo`.
+
+    One fresh fabric per (run, EMT, record) — the direct transcription
+    of the Section V loop.  Kept as the executable reference the
+    property suite pins the batched path against; prefer
+    :func:`run_monte_carlo` everywhere else.
     """
     if not emts:
         raise ExperimentError("at least one EMT is required")
@@ -187,7 +247,10 @@ def run_monte_carlo(
             snrs = []
             for samples in corpus.values():
                 fabric = MemoryFabric(
-                    emt, fault_map=fault_map, geometry=config.geometry
+                    emt,
+                    fault_map=fault_map,
+                    geometry=config.geometry,
+                    collect_decode_stats=False,
                 )
                 output = app.run(samples, fabric)
                 snrs.append(

@@ -19,7 +19,14 @@ that memory bit-accurately:
 """
 
 from .fabric import BufferHandle, MemoryFabric
-from .faults import FaultMap, empty_fault_map, position_fault_map, sample_fault_map
+from .faults import (
+    FaultMap,
+    empty_fault_map,
+    position_fault_map,
+    position_fault_map_batch,
+    sample_fault_map,
+    sample_fault_map_batch,
+)
 from .layout import AddressMap, MemoryGeometry
 from .sram import FaultySRAM
 
@@ -29,7 +36,9 @@ __all__ = [
     "FaultMap",
     "empty_fault_map",
     "position_fault_map",
+    "position_fault_map_batch",
     "sample_fault_map",
+    "sample_fault_map_batch",
     "AddressMap",
     "MemoryGeometry",
     "FaultySRAM",

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._bitops import to_signed, to_unsigned
-from ..emt.base import EMT, DecodeStats
+from ..emt.base import EMT, DecodeStats, NoProtection
 from ..errors import MemoryModelError
 from .faults import FaultMap
 from .layout import PAPER_GEOMETRY, AddressMap, MemoryGeometry
@@ -79,6 +79,11 @@ class MemoryFabric:
         address_map: optional logical-to-physical scrambling.
         record_trace: keep an :class:`AccessEvent` list for the MPSoC
             simulator.
+        collect_decode_stats: maintain the per-decode correction
+            counters in ``stats.decode``.  The Monte-Carlo quality
+            drivers only consume SNRs, so they turn this off — the
+            counters cost several extra whole-array passes per decode
+            (SEC/DED classifies every word three ways to count them).
 
     Example:
         >>> import numpy as np
@@ -96,6 +101,7 @@ class MemoryFabric:
         geometry: MemoryGeometry | None = None,
         address_map: AddressMap | None = None,
         record_trace: bool = False,
+        collect_decode_stats: bool = True,
     ) -> None:
         if geometry is None:
             geometry = PAPER_GEOMETRY
@@ -108,15 +114,52 @@ class MemoryFabric:
         self.emt = emt
         self.sram = FaultySRAM(geometry, fault_map, address_map)
         # The mask/side memory runs at nominal supply: plain intact array.
+        # For a batched fabric each trial keeps its own side array — side
+        # info diverges across trials once corrupted intermediates are
+        # re-encoded.
+        side_shape = (
+            (self.sram.n_trials, geometry.n_words)
+            if self.sram.is_batched
+            else (geometry.n_words,)
+        )
         self._side = (
-            np.zeros(geometry.n_words, dtype=np.int64)
-            if emt.side_bits
-            else None
+            np.zeros(side_shape, dtype=np.int64) if emt.side_bits else None
         )
         self._buffers: dict[str, BufferHandle] = {}
         self._next_free = 0
         self.stats = FabricStats()
+        self.collect_decode_stats = collect_decode_stats
         self.trace: list[AccessEvent] | None = [] if record_trace else None
+
+    @property
+    def n_trials(self) -> int:
+        """Stacked Monte-Carlo trials this fabric simulates (1 = classic)."""
+        return self.sram.n_trials
+
+    @property
+    def is_batched(self) -> bool:
+        """Whether buffers carry a leading ``(n_trials, ...)`` axis."""
+        return self.sram.is_batched
+
+    def trial(self, index: int) -> "MemoryFabric":
+        """A fresh single-trial fabric for row ``index`` of a batched map.
+
+        The sequential-fallback path of
+        :meth:`repro.apps.base.BiomedicalApp.run_batch` uses this to run
+        applications whose control flow cannot be vectorised across
+        trials; each returned fabric starts with empty buffers, exactly
+        like one iteration of the historical per-trial loop.  Address
+        scrambling and stats collection carry over; the access trace
+        does not (per-trial traces would be discarded with the
+        throwaway fabric).
+        """
+        return MemoryFabric(
+            self.emt,
+            fault_map=self.sram.fault_map.trial(index),
+            geometry=self.sram.geometry,
+            address_map=self.sram.address_map,
+            collect_decode_stats=self.collect_decode_stats,
+        )
 
     # -- allocation ---------------------------------------------------------
 
@@ -159,60 +202,191 @@ class MemoryFabric:
     # -- data movement ------------------------------------------------------
 
     def write(self, handle: BufferHandle, values: np.ndarray) -> None:
-        """Encode signed values and store them at the buffer's base."""
+        """Encode signed values and store them at the buffer's base.
+
+        On a batched fabric ``values`` may be ``(n_trials, k)`` — one
+        row per trial — or 1-D, in which case the same words are written
+        to every trial (encoded once and broadcast, since the EMTs are
+        deterministic per word).
+        """
         signed = np.asarray(values, dtype=np.int64)
-        if signed.ndim != 1:
-            raise MemoryModelError("fabric buffers are one-dimensional")
-        if signed.size > handle.length:
+        if signed.ndim == 2 and not self.is_batched:
             raise MemoryModelError(
-                f"writing {signed.size} words into {handle.length}-word "
+                "2-D writes require a batched fabric (stacked fault map)"
+            )
+        if signed.ndim == 2 and signed.shape[0] != self.n_trials:
+            raise MemoryModelError(
+                f"writing {signed.shape[0]} trial rows into a "
+                f"{self.n_trials}-trial fabric"
+            )
+        if signed.ndim not in (1, 2):
+            raise MemoryModelError(
+                "fabric buffers are one-dimensional (per trial)"
+            )
+        n_words = int(signed.shape[-1])
+        if n_words > handle.length:
+            raise MemoryModelError(
+                f"writing {n_words} words into {handle.length}-word "
                 f"buffer {handle.name!r}"
             )
+        # ``to_unsigned`` masks to ``data_bits``, so the codec's range
+        # scan is redundant here.
         payload = to_unsigned(signed, self.emt.data_bits)
-        stored, side = self.emt.encode(payload)
-        addresses = np.arange(handle.base, handle.base + signed.size)
-        self.sram.write(addresses, stored)
-        self.stats.data_writes += int(signed.size)
+        stored, side = self.emt.encode(payload, checked=True)
+        # Static buffers are contiguous: slice addressing lets the SRAM
+        # and fault masks work on views instead of gather copies.  The
+        # EMT's codewords fit the array width by construction, so the
+        # per-write range scan is skipped.
+        addresses = slice(handle.base, handle.base + n_words)
+        self.sram.write(addresses, stored, checked=True)
+        self.stats.data_writes += n_words * self.n_trials
         if side is not None:
             if self._side is None:  # pragma: no cover - guarded by side_bits
                 raise MemoryModelError("EMT produced side info unexpectedly")
-            self._side[addresses] = side
-            self.stats.side_writes += int(signed.size)
+            self._side[..., addresses] = side
+            self.stats.side_writes += n_words * self.n_trials
         if self.trace is not None:
             self.trace.append(
-                AccessEvent(True, handle.base, int(signed.size), handle.name)
+                AccessEvent(True, handle.base, n_words, handle.name)
             )
 
     def read(self, handle: BufferHandle, n_words: int | None = None) -> np.ndarray:
-        """Load, decode and sign-extend the buffer's first ``n_words``."""
+        """Load, decode and sign-extend the buffer's first ``n_words``.
+
+        Returns ``(n_trials, n_words)`` on a batched fabric — the whole
+        Monte-Carlo batch decoded in one vectorised pass.
+        """
         count = handle.length if n_words is None else n_words
         if not 0 < count <= handle.length:
             raise MemoryModelError(
                 f"cannot read {count} words from {handle.length}-word "
                 f"buffer {handle.name!r}"
             )
-        addresses = np.arange(handle.base, handle.base + count)
-        stored = self.sram.read(addresses)
-        self.stats.data_reads += count
+        addresses = slice(handle.base, handle.base + count)
+        # View read: every EMT decoder derives fresh arrays before the
+        # fabric hands anything to the application, so the cells are
+        # never exposed to mutation.
+        stored = self.sram.read(addresses, copy=False)
+        self.stats.data_reads += count * self.n_trials
         side = None
         if self._side is not None:
-            side = self._side[addresses]
-            self.stats.side_reads += count
-        payload = self.emt.decode(stored, side, self.stats.decode)
+            side = self._side[..., addresses]
+            self.stats.side_reads += count * self.n_trials
+        # Cells only ever hold ``word_bits`` patterns, so the codec's
+        # range scan is redundant here.
+        payload = self.emt.decode(
+            stored,
+            side,
+            self.stats.decode if self.collect_decode_stats else None,
+            checked=True,
+        )
         if self.trace is not None:
             self.trace.append(
                 AccessEvent(False, handle.base, count, handle.name)
             )
         return to_signed(payload, self.emt.data_bits)
 
+    @property
+    def window_stacking(self) -> bool:
+        """Whether applications may fold their window loop into the batch.
+
+        On a batched fabric each :meth:`roundtrip` is a pure
+        write-then-read of the same addresses, so successive processing
+        windows are independent and can ride through the pipeline as an
+        extra ``(n_trials, n_windows, k)`` axis — the corruption every
+        window sees is the per-address stuck-at mask, which does not
+        depend on what a previous window stored.  Disabled when an
+        access trace is recorded (the trace must keep its per-window
+        event granularity) or the address space is scrambled (the fast
+        path indexes fault masks by logical address).
+        """
+        return (
+            self.is_batched
+            and self.trace is None
+            and self.sram.address_map is None
+        )
+
     def roundtrip(self, name: str, values: np.ndarray) -> np.ndarray:
         """Write ``values`` to buffer ``name`` and read them straight back.
 
         The idiom applications use at every pipeline-stage boundary: the
         stage's result is parked in the faulty memory and whatever
-        survives is what the next stage computes on.
+        survives is what the next stage computes on.  Buffer sizing uses
+        the per-trial word count, so batched and single-trial runs share
+        one static allocation layout (identical addresses — a
+        precondition for bit-identical corruption).
+
+        On a batched fabric, 3-D ``(n_trials | 1, n_windows, k)`` values
+        take the window-stacked fast path (see :attr:`window_stacking`):
+        every window of every trial round-trips in one vectorised pass,
+        bit-identical to looping the windows through :meth:`write` /
+        :meth:`read` one at a time.
         """
         signed = np.asarray(values, dtype=np.int64)
-        handle = self.allocate(name, max(signed.size, 1))
+        n_words = int(signed.shape[-1]) if signed.ndim else 0
+        handle = self.allocate(name, max(n_words, 1))
+        if signed.ndim == 3:
+            return self._roundtrip_stacked(handle, signed)
         self.write(handle, signed)
-        return self.read(handle, signed.size)
+        return self.read(handle, n_words)
+
+    def _roundtrip_stacked(
+        self, handle: BufferHandle, signed: np.ndarray
+    ) -> np.ndarray:
+        """Window-stacked roundtrip: ``(n_trials, n_windows, k)`` at once.
+
+        Semantically equivalent to looping ``write(w); read(w)`` over
+        the window axis: corruption-on-write means every window reads
+        back ``apply(encode(window))``, and the cells (and side memory)
+        are left holding the *last* window — the sequential end state.
+        """
+        if not self.window_stacking:
+            raise MemoryModelError(
+                "window-stacked roundtrips need a batched, untraced fabric"
+            )
+        n_trials = self.n_trials
+        if signed.shape[0] == 1:
+            signed = np.broadcast_to(signed, (n_trials,) + signed.shape[1:])
+        elif signed.shape[0] != n_trials:
+            raise MemoryModelError(
+                f"window stack carries {signed.shape[0]} trial rows for a "
+                f"{n_trials}-trial fabric"
+            )
+        n_windows, n_words = int(signed.shape[1]), int(signed.shape[2])
+        if n_words > handle.length:
+            raise MemoryModelError(
+                f"writing {n_words} words into {handle.length}-word "
+                f"buffer {handle.name!r}"
+            )
+        payload = to_unsigned(signed, self.emt.data_bits)
+        # NoProtection's encode/decode are identities (modulo defensive
+        # copies); short-circuiting them saves two whole-batch copies
+        # per roundtrip on the unprotected third of every sweep.
+        identity = type(self.emt) is NoProtection
+        if identity:
+            stored, side = payload, None
+        else:
+            stored, side = self.emt.encode(payload, checked=True)
+        addresses = slice(handle.base, handle.base + n_words)
+        corrupted = self.sram.write_readback_stacked(addresses, stored)
+        count = n_words * n_windows * n_trials
+        self.stats.data_writes += count
+        self.stats.data_reads += count
+        if side is not None:
+            if self._side is None:  # pragma: no cover - guarded by side_bits
+                raise MemoryModelError("EMT produced side info unexpectedly")
+            self._side[:, addresses] = side[:, -1, :]
+            self.stats.side_writes += count
+            self.stats.side_reads += count
+        if identity:
+            if self.collect_decode_stats:
+                self.stats.decode.words += corrupted.size
+            decoded = corrupted
+        else:
+            decoded = self.emt.decode(
+                corrupted,
+                side,
+                self.stats.decode if self.collect_decode_stats else None,
+                checked=True,
+            )
+        return to_signed(decoded, self.emt.data_bits)

@@ -7,29 +7,69 @@ permanent defects as two per-word bit masks — bits stuck at one and bits
 stuck at zero — which makes applying the corruption to a whole buffer two
 vectorised bitwise operations (design decision D1).
 
+Maps come in two shapes:
+
+* **1-D** ``(n_words,)`` masks describe one physical array — the classic
+  single-trial form;
+* **2-D** ``(n_trials, n_words)`` masks stack one independent defect
+  sample per Monte-Carlo trial, so an entire batch of trials flows
+  through the memory fabric in single numpy passes (the trial-batched
+  hot path; see PERFORMANCE.md).
+
 Two constructors cover the paper's two methodologies:
 
 * :func:`sample_fault_map` — independent per-bit failures at a given BER,
   each stuck value drawn uniformly (Fig 4's Monte-Carlo runs);
 * :func:`position_fault_map` — every word's bit ``k`` stuck at a chosen
-  value (Fig 2's per-bit significance sweep).
+  value (Fig 2's per-bit significance sweep);
+
+plus their trial-batched counterparts :func:`sample_fault_map_batch`
+(bit-identical to ``n_trials`` sequential :func:`sample_fault_map` draws
+from the same generator — the stacked draw consumes the stream in the
+exact per-trial order) and :func:`position_fault_map_batch` (one trial
+per (position, stuck value) configuration).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-from .._bitops import bit_mask
+from .._bitops import bit_mask, popcount
 from ..errors import MemoryModelError
 
 __all__ = [
     "FaultMap",
     "empty_fault_map",
     "sample_fault_map",
+    "sample_fault_map_batch",
     "position_fault_map",
+    "position_fault_map_batch",
 ]
+
+
+def normalize_slice(indices: slice, n_words: int) -> tuple[int, int]:
+    """Validate a contiguous forward slice against an array of words.
+
+    The memory layers (fault masks and the SRAM) address static buffers
+    with plain slices; both validate through this single helper so they
+    can never disagree on which slices are legal.  Returns
+    ``(start, stop)``.
+    """
+    start = indices.start or 0
+    stop = n_words if indices.stop is None else indices.stop
+    if (
+        indices.step not in (None, 1)
+        or start < 0
+        or stop > n_words
+        or start > stop
+    ):
+        raise MemoryModelError(
+            f"slice {indices} is not a forward range inside [0, {n_words}]"
+        )
+    return start, stop
 
 
 @dataclass(frozen=True)
@@ -38,8 +78,10 @@ class FaultMap:
 
     Attributes:
         word_bits: width of each word the map covers.
-        set_mask: per-word mask of bits stuck at '1'.
-        clear_mask: per-word mask of bits stuck at '0'.
+        set_mask: per-word mask of bits stuck at '1' — ``(n_words,)`` for
+            a single trial, ``(n_trials, n_words)`` for a stacked batch
+            of independent defect samples.
+        clear_mask: per-word mask of bits stuck at '0' (same shape).
 
     A bit cannot be stuck at both values; the constructor rejects
     overlapping masks.
@@ -48,6 +90,25 @@ class FaultMap:
     word_bits: int
     set_mask: np.ndarray
     clear_mask: np.ndarray
+
+    @classmethod
+    def _trusted(
+        cls, word_bits: int, set_mask: np.ndarray, clear_mask: np.ndarray
+    ) -> "FaultMap":
+        """Construct without re-validating provably well-formed masks.
+
+        The module's own constructors (sampling, position maps, trial
+        slicing, width restriction) build masks that are disjoint and
+        in-range *by construction*; skipping ``__post_init__``'s full
+        min/max/overlap scans there removes several whole-array passes
+        from the batched hot path.  External callers must use the
+        public constructor.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "word_bits", word_bits)
+        object.__setattr__(self, "set_mask", set_mask)
+        object.__setattr__(self, "clear_mask", clear_mask)
+        return self
 
     def __post_init__(self) -> None:
         if self.word_bits < 1:
@@ -60,6 +121,13 @@ class FaultMap:
             raise MemoryModelError(
                 f"mask shapes differ: {set_arr.shape} vs {clear_arr.shape}"
             )
+        if set_arr.ndim not in (1, 2):
+            raise MemoryModelError(
+                f"masks must be 1-D (n_words,) or 2-D (n_trials, n_words), "
+                f"got shape {set_arr.shape}"
+            )
+        if set_arr.ndim == 2 and set_arr.shape[0] < 1:
+            raise MemoryModelError("a batched map needs at least one trial")
         limit = bit_mask(self.word_bits)
         for name, arr in (("set_mask", set_arr), ("clear_mask", clear_arr)):
             if arr.size and (int(arr.min()) < 0 or int(arr.max()) > limit):
@@ -75,48 +143,162 @@ class FaultMap:
 
     @property
     def n_words(self) -> int:
-        """Number of words covered by this map."""
-        return int(self.set_mask.size)
+        """Number of words covered by this map (per trial when batched)."""
+        return int(self.set_mask.shape[-1])
+
+    @property
+    def n_trials(self) -> int:
+        """Number of stacked trials (1 for a classic single-trial map)."""
+        return int(self.set_mask.shape[0]) if self.set_mask.ndim == 2 else 1
+
+    @property
+    def is_batched(self) -> bool:
+        """Whether the masks carry a leading trial axis."""
+        return self.set_mask.ndim == 2
+
+    def trial(self, index: int) -> "FaultMap":
+        """The single-trial map of one row of a batched map.
+
+        For a 1-D map only ``index == 0`` is valid and the map itself is
+        returned (the sequential fallback path uses this uniformly).
+        """
+        if not self.is_batched:
+            if index != 0:
+                raise MemoryModelError(
+                    f"single-trial map has no trial {index}"
+                )
+            return self
+        if not 0 <= index < self.n_trials:
+            raise MemoryModelError(
+                f"trial index {index} outside [0, {self.n_trials})"
+            )
+        return FaultMap._trusted(
+            self.word_bits, self.set_mask[index], self.clear_mask[index]
+        )
 
     @property
     def n_faults(self) -> int:
-        """Total number of stuck bits in the array."""
+        """Total number of stuck bits in the array (all trials)."""
         return int(
-            np.bitwise_count(self.set_mask).sum()
-            + np.bitwise_count(self.clear_mask).sum()
+            popcount(self.set_mask).sum() + popcount(self.clear_mask).sum()
         )
 
-    def apply(self, words: np.ndarray, indices: np.ndarray | None = None) -> np.ndarray:
+    def _inv_clear(self) -> np.ndarray:
+        """``~clear_mask``, computed once and cached.
+
+        Every :meth:`apply` needs the complement; caching it halves the
+        mask traffic of a pipeline that round-trips dozens of buffers
+        through the same map.
+        """
+        cached = getattr(self, "_inv_clear_cache", None)
+        if cached is None:
+            cached = ~self.clear_mask
+            object.__setattr__(self, "_inv_clear_cache", cached)
+        return cached
+
+    def apply(
+        self,
+        words: np.ndarray,
+        indices: np.ndarray | slice | None = None,
+    ) -> np.ndarray:
         """Corrupt stored bit patterns as the defective cells would.
 
         Args:
-            words: bit patterns being read back.
-            indices: physical word indices each element maps to; when
-                omitted, ``words`` must cover the full array in order.
+            words: bit patterns being read back.  For a batched map,
+                shape ``(n_trials, k)`` — row ``t`` is corrupted by
+                trial ``t``'s defects.
+            indices: physical word indices each element maps to — an
+                index vector, or a ``slice`` for the contiguous ranges
+                the fabric's static buffers always produce (a view, no
+                gather copy: the hot-path form).  For a batched map the
+                same addresses are touched in every trial.  When
+                omitted, ``words`` must cover the full array (all
+                trials) in order.
 
         Returns:
             ``(words | set_mask) & ~clear_mask`` element-wise.
         """
         arr = np.asarray(words, dtype=np.int64)
+        inv_clear = self._inv_clear()
         if indices is None:
             if arr.shape != self.set_mask.shape:
                 raise MemoryModelError(
                     f"expected full-array shape {self.set_mask.shape}, "
                     f"got {arr.shape}"
                 )
-            set_mask, clear_mask = self.set_mask, self.clear_mask
+            set_mask, inv = self.set_mask, inv_clear
+        elif isinstance(indices, slice):
+            start, stop = normalize_slice(indices, self.n_words)
+            count = stop - start
+            expected = (
+                (self.n_trials, count) if self.is_batched else (count,)
+            )
+            if expected != arr.shape:
+                raise MemoryModelError(
+                    f"slice of {count} words does not match words "
+                    f"shape {arr.shape}"
+                )
+            set_mask = self.set_mask[..., indices]
+            inv = inv_clear[..., indices]
         else:
             idx = np.asarray(indices, dtype=np.int64)
-            if idx.shape != arr.shape:
+            if self.is_batched and idx.ndim != 1:
+                raise MemoryModelError(
+                    "batched maps take a 1-D index vector (the same "
+                    "addresses are touched in every trial)"
+                )
+            expected = (
+                (self.n_trials, idx.shape[-1]) if self.is_batched else idx.shape
+            )
+            if expected != arr.shape:
                 raise MemoryModelError(
                     f"indices shape {idx.shape} does not match words "
                     f"shape {arr.shape}"
                 )
             if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= self.n_words):
                 raise MemoryModelError("physical index out of range")
-            set_mask = self.set_mask[idx]
-            clear_mask = self.clear_mask[idx]
-        return np.bitwise_and(np.bitwise_or(arr, set_mask), ~clear_mask)
+            set_mask = self.set_mask[..., idx]
+            inv = inv_clear[..., idx]
+        return self._corrupt(arr, set_mask, inv)
+
+    @staticmethod
+    def _corrupt(
+        words: np.ndarray, set_mask: np.ndarray, inv_clear: np.ndarray
+    ) -> np.ndarray:
+        """The stuck-at rule, ``(words | set) & ~clear``, in one place."""
+        out = np.bitwise_or(words, set_mask)
+        np.bitwise_and(out, inv_clear, out=out)
+        return out
+
+    def apply_stacked(self, words: np.ndarray, indices: slice) -> np.ndarray:
+        """Corrupt a ``(n_trials, n_windows, k)`` window stack.
+
+        Every window of trial ``t`` sees trial ``t``'s defects at the
+        sliced addresses — the window-stacked hot path of the batched
+        fabric.  Same stuck-at rule as :meth:`apply`, with the masks
+        broadcast across the window axis.
+        """
+        if not self.is_batched:
+            raise MemoryModelError(
+                "stacked application requires a batched (2-D) map"
+            )
+        arr = np.asarray(words, dtype=np.int64)
+        if arr.ndim != 3 or arr.shape[0] != self.n_trials:
+            raise MemoryModelError(
+                f"expected ({self.n_trials}, n_windows, k) words, "
+                f"got shape {arr.shape}"
+            )
+        start, stop = normalize_slice(indices, self.n_words)
+        if arr.shape[-1] != stop - start:
+            raise MemoryModelError(
+                f"words cover {arr.shape[-1]} columns but the slice "
+                f"spans {stop - start}"
+            )
+        return self._corrupt(
+            arr,
+            self.set_mask[:, None, start:stop],
+            self._inv_clear()[:, None, start:stop],
+        )
 
     def restricted_to(self, word_bits: int) -> "FaultMap":
         """Project the map onto a narrower word (drop faults above it).
@@ -124,15 +306,19 @@ class FaultMap:
         Used when a hybrid system provisions the memory for the widest
         EMT but a narrower technique only occupies the low columns.
         """
+        if word_bits < 1:
+            raise MemoryModelError(
+                f"word_bits must be positive, got {word_bits}"
+            )
         if word_bits > self.word_bits:
             raise MemoryModelError(
                 f"cannot widen a fault map from {self.word_bits} to {word_bits} bits"
             )
         keep = bit_mask(word_bits)
-        return FaultMap(
-            word_bits=word_bits,
-            set_mask=np.bitwise_and(self.set_mask, keep),
-            clear_mask=np.bitwise_and(self.clear_mask, keep),
+        return FaultMap._trusted(
+            word_bits,
+            np.bitwise_and(self.set_mask, keep),
+            np.bitwise_and(self.clear_mask, keep),
         )
 
     def restricted_to_words(self, start: int, length: int) -> "FaultMap":
@@ -153,19 +339,21 @@ class FaultMap:
             )
         inside = np.zeros(self.n_words, dtype=bool)
         inside[start : start + length] = True
-        return FaultMap(
-            word_bits=self.word_bits,
-            set_mask=np.where(inside, self.set_mask, 0),
-            clear_mask=np.where(inside, self.clear_mask, 0),
+        return FaultMap._trusted(
+            self.word_bits,
+            np.where(inside, self.set_mask, 0),
+            np.where(inside, self.clear_mask, 0),
         )
 
 
 def empty_fault_map(n_words: int, word_bits: int) -> FaultMap:
     """A defect-free array (nominal supply voltage)."""
+    if word_bits < 1:
+        raise MemoryModelError(f"word_bits must be positive, got {word_bits}")
     if n_words < 0:
         raise MemoryModelError(f"n_words must be non-negative, got {n_words}")
     zeros = np.zeros(n_words, dtype=np.int64)
-    return FaultMap(word_bits=word_bits, set_mask=zeros, clear_mask=zeros.copy())
+    return FaultMap._trusted(word_bits, zeros, zeros.copy())
 
 
 def sample_fault_map(
@@ -180,6 +368,8 @@ def sample_fault_map(
     failed cell is stuck at '1' or '0' with equal probability — the
     paper's Section V error model.
     """
+    if word_bits < 1:
+        raise MemoryModelError(f"word_bits must be positive, got {word_bits}")
     if not 0.0 <= ber <= 1.0:
         raise MemoryModelError(f"BER must be in [0, 1], got {ber}")
     if n_words < 0:
@@ -189,10 +379,88 @@ def sample_fault_map(
 
     failed = rng.random((n_words, word_bits)) < ber
     stuck_high = rng.random((n_words, word_bits)) < 0.5
-    weights = (np.int64(1) << np.arange(word_bits, dtype=np.int64))[None, :]
-    set_mask = np.where(failed & stuck_high, weights, 0).sum(axis=1)
-    clear_mask = np.where(failed & ~stuck_high, weights, 0).sum(axis=1)
-    return FaultMap(word_bits=word_bits, set_mask=set_mask, clear_mask=clear_mask)
+    set_mask, clear_mask = _pack_masks(failed, stuck_high)
+    return FaultMap._trusted(word_bits, set_mask, clear_mask)
+
+
+def _pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., word_bits)`` boolean array into int64 bit masks.
+
+    ``np.packbits`` with little-endian bit order makes byte ``c`` of
+    word ``i`` exactly ``bits[i, 8c:8c+8]`` — one C pass over the
+    boolean block — and the bytes then assemble into int64 words with a
+    shift-or per byte column.  Bit ``j`` of the result equals
+    ``bits[..., j]``, the same mapping the historical
+    ``np.where(weights).sum(axis)`` reduction produced.
+    """
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    out = packed[..., 0].astype(np.int64)
+    for column in range(1, packed.shape[-1]):
+        out |= packed[..., column].astype(np.int64) << np.int64(8 * column)
+    return out
+
+
+def _pack_masks(
+    failed: np.ndarray, stuck_high: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack per-bit failure booleans into per-word set/clear masks.
+
+    A failed cell is stuck high where ``stuck_high`` holds, stuck low
+    otherwise: ``clear = failed - set`` avoids packing a third boolean
+    block.  Mask packing was the single largest line of the Monte-Carlo
+    sampling profile; this form is bit-identical to the historical
+    weighted ``np.where(...).sum(axis)`` reduction at a fraction of its
+    cost.
+    """
+    set_mask = _pack_bits(failed & stuck_high)
+    failed_mask = _pack_bits(failed)
+    return set_mask, failed_mask - set_mask
+
+
+def sample_fault_map_batch(
+    n_trials: int,
+    n_words: int,
+    word_bits: int,
+    ber: float,
+    rng: np.random.Generator,
+) -> FaultMap:
+    """Draw ``n_trials`` Monte-Carlo fault maps as one stacked batch.
+
+    Bit-identical to ``n_trials`` sequential :func:`sample_fault_map`
+    calls on the same generator: each sequential call consumes two
+    ``(n_words, word_bits)`` uniform blocks (failure sites, then stuck
+    values), and numpy fills a ``(n_trials, 2, n_words, word_bits)``
+    request from the same stream in exactly that per-trial order — so
+    trial ``t`` of the batch sees the very doubles the ``t``-th
+    sequential call would have seen (property-tested).
+    """
+    if n_trials < 1:
+        raise MemoryModelError(f"n_trials must be >= 1, got {n_trials}")
+    if word_bits < 1:
+        raise MemoryModelError(f"word_bits must be positive, got {word_bits}")
+    if not 0.0 <= ber <= 1.0:
+        raise MemoryModelError(f"BER must be in [0, 1], got {ber}")
+    if n_words < 0:
+        raise MemoryModelError(f"n_words must be non-negative, got {n_words}")
+    if ber == 0.0 or n_words == 0:
+        # Sequential draws at BER 0 consume no randomness; neither may we.
+        zeros = np.zeros((n_trials, n_words), dtype=np.int64)
+        return FaultMap._trusted(word_bits, zeros, zeros.copy())
+
+    set_mask = np.empty((n_trials, n_words), dtype=np.int64)
+    clear_mask = np.empty((n_trials, n_words), dtype=np.int64)
+    # Draw and pack per trial: the uniform block of one trial (~2.9 MB
+    # at the paper's geometry) stays cache-resident, where a monolithic
+    # (n_trials, 2, n_words, word_bits) request would transiently hold
+    # >1 GB for a 200-run batch and thrash every level of cache.  The
+    # stream is unchanged — numpy fills requests C-order, so per-trial
+    # draws consume exactly the doubles the sequential loop consumed.
+    for trial in range(n_trials):
+        draws = rng.random((2, n_words, word_bits))
+        failed = draws[0] < ber
+        stuck_high = draws[1] < 0.5
+        set_mask[trial], clear_mask[trial] = _pack_masks(failed, stuck_high)
+    return FaultMap._trusted(word_bits, set_mask, clear_mask)
 
 
 def position_fault_map(
@@ -218,3 +486,59 @@ def position_fault_map(
     if stuck_value == 1:
         return FaultMap(word_bits=word_bits, set_mask=mask, clear_mask=zeros)
     return FaultMap(word_bits=word_bits, set_mask=zeros, clear_mask=mask)
+
+
+def position_fault_map_batch(
+    n_words: int,
+    word_bits: int,
+    configurations: list[tuple[int, int]] | tuple[tuple[int, int], ...],
+) -> FaultMap:
+    """Stack one :func:`position_fault_map` trial per configuration.
+
+    Args:
+        n_words: words per trial.
+        word_bits: word width.
+        configurations: ``(position, stuck_value)`` pairs, one trial
+            each, in order — the whole Fig 2 sweep of an application
+            becomes a single batched pipeline pass.
+
+    The result is memoized per configuration tuple (the map is
+    deterministic and immutable): the Fig 2 sweep asks for the same
+    32-configuration stack once per application.
+    """
+    if not configurations:
+        raise MemoryModelError(
+            "position_fault_map_batch needs at least one configuration"
+        )
+    return _position_fault_map_batch_cached(
+        n_words, word_bits, tuple(tuple(pair) for pair in configurations)
+    )
+
+
+@lru_cache(maxsize=32)
+def _position_fault_map_batch_cached(
+    n_words: int,
+    word_bits: int,
+    configurations: tuple[tuple[int, int], ...],
+) -> FaultMap:
+    """The memoized body of :func:`position_fault_map_batch`."""
+    for position, stuck_value in configurations:
+        if not 0 <= position < word_bits:
+            raise MemoryModelError(
+                f"position must be in [0, {word_bits}), got {position}"
+            )
+        if stuck_value not in (0, 1):
+            raise MemoryModelError(
+                f"stuck_value must be 0 or 1, got {stuck_value}"
+            )
+    n_trials = len(configurations)
+    positions = np.asarray([p for p, _s in configurations], dtype=np.int64)
+    stuck = np.asarray([s for _p, s in configurations], dtype=np.int64)
+    bits = np.int64(1) << positions
+    # Each trial's mask is one constant per word: a single broadcast
+    # assignment per mask materialises the (n_trials, n_words) arrays.
+    set_mask = np.empty((n_trials, n_words), dtype=np.int64)
+    clear_mask = np.empty((n_trials, n_words), dtype=np.int64)
+    set_mask[...] = np.where(stuck == 1, bits, 0)[:, None]
+    clear_mask[...] = np.where(stuck == 0, bits, 0)[:, None]
+    return FaultMap._trusted(word_bits, set_mask, clear_mask)

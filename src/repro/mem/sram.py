@@ -17,7 +17,7 @@ import numpy as np
 
 from .._bitops import bit_mask
 from ..errors import MemoryModelError
-from .faults import FaultMap, empty_fault_map
+from .faults import FaultMap, empty_fault_map, normalize_slice
 from .layout import AddressMap, MemoryGeometry
 
 __all__ = ["FaultySRAM"]
@@ -65,46 +65,137 @@ class FaultySRAM:
             raise MemoryModelError("address map geometry mismatch")
         self.fault_map = fault_map
         self.address_map = address_map
-        self._cells = np.zeros(geometry.n_words, dtype=np.int64)
-        # Defective cells hold their stuck value even before first write.
-        self._cells = fault_map.apply(self._cells)
+        # A batched map stacks one independent cell array per trial; all
+        # trials share addressing, so one write/read pass covers them all.
+        # Defective cells hold their stuck value even before first write:
+        # on all-zero cells ``(0 | set) & ~clear`` reduces to the set
+        # mask itself (set and clear are disjoint), one copy instead of
+        # a zero-fill plus a full apply pass.
+        self._cells = fault_map.set_mask.copy()
         self.read_count = 0
         self.write_count = 0
 
-    def _physical(self, addresses: np.ndarray) -> np.ndarray:
+    @property
+    def n_trials(self) -> int:
+        """Stacked Monte-Carlo trials this array simulates (1 = classic)."""
+        return self.fault_map.n_trials
+
+    @property
+    def is_batched(self) -> bool:
+        """Whether the cell array carries a leading trial axis."""
+        return self.fault_map.is_batched
+
+    def _physical(
+        self, addresses: np.ndarray | slice
+    ) -> tuple[np.ndarray | slice, int]:
+        """Resolve logical addresses; returns ``(physical, count)``.
+
+        Contiguous ``slice`` addressing (what the fabric's static
+        buffers always produce) stays a slice on an unscrambled array —
+        downstream cell and mask accesses are then views instead of
+        gather copies, the hot-path form of the trial-batched pipeline.
+        """
+        n_words = self.geometry.n_words
+        if isinstance(addresses, slice):
+            start, stop = normalize_slice(addresses, n_words)
+            if self.address_map is None:
+                return slice(start, stop), stop - start
+            addresses = np.arange(start, stop)
         addr = np.asarray(addresses, dtype=np.int64)
         if addr.size and (
-            int(addr.min()) < 0 or int(addr.max()) >= self.geometry.n_words
+            int(addr.min()) < 0 or int(addr.max()) >= n_words
         ):
             raise MemoryModelError(
-                f"address out of range [0, {self.geometry.n_words})"
+                f"address out of range [0, {n_words})"
             )
         if self.address_map is None:
-            return addr
-        return self.address_map.physical(addr)
+            return addr, int(addr.size)
+        return self.address_map.physical(addr), int(addr.size)
 
-    def write(self, addresses: np.ndarray, patterns: np.ndarray) -> None:
-        """Store bit patterns; stuck cells retain their stuck values."""
-        addr = self._physical(addresses)
+    def write(
+        self,
+        addresses: np.ndarray | slice,
+        patterns: np.ndarray,
+        checked: bool = False,
+    ) -> None:
+        """Store bit patterns; stuck cells retain their stuck values.
+
+        On a batched array ``patterns`` is ``(n_trials, k)`` — or 1-D,
+        in which case the same values are written to every trial (the
+        first write of a batch, before corruption diverges the trials).
+        ``addresses`` may be a contiguous ``slice`` (the fabric's static
+        buffers), which skips the per-access gather copies entirely.
+        ``checked=True`` marks patterns a caller already guarantees to
+        fit the word width (the fabric's EMT-encoded codewords do by
+        construction), skipping the per-write min/max scan.
+        """
+        addr, count = self._physical(addresses)
         values = np.asarray(patterns, dtype=np.int64)
-        if values.shape != addr.shape:
+        if self.is_batched:
+            if values.ndim == 1:
+                values = np.broadcast_to(
+                    values, (self.n_trials, values.shape[0])
+                )
+            expected = (self.n_trials, count)
+        else:
+            expected = (count,)
+        if values.shape != expected:
             raise MemoryModelError(
                 f"patterns shape {values.shape} does not match addresses "
-                f"shape {addr.shape}"
+                f"shape {expected}"
             )
-        limit = bit_mask(self.geometry.word_bits)
-        if values.size and (int(values.min()) < 0 or int(values.max()) > limit):
-            raise MemoryModelError(
-                f"pattern exceeds the {self.geometry.word_bits}-bit word"
-            )
-        self._cells[addr] = self.fault_map.apply(values, addr)
+        if not checked:
+            limit = bit_mask(self.geometry.word_bits)
+            if values.size and (
+                int(values.min()) < 0 or int(values.max()) > limit
+            ):
+                raise MemoryModelError(
+                    f"pattern exceeds the {self.geometry.word_bits}-bit word"
+                )
+        self._cells[..., addr] = self.fault_map.apply(values, addr)
         self.write_count += int(values.size)
 
-    def read(self, addresses: np.ndarray) -> np.ndarray:
-        """Read back stored (possibly corrupted) bit patterns."""
-        addr = self._physical(addresses)
-        self.read_count += int(addr.size)
-        return self._cells[addr].copy()
+    def write_readback_stacked(
+        self, addresses: slice, patterns: np.ndarray
+    ) -> np.ndarray:
+        """Write-then-read a ``(n_trials, n_windows, k)`` window stack.
+
+        Semantically equivalent to looping ``write(w); read(w)`` over
+        the window axis: corruption-on-write means every window reads
+        back its applied pattern, and the cells retain the *last*
+        window — the end state a sequential loop leaves.  One
+        vectorised pass instead of ``2 * n_windows`` calls; access
+        counters advance exactly as the loop would advance them.
+        Requires a batched, unscrambled array (the caller guards).
+        """
+        if not self.is_batched or self.address_map is not None:
+            raise MemoryModelError(
+                "stacked write-readback needs a batched, unscrambled array"
+            )
+        start, stop = normalize_slice(addresses, self.geometry.n_words)
+        corrupted = self.fault_map.apply_stacked(patterns, addresses)
+        # Persist the final window: the state a sequential loop leaves.
+        self._cells[:, start:stop] = corrupted[:, -1, :]
+        self.write_count += int(patterns.size)
+        self.read_count += int(patterns.size)
+        return corrupted
+
+    def read(
+        self, addresses: np.ndarray | slice, copy: bool = True
+    ) -> np.ndarray:
+        """Read back stored (possibly corrupted) bit patterns.
+
+        Returns ``(n_trials, k)`` on a batched array, ``(k,)`` otherwise.
+        ``copy=False`` may return a view of the cell array for sliced
+        reads — valid until the next write; the fabric uses it because
+        every EMT decoder derives fresh output arrays immediately.
+        """
+        addr, count = self._physical(addresses)
+        self.read_count += count * self.n_trials
+        stored = self._cells[..., addr]
+        if copy and not stored.flags.owndata:
+            return stored.copy()
+        return stored
 
     def reset_counters(self) -> None:
         """Zero the access counters (energy accounting epochs)."""

@@ -43,7 +43,7 @@ from .policy import (
     register_policy,
 )
 from .scenarios import SCENARIOS, register_scenario, scenario_names, scenario_spec
-from .simulator import MissionSimulator
+from .simulator import BatchCalibrator, MissionSimulator
 
 __all__ = [
     "MissionResult",
@@ -62,6 +62,7 @@ __all__ = [
     "make_policy",
     "policy_from_dict",
     "policy_from_token",
+    "BatchCalibrator",
     "MissionSimulator",
     "SCENARIOS",
     "register_scenario",

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..errors import SignalError
 
-__all__ = ["mse", "rms", "snr_db", "prd", "SNR_CAP_DB"]
+__all__ = ["mse", "rms", "snr_db", "snr_db_batch", "prd", "SNR_CAP_DB"]
 
 
 #: Default SNR ceiling used when the corrupted output is bit-exact.
@@ -83,6 +83,51 @@ def snr_db(
         return 0.0
     value = 20.0 * np.log10(signal_rms / np.sqrt(error_power))
     return float(min(value, cap_db))
+
+
+def snr_db_batch(
+    theoretical: np.ndarray,
+    experimental: np.ndarray,
+    cap_db: float = SNR_CAP_DB,
+) -> np.ndarray:
+    """Formula 1 SNR of a whole trial batch in one vectorised pass.
+
+    Args:
+        theoretical: the error-free output — ``(k,)`` for one stream, or
+            ``(n_streams, k)`` when the batch covers a stacked corpus
+            (one reference per stream).
+        experimental: stacked corrupted outputs whose trailing axes
+            match ``theoretical`` — e.g. ``(n_trials, k)`` or
+            ``(n_trials, n_streams, k)``.
+        cap_db: same ceiling semantics as :func:`snr_db`.
+
+    Returns:
+        float64 array of ``experimental``'s leading shape; every entry
+        is bit-identical to :func:`snr_db` on the corresponding pair —
+        the mean reduces along the same (last) axis in the same order,
+        and the zero-MSE / zero-reference special cases follow the same
+        rules (property-tested).
+    """
+    theo = np.asarray(theoretical, dtype=np.float64)
+    expe = np.asarray(experimental, dtype=np.float64)
+    if theo.size == 0:
+        raise SignalError("metrics require at least one sample")
+    if (
+        expe.ndim <= theo.ndim
+        or expe.shape[-theo.ndim :] != theo.shape
+    ):
+        raise SignalError(
+            f"batch shape {expe.shape} does not stack references of "
+            f"shape {theo.shape}"
+        )
+    error_power = np.mean((theo - expe) ** 2, axis=-1)
+    signal_rms = np.sqrt(np.mean(theo**2, axis=-1))
+    exact = error_power == 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = 20.0 * np.log10(signal_rms / np.sqrt(error_power))
+        capped = np.minimum(value, cap_db)
+    result = np.where(signal_rms == 0.0, 0.0, capped)
+    return np.where(exact, float(cap_db), result)
 
 
 def prd(theoretical: np.ndarray, experimental: np.ndarray) -> float:

@@ -1,0 +1,141 @@
+"""BatchCalibrator: bit-identical models, unchanged cache keys.
+
+The calibrator replaced the mission simulator's per-probe loop with the
+trial-batched pipeline; these tests pin the two properties that protect
+every previously-cached calibration:
+
+* the (mean, std) quality model is *exactly* what the sequential loop
+  computed from the same seeds, and
+* the shared disk cache's content-hash keys never see the batching —
+  the payload schema (and therefore every digest) is unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign.spec import content_hash
+from repro.errors import MissionError
+from repro.runtime.simulator import (
+    BatchCalibrator,
+    _calibrated_quality,
+    _probe_quality,
+)
+from repro.signals.metrics import SNR_CAP_DB
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("emt_name", ["none", "dream", "secded", "dream_secded"])
+    @pytest.mark.parametrize("ber", [0.0, 1e-4, 3e-3])
+    def test_batched_equals_sequential(self, emt_name, ber):
+        calibrator = BatchCalibrator(n_probe=3, probe_duration_s=2.0)
+        batched = calibrator.calibrate("dwt", "100", 1.0, emt_name, ber)
+        sequential = calibrator.calibrate_sequential(
+            "dwt", "100", 1.0, emt_name, ber
+        )
+        assert batched == sequential
+
+    def test_single_probe_batch(self):
+        calibrator = BatchCalibrator(n_probe=1, probe_duration_s=2.0)
+        assert calibrator.calibrate(
+            "dwt", "100", 1.0, "dream", 2e-3
+        ) == calibrator.calibrate_sequential(
+            "dwt", "100", 1.0, "dream", 2e-3
+        )
+
+    def test_fallback_app_batches_identically(self):
+        """Delineation has no vectorised batch path; the per-trial
+        fallback must still match the sequential loop exactly."""
+        calibrator = BatchCalibrator(n_probe=2, probe_duration_s=2.0)
+        assert calibrator.calibrate(
+            "delineation", "100", 1.0, "dream", 2e-3
+        ) == calibrator.calibrate_sequential(
+            "delineation", "100", 1.0, "dream", 2e-3
+        )
+
+    def test_probe_quality_delegates_to_batched(self):
+        calibrator = BatchCalibrator(
+            n_probe=2, probe_duration_s=2.0, snr_cap_db=SNR_CAP_DB
+        )
+        assert _probe_quality(
+            "dwt", "100", 1.0, "none", 1e-3, 2, 2.0, SNR_CAP_DB
+        ) == calibrator.calibrate("dwt", "100", 1.0, "none", 1e-3)
+
+    def test_rejects_bad_fidelity_knobs(self):
+        with pytest.raises(MissionError):
+            BatchCalibrator(n_probe=0)
+        with pytest.raises(MissionError):
+            BatchCalibrator(probe_duration_s=0.0)
+
+
+class TestCacheKeysUnchanged:
+    def test_disk_entry_uses_the_historical_payload_schema(
+        self, tmp_path, monkeypatch
+    ):
+        """The batched calibrator writes cache entries under the exact
+        digest the sequential implementation's payload produced."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+        _calibrated_quality.cache_clear()
+
+        args = dict(
+            app_name="dwt",
+            record="100",
+            noise_gain=1.0,
+            emt_name="dream",
+            ber=2e-3,
+            n_probe=2,
+            probe_duration_s=2.0,
+            snr_cap_db=SNR_CAP_DB,
+        )
+        mean, std = _calibrated_quality(*args.values())
+
+        # The historical (pre-batching) cache payload, verbatim.
+        payload = {
+            "kind": "mission-quality",
+            "v": 1,
+            "app": args["app_name"],
+            "record": args["record"],
+            "noise_gain": args["noise_gain"],
+            "emt": args["emt_name"],
+            "ber": args["ber"],
+            "n_probe": args["n_probe"],
+            "probe_duration_s": args["probe_duration_s"],
+            "snr_cap_db": args["snr_cap_db"],
+        }
+        digest = content_hash(payload)
+        entry = tmp_path / f"{digest}.json"
+        assert entry.exists(), sorted(os.listdir(tmp_path))
+
+        # And the cached value is the batched == sequential model.
+        calibrator = BatchCalibrator(n_probe=2, probe_duration_s=2.0)
+        assert (mean, std) == calibrator.calibrate_sequential(
+            "dwt", "100", 1.0, "dream", 2e-3
+        )
+        _calibrated_quality.cache_clear()
+
+    def test_model_values_are_plain_floats(self):
+        calibrator = BatchCalibrator(n_probe=2, probe_duration_s=2.0)
+        mean, std = calibrator.calibrate("dwt", "100", 1.0, "none", 0.0)
+        assert isinstance(mean, float) and isinstance(std, float)
+        assert (mean, std) == (SNR_CAP_DB, 0.0)
+
+    def test_mission_simulator_results_unchanged_by_batching(self):
+        """End to end: a short mission's result equals a run whose
+        calibrations were produced by the sequential reference."""
+        from repro.runtime import MissionSimulator, make_policy
+        from repro.runtime.scenarios import scenario_spec
+
+        np.random.default_rng(0)
+        sim = MissionSimulator(
+            scenario_spec("overnight").scaled(0.01),
+            n_probe=2,
+            probe_duration_s=2.0,
+        )
+        result = sim.run(make_policy("hysteresis"))
+        # Deterministic: the same mission re-runs to the same result.
+        again = sim.run(make_policy("hysteresis"))
+        assert result.to_dict() == again.to_dict()
