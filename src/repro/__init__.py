@@ -23,7 +23,11 @@ depends on:
 * :mod:`repro.cohort` — population-scale fleet simulation over
   synthetic patient cohorts, with survival/percentile analytics;
 * :mod:`repro.cache` — the process-safe disk calibration cache shared
-  by missions and fleets.
+  by missions and fleets;
+* :mod:`repro.api` — the unified experiment API: one declarative,
+  file-loadable :class:`~repro.api.Experiment` spec (TOML/JSON) and the
+  :class:`~repro.api.Session` facade running every workload kind —
+  figures, sweeps, missions, cohorts — through the campaign engine.
 
 Quickstart::
 
@@ -41,12 +45,13 @@ Quickstart::
     print(snr_db(record.samples, stored))
 """
 
-from . import apps, campaign, emt, energy, exp, mem, runtime, signals, soc
+from . import api, apps, campaign, emt, energy, exp, mem, runtime, signals, soc
 from .errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "api",
     "apps",
     "campaign",
     "emt",

@@ -1,0 +1,92 @@
+"""Unified experiment API: one declarative spec, one session facade.
+
+After four PRs the repo had four parallel ways to express an
+exploration — ``exp/*`` figure drivers, ``CampaignSpec`` sweeps,
+``MissionSpec`` runs and ``CohortSpec`` fleets — each with its own CLI
+flags and parameter plumbing.  This package converges them:
+
+* :mod:`repro.api.schema` — a versioned, file-loadable
+  :class:`Experiment` describing any workload kind (``figure``,
+  ``sweep``, ``mission``, ``cohort``) as TOML or JSON;
+* :mod:`repro.api.serde` — the shared serialisation layer (canonical
+  JSON/content hashing, model-object dicts, mixes, policy tokens,
+  TOML/JSON file IO) every entry point reuses;
+* :mod:`repro.api.session` — the :class:`Session` facade: plans an
+  experiment into campaign specs, executes them through the campaign
+  runner on a pluggable backend (``inline`` or ``multiprocessing``),
+  and persists results in content-hash-keyed stores;
+* :mod:`repro.api.results` — the uniform :class:`ResultHandle` every
+  run returns (``.frame()``, ``.pareto()``, ``.summary()``,
+  ``.result()``), replacing the four subsystems' ad-hoc return shapes.
+
+Quickstart::
+
+    from repro.api import Session, load_experiment
+
+    experiment = load_experiment("examples/experiments/sweep_quick.toml")
+    handle = Session(workers=4).run(experiment)
+    for row in handle.pareto("energy_pj", "snr_db"):
+        print(row)
+
+Submodules are imported lazily: ``import repro.api`` is cheap, and the
+serde layer stays importable from low-level modules (e.g.
+:mod:`repro.campaign.spec`) without dragging in the session machinery.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Experiment",
+    "load_experiment",
+    "dump_experiment",
+    "experiment_from_payload",
+    "Session",
+    "ExecutionBackend",
+    "register_backend",
+    "backend_names",
+    "ResultHandle",
+    "serde",
+    "schema",
+    "session",
+    "results",
+]
+
+#: Lazy export table: public name -> home submodule.
+_EXPORTS = {
+    "SCHEMA_VERSION": ".schema",
+    "Experiment": ".schema",
+    "load_experiment": ".schema",
+    "dump_experiment": ".schema",
+    "experiment_from_payload": ".schema",
+    "Session": ".session",
+    "ExecutionBackend": ".session",
+    "register_backend": ".session",
+    "backend_names": ".session",
+    "ResultHandle": ".results",
+    "serde": None,
+    "schema": None,
+    "session": None,
+    "results": None,
+}
+
+
+def __getattr__(name: str) -> Any:
+    """PEP 562 lazy loader for the export table above."""
+    try:
+        home = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    if home is None:
+        return importlib.import_module(f".{name}", __name__)
+    return getattr(importlib.import_module(home, __name__), name)
+
+
+def __dir__() -> list[str]:
+    """Expose the lazy exports to ``dir()`` and tab completion."""
+    return sorted(set(globals()) | set(_EXPORTS))

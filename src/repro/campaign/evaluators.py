@@ -34,23 +34,33 @@ to the historical serial sweeps and independent of execution order.
 from __future__ import annotations
 
 import zlib
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 from dataclasses import asdict, replace
 from functools import lru_cache
 from typing import Any
 
 import numpy as np
 
+# The model-object serde helpers historically lived here; they moved to
+# the shared :mod:`repro.api.serde` layer with the unified experiment
+# API and are re-exported below (``__all__``) for compatibility.
+from ..api.serde import (
+    geometry_from_dict,
+    geometry_to_dict,
+    technology_from_dict,
+    technology_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
 from ..apps.base import clean_fabric
 from ..apps.registry import cached_app, make_app
 from ..emt import make_emt
 from ..emt.base import NoProtection
 from ..energy.accounting import EnergySystemModel, Workload
-from ..energy.technology import TECH_32NM_LP, Technology
 from ..errors import CampaignError
 from ..mem.fabric import MemoryFabric
 from ..mem.faults import position_fault_map
-from ..mem.layout import PAPER_GEOMETRY, MemoryGeometry
 from ..signals.dataset import load_record
 from ..signals.metrics import SNR_CAP_DB
 from ..soc.config import SoCConfig
@@ -58,6 +68,8 @@ from .spec import CampaignPoint
 
 __all__ = [
     "EVALUATORS",
+    "EVALUATION_HINTS",
+    "evaluation_hints",
     "register_evaluator",
     "evaluate_point",
     "grid_seed",
@@ -72,6 +84,34 @@ __all__ = [
 
 #: Registry of evaluator kinds, populated by :func:`register_evaluator`.
 EVALUATORS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {}
+
+#: Process-local execution hints for evaluators.  Hints are *never*
+#: part of a point's parameters — they must not influence results or
+#: content hashes — only how a point is computed (e.g.
+#: ``cohort_workers``: patient-level fan-out inside a ``cohort`` point
+#: when the campaign itself runs inline).  Set them with
+#: :func:`evaluation_hints`; worker processes of a multiprocessing
+#: campaign never see hints (pool workers must not nest pools).
+EVALUATION_HINTS: dict[str, Any] = {}
+
+
+@contextmanager
+def evaluation_hints(**hints: Any) -> Iterator[None]:
+    """Scope process-local evaluation hints around in-process campaigns.
+
+    Example: the experiment session wraps an inline cohort campaign in
+    ``evaluation_hints(cohort_workers=4)`` so each policy point fans its
+    patients across four worker processes — the execution grain the
+    historical ``repro cohort`` CLI used — without touching the point's
+    parameters or stored identity.
+    """
+    previous = dict(EVALUATION_HINTS)
+    EVALUATION_HINTS.update(hints)
+    try:
+        yield
+    finally:
+        EVALUATION_HINTS.clear()
+        EVALUATION_HINTS.update(previous)
 
 
 def register_evaluator(
@@ -117,49 +157,6 @@ def grid_seed(app_name: str, voltage: float) -> int:
     keeping campaign results bit-identical to the historical sweeps.
     """
     return zlib.crc32(f"{app_name}:{round(voltage * 100)}".encode())
-
-
-# --------------------------------------------------------------------------
-# Serialisation helpers: frozen model objects <-> JSON-safe dicts
-# --------------------------------------------------------------------------
-
-
-def technology_to_dict(tech: Technology) -> dict[str, Any]:
-    """Serialise a :class:`Technology` for a campaign's fixed parameters."""
-    payload = asdict(tech)
-    payload["ber_table"] = [list(row) for row in tech.ber_table]
-    return payload
-
-
-def technology_from_dict(payload: dict[str, Any] | None) -> Technology:
-    """Rebuild a :class:`Technology` (default node when ``None``)."""
-    if payload is None:
-        return TECH_32NM_LP
-    data = dict(payload)
-    data["ber_table"] = tuple(tuple(row) for row in data["ber_table"])
-    return Technology(**data)
-
-
-def geometry_to_dict(geometry: MemoryGeometry) -> dict[str, Any]:
-    """Serialise a :class:`MemoryGeometry` axis/parameter value."""
-    return asdict(geometry)
-
-
-def geometry_from_dict(payload: dict[str, Any] | None) -> MemoryGeometry:
-    """Rebuild a :class:`MemoryGeometry` (paper geometry when ``None``)."""
-    if payload is None:
-        return PAPER_GEOMETRY
-    return MemoryGeometry(**payload)
-
-
-def workload_to_dict(workload: Workload) -> dict[str, Any]:
-    """Serialise a :class:`Workload` for the ``energy`` evaluator."""
-    return asdict(workload)
-
-
-def workload_from_dict(payload: dict[str, Any]) -> Workload:
-    """Rebuild a :class:`Workload` from its dict form."""
-    return Workload(**payload)
 
 
 def measured_workload(
@@ -343,19 +340,30 @@ def _eval_cohort(params: dict[str, Any]) -> dict[str, Any]:
     Parameters: a ``policy`` (registry name or ``{"name", "params"}``
     dict) plus a ``cohort`` dict
     (:meth:`repro.cohort.CohortSpec.to_dict` form).  Optional: ``size``/
-    ``duration_scale``/``seed`` overrides on the cohort, and the
-    simulator fidelity knobs ``n_probe``/``probe_duration_s``.  Patients
-    run serially inside this worker — the campaign runner already fans
+    ``duration_scale``/``seed`` overrides on the cohort,
+    ``allow_failed_patients`` (see below), and the simulator fidelity
+    knobs ``n_probe``/``probe_duration_s``.  Patients run serially
+    inside this worker by default — the campaign runner already fans
     *points* across processes, and the shared disk calibration cache
-    keeps the fleet-wide calibration work deduplicated either way.
+    keeps fleet-wide calibration work deduplicated either way; an
+    inline campaign may instead fan patients across processes via the
+    ``cohort_workers`` entry of :data:`EVALUATION_HINTS` (results are
+    bit-identical for any worker count).
 
     Returns the :meth:`~repro.cohort.FleetResult.summary` population
-    metrics; a point with any failed patient raises, so the campaign
-    records it as failed (and retries it on the next run).
+    metrics plus a ``"survival"`` battery-survival curve (``[t_days,
+    fraction_alive]`` pairs — deterministic, so it stores and resumes
+    like any other metric).  A point with any failed patient raises by
+    default, so the campaign records it as failed (and retries it on
+    the next run); with ``allow_failed_patients`` true the point
+    instead degrades gracefully — population statistics cover the
+    surviving patients and the summary carries a ``"failures"`` list —
+    which is how the experiment API runs fleets (the historical
+    ``repro cohort`` behaviour).
     """
     # Imported lazily: repro.cohort builds on repro.runtime, which
     # prices windows through this module.
-    from ..cohort import CohortSpec, FleetSimulator
+    from ..cohort import CohortSpec, FleetSimulator, survival_curve
 
     if "cohort" not in params:
         raise CampaignError("cohort point needs a 'cohort' dict")
@@ -373,9 +381,12 @@ def _eval_cohort(params: dict[str, Any]) -> dict[str, Any]:
         n_probe=params.get("n_probe", 3),
         probe_duration_s=params.get("probe_duration_s", 4.0),
     )
-    result = fleet.run(params["policy"])
+    result = fleet.run(
+        params["policy"],
+        n_workers=int(EVALUATION_HINTS.get("cohort_workers", 1)),
+    )
     failures = result.failures()
-    if failures:
+    if failures and not params.get("allow_failed_patients", False):
         first = failures[0]
         raise CampaignError(
             f"{len(failures)} of {len(result.rows)} patients failed; "
@@ -386,6 +397,15 @@ def _eval_cohort(params: dict[str, Any]) -> dict[str, Any]:
     # campaign results carry only the deterministic population metrics.
     for volatile in ("elapsed_s", "patients_per_s", "cache"):
         summary.pop(volatile, None)
+    if failures:
+        summary["failures"] = [
+            {"patient": row["patient"], "error": row["error"]}
+            for row in failures
+        ]
+    summary["survival"] = [
+        [t_days, alive]
+        for t_days, alive in survival_curve(result.ok_rows(), n_points=9)
+    ] if result.ok_rows() else []
     return summary
 
 

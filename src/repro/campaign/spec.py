@@ -16,63 +16,20 @@ boundaries and hash identically across runs and platforms.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
-import json
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-
+# Canonicalisation lives in the shared serde layer since the unified
+# experiment API landed; it is re-exported here — its historical home —
+# so campaign callers (and the calibration cache) keep importing it from
+# this module.  The implementation is byte-identical: store keys and
+# cache entries written before the move stay valid.
+from ..api.serde import canonical_json, content_hash
 from ..errors import CampaignError
 
 __all__ = ["CampaignPoint", "CampaignSpec", "canonical_json", "content_hash"]
-
-
-def _canonicalise(value: Any) -> Any:
-    """Normalise a parameter value for hashing (tuples become lists).
-
-    Numpy scalars and arrays are unwrapped to their Python equivalents:
-    axes built with ``np.linspace``/``np.arange`` must hash (and store)
-    identically to hand-written value tuples.
-    """
-    if isinstance(value, np.generic):
-        return _canonicalise(value.item())
-    if isinstance(value, np.ndarray):
-        # tolist() of a 0-d array is a bare scalar, so recurse rather
-        # than iterate.
-        return _canonicalise(value.tolist())
-    if isinstance(value, tuple):
-        return [_canonicalise(v) for v in value]
-    if isinstance(value, list):
-        return [_canonicalise(v) for v in value]
-    if isinstance(value, Mapping):
-        return {str(k): _canonicalise(v) for k, v in value.items()}
-    if isinstance(value, (str, bool, type(None))):
-        return value
-    if isinstance(value, (int, float)):
-        return value
-    raise CampaignError(
-        f"campaign parameter of type {type(value).__name__} is not "
-        f"JSON-serialisable: {value!r}"
-    )
-
-
-def canonical_json(payload: Any) -> str:
-    """Render ``payload`` as canonical JSON (sorted keys, no whitespace).
-
-    The canonical form is the hashing substrate: two payloads that differ
-    only in key order or tuple-vs-list container produce identical text.
-    """
-    return json.dumps(
-        _canonicalise(payload), sort_keys=True, separators=(",", ":")
-    )
-
-
-def content_hash(payload: Any) -> str:
-    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
-    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 @dataclass(frozen=True)

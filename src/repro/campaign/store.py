@@ -15,16 +15,22 @@ reclaim the superseded lines' disk space, not to fix anything.  Only
 ``status == "ok"`` records count as completed — failed points are
 retried on the next run.
 
-Loads are memoized against the file's (size, mtime) signature: repeated
+Loads are memoized against the file's signature — (size, mtime_ns)
+plus a CRC-32 fingerprint of the file's head and tail bytes: repeated
 ``load()``/``__len__``/``completed_hashes()`` calls between writes parse
 the file once, which matters once fleet-scale campaigns hold thousands
-of records.
+of records.  The content fingerprint closes the staleness window a pure
+(size, mtime) key has on filesystems with coarse mtime granularity,
+where ``compact()`` (or another process's ``append_many`` plus
+compaction) can replace the file with equal-size content inside one
+mtime tick.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from pathlib import Path
 
 from ..errors import CampaignError
@@ -33,6 +39,9 @@ __all__ = ["ResultStore", "default_store_root"]
 
 #: Valid terminal states of a stored point.
 _STATUSES = ("ok", "failed")
+
+#: Bytes of the file's head and tail hashed into the load-memo signature.
+_FINGERPRINT_BYTES = 4096
 
 
 def default_store_root() -> Path:
@@ -55,7 +64,7 @@ class ResultStore:
     def __init__(self, path: Path | str) -> None:
         self.path = Path(path)
         # load() memo: (file signature, parsed records, raw line count).
-        self._memo: tuple[tuple[int, int], dict[str, dict], int] | None = None
+        self._memo: tuple[tuple, dict[str, dict], int] | None = None
         #: Number of full file parses (diagnostic; exercised by tests).
         self.n_parses = 0
 
@@ -67,13 +76,36 @@ class ResultStore:
         root = Path(root) if root is not None else default_store_root()
         return cls(root / f"{name}.jsonl")
 
-    def _signature(self) -> tuple[int, int] | None:
-        """The file's (size, mtime_ns) identity, or None when absent."""
+    def _signature(self) -> tuple | None:
+        """The file's identity, or None when absent.
+
+        (size, mtime_ns, head+tail CRC-32): the content fingerprint
+        catches a rewrite that preserves both size and mtime — possible
+        within one mtime tick on coarse-granularity filesystems after
+        :meth:`compact` or a concurrent writer's append + compaction —
+        which a pure stat-based key would mistake for the memoized
+        content.  Appends always change the tail; compaction reorders
+        or drops lines, changing head or tail bytes.
+        """
         try:
             stat = self.path.stat()
         except OSError:
             return None
-        return (stat.st_size, stat.st_mtime_ns)
+        try:
+            with self.path.open("rb") as handle:
+                head = handle.read(_FINGERPRINT_BYTES)
+                if stat.st_size > 2 * _FINGERPRINT_BYTES:
+                    handle.seek(stat.st_size - _FINGERPRINT_BYTES)
+                    tail = handle.read(_FINGERPRINT_BYTES)
+                else:
+                    tail = handle.read()
+        except OSError:
+            return None
+        return (
+            stat.st_size,
+            stat.st_mtime_ns,
+            zlib.crc32(tail, zlib.crc32(head)),
+        )
 
     def load(self) -> dict[str, dict]:
         """Read all records, keyed by point hash (later lines win).

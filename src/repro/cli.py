@@ -1,45 +1,40 @@
-"""Command-line interface: regenerate any of the paper's artefacts.
+"""Command-line interface: one declarative entry point, plus legacy shims.
 
-Usage (installed as a module)::
+The primary workflow runs declarative experiment files (TOML or JSON;
+see :mod:`repro.api` and ``docs/api.md``)::
+
+    python -m repro run examples/experiments/sweep_quick.toml
+    python -m repro validate examples/experiments/*.toml
+    python -m repro describe examples/experiments/cohort_pilot.toml
+
+``run`` executes any workload kind — paper figures, Monte-Carlo sweeps,
+adaptive-runtime missions, population cohorts — through the
+:class:`repro.api.Session` facade: the experiment plans into campaign
+grids, points fan out across the chosen execution backend, results land
+in content-hash-keyed stores (re-running resumes), and the same report
+tables the historical subcommands printed are rendered from the result
+handle.  ``validate`` checks a file without running it; ``describe``
+prints the execution plan (campaigns, grid sizes, store targets).
+
+The historical subcommands remain as thin shims that construct the
+equivalent experiment and hand it to the same session (each emits a
+deprecation note on stderr)::
 
     python -m repro fig2 --apps dwt,morphology
     python -m repro fig4 --runs 25 --apps dwt --workers 4
     python -m repro energy
     python -m repro tradeoff --tolerance 5
-    python -m repro overheads
-    python -m repro record 106 --duration 10
-    python -m repro lifetime --voltage 0.65 --emt dream
     python -m repro sweep --apps dwt --workers 4
     python -m repro mission --scenario active_day
     python -m repro cohort --size 500 --workers 4
-    python -m repro cache --info
 
-``mission`` runs the :mod:`repro.runtime` closed-loop simulator: a
-scenario timeline streams through the application while each requested
-operating-point policy picks a (voltage, EMT) rung per window, and the
-report compares battery lifetime, mean/worst window quality and switch
-counts across policies.
-
-``cohort`` scales ``mission`` to a population: a synthetic patient
-cohort (:mod:`repro.cohort`) fans out over worker processes, every
-calibration is shared fleet-wide through the disk cache, and the report
-compares *population* statistics — battery-survival curves, quality
-percentile bands and the tail-statistic Pareto frontier — across
-policies.  ``cache`` inspects or clears that shared calibration cache.
-
-``sweep`` runs a voltage x EMT x application design-space-exploration
-campaign through :mod:`repro.campaign`: the grid fans out across a
-worker pool, every point's result is cached in a JSONL store under
-``benchmarks/results/campaigns/`` (re-running resumes, executing only
-missing points), and the stored results are reduced to an energy-vs-
-quality Pareto frontier plus the Section VI-C operating points.
+Utility subcommands (not experiments): ``overheads``, ``record``,
+``lifetime`` and ``cache``.
 
 Global options come before the subcommand: ``--seed`` fixes the master
-Monte-Carlo seed of every experiment, so any artefact is reproducible
-from the command line (``python -m repro --seed 7 fig4 ...``).
-
-Every subcommand prints the same ASCII tables the benchmark harness
-writes to ``benchmarks/results/``.
+Monte-Carlo seed of every experiment (overriding the file's ``seed``
+for ``run``), so any artefact is reproducible from the command line
+(``python -m repro --seed 7 fig4 ...``).
 """
 
 from __future__ import annotations
@@ -71,14 +66,14 @@ def _csv_floats(raw: str) -> tuple[float, ...]:
     return tuple(float(item) for item in _csv(raw))
 
 
-def _experiment_config(args, **extra):
-    """Build an ExperimentConfig honouring the global ``--seed``."""
-    from .exp.common import ExperimentConfig
-
-    kwargs = dict(records=args.records, duration_s=args.duration, **extra)
-    if getattr(args, "seed", None) is not None:
-        kwargs["seed"] = args.seed
-    return ExperimentConfig(**kwargs)
+def _deprecation_note(command: str) -> None:
+    """Point legacy-shim users at the unified experiment API."""
+    print(
+        f"note: 'repro {command}' is a legacy shim over the unified "
+        "experiment API; prefer 'repro run <experiment.toml|json>' "
+        "(see docs/api.md)",
+        file=sys.stderr,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +95,61 @@ def build_parser() -> argparse.ArgumentParser:
              "place before the subcommand",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # -- the unified experiment API ---------------------------------------
+
+    run = sub.add_parser(
+        "run",
+        help="run a declarative experiment file (.toml or .json) through "
+             "the unified Session facade — the primary entry point",
+    )
+    run.add_argument("experiment", help="path to an experiment file")
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (overrides the experiment's 'workers')",
+    )
+    run.add_argument(
+        "--backend", default=None,
+        help="execution backend (overrides the experiment's 'backend'; "
+             "built in: inline, multiprocessing)",
+    )
+    run.add_argument(
+        "--store", default=None,
+        help="result-store basename (overrides the experiment's 'store')",
+    )
+    run.add_argument(
+        "--store-dir", default=None,
+        help="result-store directory (default: benchmarks/results/campaigns "
+             "or $REPRO_CAMPAIGN_DIR)",
+    )
+    run.add_argument(
+        "--fresh", action="store_true",
+        help="re-execute every point, superseding stored results",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="parse and plan experiment files without running anything; "
+             "exits non-zero if any file is invalid",
+    )
+    validate.add_argument("paths", nargs="+", help="experiment files")
+
+    describe = sub.add_parser(
+        "describe",
+        help="print an experiment's execution plan: campaigns, grid "
+             "sizes, store targets",
+    )
+    describe.add_argument("experiment", help="path to an experiment file")
+    describe.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes assumed by the plan",
+    )
+    describe.add_argument(
+        "--store-dir", default=None,
+        help="result-store directory assumed by the plan",
+    )
+
+    # -- legacy experiment shims ------------------------------------------
 
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
@@ -269,7 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cohort.add_argument(
         "--name", default="cohort",
-        help="cohort name (seeds patient draws; default: cohort)",
+        help="cohort name (labels the fleet; default: cohort)",
     )
     cohort.add_argument(
         "--probe-runs", type=int, default=3,
@@ -316,65 +366,194 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_fig2(args) -> int:
-    from .exp.fig2 import run_fig2
-    from .exp.report import format_fig2
-
-    config = _experiment_config(args)
-    print(format_fig2(
-        run_fig2(app_names=args.apps, config=config, n_workers=args.workers)
-    ))
-    return 0
+# --------------------------------------------------------------------------
+# Experiment construction (shims -> the unified API)
+# --------------------------------------------------------------------------
 
 
-def _cmd_fig4(args) -> int:
-    from .exp.fig4 import run_fig4
-    from .exp.report import format_fig4
+def _seed_of(args) -> int | None:
+    return getattr(args, "seed", None)
 
-    config = _experiment_config(args, n_runs=args.runs)
-    result = run_fig4(
-        app_names=args.apps, emt_names=args.emts, config=config,
-        n_workers=args.workers,
+
+def fig2_experiment(args):
+    """The :class:`~repro.api.Experiment` equivalent of ``repro fig2``."""
+    from .api.schema import Experiment, Fig2Params
+
+    return Experiment(
+        name="fig2",
+        kind="figure",
+        params=Fig2Params(
+            apps=args.apps, records=args.records, duration_s=args.duration
+        ),
+        seed=_seed_of(args),
+        workers=args.workers,
     )
-    for emt_name in args.emts:
-        print(format_fig4(result, emt_name))
+
+
+def fig4_experiment(args):
+    """The :class:`~repro.api.Experiment` equivalent of ``repro fig4``."""
+    from .api.schema import Experiment, Fig4Params
+
+    return Experiment(
+        name="fig4",
+        kind="figure",
+        params=Fig4Params(
+            apps=args.apps,
+            emts=args.emts,
+            records=args.records,
+            duration_s=args.duration,
+            runs=args.runs,
+        ),
+        seed=_seed_of(args),
+        workers=args.workers,
+    )
+
+
+def energy_experiment(args):
+    """The :class:`~repro.api.Experiment` equivalent of ``repro energy``."""
+    from .api.schema import EnergyParams, Experiment
+
+    return Experiment(
+        name="energy", kind="figure", params=EnergyParams(),
+        seed=_seed_of(args),
+    )
+
+
+def tradeoff_experiment(args):
+    """The :class:`~repro.api.Experiment` equivalent of ``repro tradeoff``."""
+    from .api.schema import Experiment, TradeoffParams
+
+    return Experiment(
+        name="tradeoff",
+        kind="figure",
+        params=TradeoffParams(
+            app=args.app,
+            records=args.records,
+            duration_s=args.duration,
+            runs=args.runs,
+            tolerance_db=args.tolerance,
+        ),
+        seed=_seed_of(args),
+        workers=args.workers,
+    )
+
+
+def sweep_experiment(args):
+    """The :class:`~repro.api.Experiment` equivalent of ``repro sweep``."""
+    from .api.schema import Experiment, SweepParams
+
+    return Experiment(
+        name=args.name,
+        kind="sweep",
+        params=SweepParams(
+            apps=args.apps,
+            emts=args.emts,
+            voltages=args.voltages,
+            records=args.records,
+            duration_s=args.duration,
+            runs=args.runs,
+            tolerance_db=args.tolerance,
+        ),
+        seed=_seed_of(args),
+        workers=args.workers,
+        store=args.name,
+    )
+
+
+def mission_experiment(args):
+    """The :class:`~repro.api.Experiment` equivalent of ``repro mission``."""
+    from .api.schema import Experiment, MissionParams
+
+    return Experiment(
+        name=f"mission-{args.scenario}",
+        kind="mission",
+        params=MissionParams(
+            scenario=args.scenario,
+            policies=tuple(args.policies),
+            duration_scale=args.duration_scale,
+            window_s=args.window,
+            probe_runs=args.probe_runs,
+            probe_duration_s=args.probe_duration,
+        ),
+        seed=_seed_of(args),
+    )
+
+
+def cohort_experiment(args):
+    """The :class:`~repro.api.Experiment` equivalent of ``repro cohort``."""
+    from .api.schema import CohortParams, Experiment
+    from .api.serde import parse_mix
+
+    return Experiment(
+        name=args.name,
+        kind="cohort",
+        params=CohortParams(
+            size=args.size,
+            policies=tuple(args.policies),
+            scenarios=parse_mix(args.scenarios),
+            pathology=parse_mix(args.pathology) if args.pathology else None,
+            duration_scale=args.duration_scale,
+            probe_runs=args.probe_runs,
+            probe_duration_s=args.probe_duration,
+        ),
+        seed=_seed_of(args),
+        workers=args.workers,
+    )
+
+
+# --------------------------------------------------------------------------
+# Shared report rendering (repro run and the shims print identically)
+# --------------------------------------------------------------------------
+
+
+def _stderr_progress(done: int, total: int, record: dict) -> None:
+    marker = "." if record.get("status") == "ok" else "!"
+    print(f"\r  [{done}/{total}] {marker}", end="", file=sys.stderr)
+
+
+def _print_point_failures(handle) -> int:
+    """Report failed grid points on stderr; returns the failure count."""
+    failures = handle.failures()
+    for failure in failures:
+        where = failure.get("coords", failure.get("params", {}))
+        print(f"  failed: {where} -> {failure['error']}", file=sys.stderr)
+    return len(failures)
+
+
+def _print_figure_report(experiment, handle, workers: int) -> int:
+    """Render a figure experiment with the historical table formatters."""
+    from .api.schema import EnergyParams, Fig2Params, Fig4Params
+    from .exp.report import (
+        format_energy_analysis,
+        format_fig2,
+        format_fig4,
+        format_paper_example,
+        format_tradeoff,
+    )
+
+    if _print_point_failures(handle):
+        return 1
+    params = experiment.params
+    if isinstance(params, Fig2Params):
+        print(format_fig2(handle.result()))
+    elif isinstance(params, Fig4Params):
+        result = handle.result()
+        for emt_name in params.emts:
+            print(format_fig4(result, emt_name))
+            print()
+    elif isinstance(params, EnergyParams):
+        print(format_energy_analysis(handle.result()))
+    else:  # tradeoff
+        from .exp.tradeoff import paper_example_savings
+
+        print(format_tradeoff(handle.result()))
         print()
+        print(format_paper_example(paper_example_savings()))
     return 0
 
 
-def _cmd_energy(args) -> int:
-    from .exp.energy_table import run_energy_analysis
-    from .exp.report import format_energy_analysis
-
-    print(format_energy_analysis(run_energy_analysis()))
-    return 0
-
-
-def _cmd_tradeoff(args) -> int:
-    from .exp.fig4 import run_fig4
-    from .exp.report import format_paper_example, format_tradeoff
-    from .exp.tradeoff import paper_example_savings, run_tradeoff
-
-    config = _experiment_config(args, n_runs=args.runs)
-    fig4 = run_fig4(
-        app_names=(args.app,), config=config, n_workers=args.workers
-    )
-    result = run_tradeoff(
-        fig4, app_name=args.app, tolerance_db=args.tolerance
-    )
-    print(format_tradeoff(result))
-    print()
-    print(format_paper_example(paper_example_savings()))
-    return 0
-
-
-def _cmd_sweep(args) -> int:
-    from .campaign.analysis import extract_tradeoff, pareto_frontier, quality_energy_rows
-    from .campaign.runner import run_campaign
-    from .campaign.spec import CampaignSpec
-    from .campaign.store import ResultStore
-    from .errors import CampaignError, ExperimentError
-    from .exp.fig4 import fig4_spec
+def _print_sweep_report(experiment, handle, workers: int) -> int:
+    """Render a sweep exactly as ``repro sweep`` always reported it."""
     from .exp.report import (
         format_frontier,
         format_operating_points,
@@ -382,102 +561,43 @@ def _cmd_sweep(args) -> int:
     )
     from .exp.tradeoff import paper_example_savings
 
-    if "none" not in args.emts:
-        # Fail before the (possibly hours-long) campaign: the frontier
-        # savings and operating points are measured against this baseline.
-        raise ExperimentError(
-            "the baseline 'none' must be included in --emts"
-        )
-    config = _experiment_config(args, n_runs=args.runs)
-    quality_spec = fig4_spec(
-        app_names=args.apps,
-        emt_names=args.emts,
-        voltages=args.voltages,
-        config=config,
-        name=f"{args.name}-quality",
-    )
-    # The workload (and therefore the energy of an operating point) is
-    # application-specific: one energy spec per app, so a point's content
-    # hash is independent of the rest of the --apps list and stored
-    # energy results survive app-list changes.  Points carry only the
-    # workload's (app, record, duration) identity — workers measure it
-    # on demand with a per-process cache — so a fully-cached resume runs
-    # no application at all, and a cold run measures at most once per
-    # worker process.
-    energy_specs = [
-        CampaignSpec(
-            name=f"{args.name}-energy",
-            kind="energy",
-            axes={"emt": args.emts, "voltage": args.voltages},
-            fixed={
-                "workload_app": app,
-                "workload_record": args.records[0],
-                "workload_duration_s": args.duration,
-            },
-        )
-        for app in args.apps
-    ]
-
-    def _progress(done: int, total: int, record: dict) -> None:
-        status = record["status"]
-        marker = "." if status == "ok" else "!"
-        print(f"\r  [{done}/{total}] {marker}", end="", file=sys.stderr)
-
-    def _run(spec: CampaignSpec):
-        campaign = run_campaign(
-            spec,
-            store=ResultStore.for_campaign(spec.name, root=args.store_dir),
-            n_workers=args.workers,
-            progress=_progress,
-            resume=not args.fresh,
-        )
-        print(file=sys.stderr)
-        return campaign
-
-    quality = _run(quality_spec)
-    energy = [_run(spec) for spec in energy_specs]
+    params = experiment.params
+    base = experiment.store or experiment.name
+    quality = handle.campaigns("quality")[0].result
+    energy = [run.result for run in handle.campaigns("energy")]
     e_points = sum(len(c.records) for c in energy)
     e_executed = sum(c.n_executed for c in energy)
     e_cached = sum(c.n_cached for c in energy)
     e_failed = sum(c.n_failed for c in energy)
 
-    print(f"campaign {args.name!r}: voltage x EMT x app grid, "
-          f"{args.workers} workers")
+    print(f"campaign {experiment.name!r}: voltage x EMT x app grid, "
+          f"{workers} workers")
     print(
-        f"  {quality_spec.name}: {len(quality.records)} points — "
+        f"  {base}-quality: {len(quality.records)} points — "
         f"{quality.n_executed} executed, {quality.n_cached} cached, "
         f"{quality.n_failed} failed"
     )
     print(
-        f"  {args.name}-energy: {e_points} points — {e_executed} executed, "
+        f"  {base}-energy: {e_points} points — {e_executed} executed, "
         f"{e_cached} cached, {e_failed} failed"
     )
-    n_failed = quality.n_failed + e_failed
-    for campaign in (quality, *energy):
-        for failure in campaign.failures():
-            where = failure.get("coords", failure["params"])
-            print(f"  failed: {where} -> {failure['error']}",
-                  file=sys.stderr)
+    n_failed = _print_point_failures(handle)
 
-    records = quality.records + [
-        rec for campaign in energy for rec in campaign.records
-    ]
-    for app_name in args.apps:
-        rows = quality_energy_rows(records, app_name)
+    reduced = handle.result()
+    for app_name in params.apps:
+        entry = reduced[app_name]
         print()
-        try:
-            frontier = pareto_frontier(rows, x_key="energy_pj", y_key="snr_db")
-            points = extract_tradeoff(
-                rows, tolerance_db=args.tolerance, voltages=args.voltages
-            )
-        except CampaignError as error:
+        if "error" in entry:
             # A failed point can leave this app unanalysable (e.g. no
             # baseline at nominal supply); report and keep going so the
             # other apps still get their sections.
-            print(f"[{app_name}] analysis skipped: {error}", file=sys.stderr)
+            print(f"[{app_name}] analysis skipped: {entry['error']}",
+                  file=sys.stderr)
             continue
-        print(format_frontier(app_name, frontier))
-        print(format_operating_points(app_name, points, args.tolerance))
+        print(format_frontier(app_name, entry["frontier"]))
+        print(format_operating_points(
+            app_name, entry["points"], params.tolerance_db
+        ))
 
     print()
     print(format_paper_example(paper_example_savings()))
@@ -491,28 +611,17 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_mission(args) -> int:
-    from dataclasses import replace
+def _print_mission_header(experiment) -> None:
+    """The mission context block: timeline and priced ladder."""
+    from .api.session import resolved_mission_spec
+    from .runtime import MissionSimulator
 
-    from .exp.report import format_mission
-    from .runtime import MissionSimulator, StaticPolicy, policy_from_token
-    from .runtime.scenarios import scenario_spec
-
-    spec = scenario_spec(args.scenario)
-    if args.duration_scale != 1.0:
-        spec = spec.scaled(args.duration_scale)
-    overrides = {}
-    if args.window is not None:
-        overrides["window_s"] = args.window
-    if getattr(args, "seed", None) is not None:
-        overrides["seed"] = args.seed
-    if overrides:
-        spec = replace(spec, **overrides)
-
+    params = experiment.params
+    spec = resolved_mission_spec(params, experiment.seed)
     simulator = MissionSimulator(
         spec,
-        n_probe=args.probe_runs,
-        probe_duration_s=args.probe_duration,
+        n_probe=params.probe_runs,
+        probe_duration_s=params.probe_duration_s,
     )
     hours = spec.total_duration_s / 3600.0
     print(
@@ -531,138 +640,231 @@ def _cmd_mission(args) -> int:
     ))
     print()
 
-    policies = []
-    for token in args.policies:
-        if token == "static-ladder":
-            policies.extend(
-                StaticPolicy(index=i) for i in range(len(simulator.ladder))
-            )
-        else:
-            policies.append(policy_from_token(token))
-    results = [simulator.run(policy) for policy in policies]
-    print(format_mission(spec.name, results))
-    return 0
+
+def _print_mission_report(experiment, handle, workers: int) -> int:
+    """Render the per-policy mission comparison table."""
+    from .api.session import resolved_mission_spec
+    from .exp.report import format_mission
+
+    spec = resolved_mission_spec(experiment.params, experiment.seed)
+    n_failed = _print_point_failures(handle)
+    results = handle.result()
+    if results:
+        print(format_mission(spec.name, results))
+    return 1 if n_failed else 0
 
 
-def _parse_mix(raw: str, value_type=str) -> tuple:
-    """Parse a ``name:weight,name:weight`` mix argument."""
-    from .errors import CohortError
+def _print_cohort_header(experiment, workers: int) -> None:
+    """The cohort context block: fleet size, mixes, scale, workers."""
+    from .api.serde import format_mix
 
-    pairs = []
-    for token in _csv(raw):
-        name, sep, weight = token.partition(":")
-        if not sep:
-            raise CohortError(
-                f"mix entries are 'name:weight', got {token!r}"
-            )
-        try:
-            pairs.append((value_type(name.strip()), float(weight)))
-        except ValueError as exc:
-            raise CohortError(f"bad mix entry {token!r}: {exc}") from exc
-    return tuple(pairs)
-
-
-def _cmd_cohort(args) -> int:
-    from dataclasses import replace
-
-    from .cohort import (
-        CohortSpec,
-        FleetSimulator,
-        PatientModel,
-        population_frontier,
-        survival_curve,
+    params = experiment.params
+    print(
+        f"cohort {experiment.name!r}: {params.size} patients, scenarios "
+        f"{format_mix(params.scenarios)}, duration scale "
+        f"{params.duration_scale:g}, {workers} workers"
     )
+
+
+def _print_cohort_report(experiment, handle, workers: int) -> int:
+    """Render the population tables: fleet, survival, tail frontier.
+
+    Failed *patients* degrade gracefully (the statistics cover the
+    survivors, each failure is reported, exit is non-zero) — the
+    historical ``repro cohort`` contract; failed *points* (a whole
+    policy's fleet) are reported alongside.
+    """
+    from .api.serde import policy_label
     from .exp.report import format_fleet, format_survival
 
-    model = PatientModel(scenario_mix=_parse_mix(args.scenarios))
-    if args.pathology:
-        model = replace(model, record_mix=_parse_mix(args.pathology))
-    spec = CohortSpec(
-        name=args.name,
-        size=args.size,
-        model=model,
-        duration_scale=args.duration_scale,
-        seed=args.seed if getattr(args, "seed", None) is not None else 2016,
-    )
-    fleet = FleetSimulator(
-        spec,
-        n_probe=args.probe_runs,
-        probe_duration_s=args.probe_duration,
-    )
-    print(
-        f"cohort {spec.name!r}: {spec.size} patients, scenarios "
-        f"{args.scenarios}, duration scale {spec.duration_scale:g}, "
-        f"{args.workers} workers"
-    )
-
-    def _progress(done: int, total: int, row: dict) -> None:
-        marker = "." if row["status"] == "ok" else "!"
-        print(f"\r  [{done}/{total}] {marker}", end="", file=sys.stderr)
-
-    results = []
-    for token in args.policies:
-        from .runtime import policy_from_token
-
-        # Validate the token up front (clear error before a long run),
-        # then ship the JSON-safe payload to the workers.
-        policy_from_token(token)
-        payload = _policy_payload(token)
-        result = fleet.run(
-            payload, n_workers=args.workers, progress=_progress
+    reduced = handle.result()
+    summaries = list(reduced["summaries"])
+    point_failures = handle.failures()
+    for failure in point_failures:
+        # Failed policy points still get a row in the fleet table (the
+        # formatter renders them as "(? failed)").
+        summaries.append(
+            {"policy": policy_label(failure.get("coords", {}).get("policy"))}
         )
-        print(file=sys.stderr)
-        results.append(result)
-
-    summaries = [result.summary() for result in results]
     print()
-    print(format_fleet(spec.name, summaries))
-    n_failed = 0
-    for result in results:
-        ok = result.ok_rows()
-        if ok:
+    print(format_fleet(experiment.name, summaries))
+    for policy_name, curve in reduced["survival"].items():
+        if curve:
             print()
-            print(format_survival(
-                result.summary()["policy"],
-                survival_curve(ok, n_points=9),
-            ))
-        for failure in result.failures():
-            n_failed += 1
+            print(format_survival(policy_name, curve))
+    if reduced["frontier"]:
+        print()
+        print("population Pareto frontier "
+              "(p5 lifetime vs p10 worst-window quality):")
+        for s in reduced["frontier"]:
+            print(
+                f"  {s['policy']:>24s}  p5 {s['lifetime_p5_days']:6.2f} d  "
+                f"p10 {s['quality_p10_db']:6.1f} dB"
+            )
+    n_failed_patients = 0
+    for summary in reduced["summaries"]:
+        for failure in summary.get("failures", []):
+            n_failed_patients += 1
             print(
                 f"  failed: patient {failure['patient']} -> "
                 f"{failure['error']}",
                 file=sys.stderr,
             )
-    scored = [s for s in summaries if "survival_fraction" in s]
-    if scored:
-        frontier = population_frontier(scored)
-        print()
-        print("population Pareto frontier "
-              "(p5 lifetime vs p10 worst-window quality):")
-        for s in frontier:
-            print(
-                f"  {s['policy']:>24s}  p5 {s['lifetime_p5_days']:6.2f} d  "
-                f"p10 {s['quality_p10_db']:6.1f} dB"
-            )
-    if n_failed:
+    if n_failed_patients:
         print(
-            f"warning: {n_failed} patients failed; population statistics "
-            "above exclude them",
+            f"warning: {n_failed_patients} patients failed; population "
+            "statistics above exclude them",
             file=sys.stderr,
         )
-        return 1
+    if point_failures:
+        for failure in point_failures:
+            print(f"  failed: {failure['error']}", file=sys.stderr)
+        print(
+            f"warning: {len(point_failures)} fleet points failed; "
+            "population statistics above exclude them",
+            file=sys.stderr,
+        )
+    return 1 if (n_failed_patients or point_failures) else 0
+
+
+_REPORTERS = {
+    "figure": _print_figure_report,
+    "sweep": _print_sweep_report,
+    "mission": _print_mission_report,
+    "cohort": _print_cohort_report,
+}
+
+
+def _execute_and_report(experiment, session) -> int:
+    """Run one experiment through a session and print its report."""
+    _backend, workers = session.resolve_backend(experiment)
+    if experiment.kind == "mission":
+        _print_mission_header(experiment)
+    elif experiment.kind == "cohort":
+        _print_cohort_header(experiment, workers)
+    handle = session.run(experiment)
+    if session.progress is not None:
+        print(file=sys.stderr)
+    return _REPORTERS[experiment.kind](experiment, handle, workers)
+
+
+# --------------------------------------------------------------------------
+# Unified-API subcommands
+# --------------------------------------------------------------------------
+
+
+def _cmd_run(args) -> int:
+    from dataclasses import replace
+
+    from .api.schema import load_experiment
+    from .api.session import Session
+
+    experiment = load_experiment(args.experiment)
+    if args.seed is not None:
+        experiment = experiment.with_seed(args.seed)
+    if args.store is not None:
+        experiment = replace(experiment, store=args.store)
+    session = Session(
+        backend=args.backend,
+        workers=args.workers,
+        store_dir=args.store_dir,
+        fresh=args.fresh,
+        progress=_stderr_progress,
+    )
+    return _execute_and_report(experiment, session)
+
+
+def _cmd_validate(args) -> int:
+    from .api.schema import load_experiment
+    from .api.session import Session
+
+    session = Session()
+    failed = 0
+    for path in args.paths:
+        try:
+            experiment = load_experiment(path)
+            # validate() also checks what plan() alone would miss
+            # (e.g. an unknown execution backend).
+            session.validate(experiment)
+            campaigns = session.plan(experiment)
+            n_points = sum(len(c.spec.expand()) for c in campaigns)
+        except ReproError as error:
+            failed += 1
+            print(f"error: {path}: {error}", file=sys.stderr)
+            continue
+        kind = experiment.kind
+        if kind == "figure":
+            kind = f"figure/{experiment.params.KIND}"
+        print(
+            f"{path}: ok — {kind} experiment {experiment.name!r}, "
+            f"{len(campaigns)} campaign(s), {n_points} points"
+        )
+    return 1 if failed else 0
+
+
+def _cmd_describe(args) -> int:
+    from .api.schema import load_experiment
+    from .api.session import Session
+
+    session = Session(workers=args.workers, store_dir=args.store_dir)
+    experiment = load_experiment(args.experiment)
+    if args.seed is not None:
+        experiment = experiment.with_seed(args.seed)
+    print(session.describe(experiment))
     return 0
 
 
-def _policy_payload(token: str) -> str | dict:
-    """The JSON-safe campaign form of a CLI policy token."""
-    name, _, arg = token.partition(":")
-    if not arg:
-        return name.strip()
-    emt_name, _, voltage = arg.partition("@")
-    return {
-        "name": name.strip(),
-        "params": {"emt": emt_name.strip(), "voltage": float(voltage)},
-    }
+# --------------------------------------------------------------------------
+# Legacy shims (construct an Experiment, call the Session)
+# --------------------------------------------------------------------------
+
+
+def _shim(args, command: str, experiment, **session_kwargs) -> int:
+    from .api.session import Session
+
+    _deprecation_note(command)
+    session = Session(workers=getattr(args, "workers", None),
+                      **session_kwargs)
+    return _execute_and_report(experiment, session)
+
+
+def _cmd_fig2(args) -> int:
+    return _shim(args, "fig2", fig2_experiment(args))
+
+
+def _cmd_fig4(args) -> int:
+    return _shim(args, "fig4", fig4_experiment(args))
+
+
+def _cmd_energy(args) -> int:
+    return _shim(args, "energy", energy_experiment(args))
+
+
+def _cmd_tradeoff(args) -> int:
+    return _shim(args, "tradeoff", tradeoff_experiment(args))
+
+
+def _cmd_sweep(args) -> int:
+    return _shim(
+        args, "sweep", sweep_experiment(args),
+        store_dir=args.store_dir, fresh=args.fresh,
+        progress=_stderr_progress,
+    )
+
+
+def _cmd_mission(args) -> int:
+    return _shim(args, "mission", mission_experiment(args))
+
+
+def _cmd_cohort(args) -> int:
+    return _shim(
+        args, "cohort", cohort_experiment(args), progress=_stderr_progress
+    )
+
+
+# --------------------------------------------------------------------------
+# Utility subcommands (not experiments)
+# --------------------------------------------------------------------------
 
 
 def _cmd_cache(args) -> int:
@@ -731,6 +933,9 @@ def _cmd_lifetime(args) -> int:
 
 
 _HANDLERS = {
+    "run": _cmd_run,
+    "validate": _cmd_validate,
+    "describe": _cmd_describe,
     "fig2": _cmd_fig2,
     "fig4": _cmd_fig4,
     "energy": _cmd_energy,

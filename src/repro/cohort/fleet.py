@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from ..api.serde import policy_label
 from ..cache import shared_cache
 from ..energy.technology import TECH_32NM_LP, Technology
 from ..errors import CohortError
@@ -154,7 +155,7 @@ class FleetResult:
         ok = self.ok_rows()
         summary: dict[str, Any] = {
             "cohort": self.cohort_name,
-            "policy": _policy_label(self.policy),
+            "policy": policy_label(self.policy),
             "n_patients": len(self.rows),
             "n_failed": len(self.failures()),
             "elapsed_s": self.elapsed_s,
@@ -186,18 +187,6 @@ class FleetResult:
             }
         )
         return summary
-
-
-def _policy_label(policy: Any) -> str:
-    """Stable report label of a policy payload."""
-    if isinstance(policy, str):
-        return policy
-    name = policy.get("name", "?")
-    params = policy.get("params") or {}
-    if not params:
-        return str(name)
-    inner = ",".join(f"{k}={params[k]}" for k in sorted(params))
-    return f"{name}({inner})"
 
 
 class FleetSimulator:

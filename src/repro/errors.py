@@ -62,3 +62,12 @@ class MissionError(ReproError):
 
 class CohortError(ReproError):
     """A patient cohort or fleet simulation is invalid or failed to run."""
+
+
+class ExperimentSpecError(ReproError):
+    """A declarative experiment file or payload is malformed.
+
+    Raised by :mod:`repro.api` when an experiment cannot be parsed,
+    carries an unsupported schema version, or fails structural
+    validation before anything is planned or executed.
+    """

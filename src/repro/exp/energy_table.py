@@ -43,6 +43,7 @@ from .common import validate_registry_names
 
 __all__ = [
     "EnergyAnalysis",
+    "energy_analysis_from_records",
     "energy_spec",
     "measure_workload",
     "run_energy_analysis",
@@ -170,17 +171,55 @@ def run_energy_analysis(
     )
     campaign = run_campaign(spec, store=store, n_workers=n_workers)
     campaign.raise_on_failure()
+    return energy_analysis_from_records(
+        campaign.records, emt_names, voltages, workload, tech,
+        mask_memory_scaled,
+    )
 
-    for record in campaign.records:
+
+def energy_analysis_from_records(
+    records: list[dict],
+    emt_names: tuple[str, ...],
+    voltages: tuple[float, ...],
+    workload: Workload | None = None,
+    tech: Technology = TECH_32NM_LP,
+    mask_memory_scaled: bool = True,
+) -> EnergyAnalysis:
+    """Reassemble an :class:`EnergyAnalysis` from ``energy`` records.
+
+    ``records`` are campaign records of an :func:`energy_spec` grid —
+    live from :func:`repro.campaign.run_campaign` or reloaded from a
+    result store.  The experiment API's figure reducer shares this path
+    with :func:`run_energy_analysis`, so both produce identical analyses
+    from the same stored points.
+    """
+    analysis = EnergyAnalysis(voltages=sorted(voltages), workload=workload)
+    for name in emt_names:
+        analysis.total_pj[name] = {}
+        analysis.overhead[name] = {}
+    for record in records:
+        if record.get("status") != "ok":
+            continue
         params = record["params"]
         analysis.total_pj[params["emt"]][params["voltage"]] = record[
             "result"
         ]["total_pj"]
     for voltage in analysis.voltages:
-        baseline = analysis.total_pj["none"][voltage]
+        try:
+            baseline = analysis.total_pj["none"][voltage]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"energy records are missing the 'none' baseline at "
+                f"{voltage} V"
+            ) from exc
         if baseline <= 0:
             raise EnergyModelError("baseline energy must be positive")
         for name in emt_names:
+            if voltage not in analysis.total_pj[name]:
+                raise ExperimentError(
+                    f"energy records are missing grid point "
+                    f"({name!r}, {voltage})"
+                )
             analysis.overhead[name][voltage] = (
                 analysis.total_pj[name][voltage] / baseline - 1.0
             )

@@ -46,7 +46,12 @@ from ..mem.fabric import MemoryFabric
 from ..mem.faults import position_fault_map_batch
 from .common import ExperimentConfig, load_corpus, validate_registry_names
 
-__all__ = ["Fig2Result", "fig2_spec", "run_fig2"]
+__all__ = [
+    "Fig2Result",
+    "fig2_result_from_records",
+    "fig2_spec",
+    "run_fig2",
+]
 
 #: Width of the paper's data words (and hence of the Fig 2 sweep).
 _DATA_BITS = 16
@@ -152,24 +157,45 @@ def run_fig2(
     spec = fig2_spec(app_names, config)
     campaign = run_campaign(spec, store=store, n_workers=n_workers)
     campaign.raise_on_failure()
+    return fig2_result_from_records(campaign.records, app_names, config)
 
+
+def fig2_result_from_records(
+    records: list[dict],
+    app_names: tuple[str, ...],
+    config: ExperimentConfig | None = None,
+) -> Fig2Result:
+    """Reassemble a :class:`Fig2Result` from ``bit_position`` records.
+
+    ``records`` are campaign records of a :func:`fig2_spec` grid — live
+    from :func:`repro.campaign.run_campaign` or reloaded from a result
+    store.  The experiment API's figure reducer shares this path with
+    :func:`run_fig2`, so both produce identical results from the same
+    stored points.
+    """
     by_point = {
         (
             rec["params"]["app"],
             rec["params"]["stuck_value"],
             rec["params"]["position"],
         ): rec["result"]["snr_db"]
-        for rec in campaign.records
+        for rec in records
+        if rec.get("status") == "ok"
     }
     result = Fig2Result(config=config)
-    for name in app_names:
-        result.snr_db[name] = {
-            stuck: [
-                by_point[(name, stuck, position)]
-                for position in range(_DATA_BITS)
-            ]
-            for stuck in (0, 1)
-        }
+    try:
+        for name in app_names:
+            result.snr_db[name] = {
+                stuck: [
+                    by_point[(name, stuck, position)]
+                    for position in range(_DATA_BITS)
+                ]
+                for stuck in (0, 1)
+            }
+    except KeyError as exc:
+        raise ExperimentError(
+            f"fig2 records are missing grid point {exc.args[0]!r}"
+        ) from exc
     return result
 
 

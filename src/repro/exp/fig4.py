@@ -46,7 +46,12 @@ from .common import (
     validate_registry_names,
 )
 
-__all__ = ["Fig4Result", "fig4_spec", "run_fig4"]
+__all__ = [
+    "Fig4Result",
+    "fig4_result_from_records",
+    "fig4_spec",
+    "run_fig4",
+]
 
 
 @dataclass
@@ -172,16 +177,40 @@ def run_fig4(
     spec = fig4_spec(app_names, emt_names, voltages, config, tech)
     campaign = run_campaign(spec, store=store, n_workers=n_workers)
     campaign.raise_on_failure()
+    return fig4_result_from_records(
+        campaign.records, app_names, voltages, config
+    )
 
+
+def fig4_result_from_records(
+    records: list[dict],
+    app_names: tuple[str, ...],
+    voltages: tuple[float, ...],
+    config: ExperimentConfig | None = None,
+) -> Fig4Result:
+    """Reassemble a :class:`Fig4Result` from ``montecarlo`` records.
+
+    ``records`` are campaign records of a :func:`fig4_spec` grid — live
+    from :func:`repro.campaign.run_campaign` or reloaded from a result
+    store.  The experiment API's figure reducer shares this path with
+    :func:`run_fig4`, so both produce identical results from the same
+    stored points.
+    """
     by_point = {
         (rec["params"]["app"], rec["params"]["voltage"]): rec["result"]
-        for rec in campaign.records
+        for rec in records
+        if rec.get("status") == "ok"
     }
     result = Fig4Result(voltages=sorted(voltages), config=config)
     for app_name in app_names:
         per_voltage: dict[float, MonteCarloResult] = {}
         for voltage in result.voltages:
-            payload = by_point[(app_name, voltage)]
+            payload = by_point.get((app_name, voltage))
+            if payload is None:
+                raise ExperimentError(
+                    f"fig4 records are missing grid point "
+                    f"({app_name!r}, {voltage})"
+                )
             per_voltage[voltage] = MonteCarloResult(
                 snr_mean_db=dict(payload["snr_mean_db"]),
                 snr_std_db=dict(payload["snr_std_db"]),

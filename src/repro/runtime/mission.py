@@ -297,6 +297,28 @@ class MissionResult:
     op_point_share: dict[str, float] = field(default_factory=dict)
     trace: tuple[dict, ...] | None = None
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MissionResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        Stored ``mission`` campaign records and experiment-API result
+        handles carry mission outcomes in the JSON-safe dict form; this
+        restores the dataclass (without a trace — traces are never
+        serialised).
+        """
+        data = dict(payload)
+        try:
+            return cls(
+                mission_name=data.pop("mission"),
+                policy_name=data.pop("policy"),
+                op_point_share=dict(data.pop("op_point_share", {})),
+                **data,
+            )
+        except (KeyError, TypeError) as exc:
+            raise MissionError(
+                f"malformed mission-result payload: {exc}"
+            ) from exc
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe form (the trace, when kept, is excluded)."""
         return {

@@ -1,0 +1,116 @@
+"""Every shipped experiment file loads, plans, and round-trips exactly.
+
+This is the test-side half of the CI smoke contract: the files under
+``examples/experiments/`` are the documented entry points of the
+unified API, so each must parse, survive a canonicalise -> dump ->
+reload cycle bit-identically in both formats, and plan into executable
+campaigns — and ``repro validate`` must reject a broken spec with a
+non-zero exit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api.schema import dump_experiment, load_experiment
+from repro.api.session import Session
+from repro.cli import main
+
+EXPERIMENTS_DIR = (
+    Path(__file__).resolve().parent.parent.parent
+    / "examples"
+    / "experiments"
+)
+
+
+def example_files() -> list[Path]:
+    files = sorted(
+        p
+        for p in EXPERIMENTS_DIR.iterdir()
+        if p.suffix in (".toml", ".json")
+    )
+    assert files, "no shipped experiment files found"
+    return files
+
+
+def test_both_formats_are_represented():
+    suffixes = {p.suffix for p in example_files()}
+    assert suffixes == {".toml", ".json"}
+
+
+def test_every_kind_is_represented():
+    kinds = set()
+    for path in example_files():
+        experiment = load_experiment(path)
+        kind = experiment.kind
+        if kind == "figure":
+            kind = f"figure/{experiment.params.KIND}"
+        kinds.add(kind)
+    assert {"figure/fig2", "figure/fig4", "figure/energy",
+            "figure/tradeoff", "sweep", "mission", "cohort"} <= kinds
+
+
+@pytest.mark.parametrize("path", example_files(), ids=lambda p: p.name)
+class TestShippedExperiments:
+    def test_loads_and_plans(self, path):
+        experiment = load_experiment(path)
+        campaigns = Session().plan(experiment)
+        assert campaigns
+        assert all(len(c.spec.expand()) >= 1 for c in campaigns)
+
+    def test_roundtrip_bit_identical_in_both_formats(self, path, tmp_path):
+        experiment = load_experiment(path)
+        for suffix in (".toml", ".json"):
+            out = tmp_path / f"copy{suffix}"
+            dump_experiment(experiment, out)
+            reloaded = load_experiment(out)
+            assert reloaded == experiment
+            assert reloaded.canonical_json() == experiment.canonical_json()
+            assert reloaded.content_hash() == experiment.content_hash()
+
+    def test_cli_validate_accepts(self, path, capsys):
+        assert main(["validate", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestCliValidateRejectsBrokenSpecs:
+    def test_unsupported_version(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            'version = 99\nkind = "sweep"\nname = "x"\n\n[sweep]\n',
+            encoding="utf-8",
+        )
+        assert main(["validate", str(bad)]) == 1
+        assert "version 99" in capsys.readouterr().err
+
+    def test_unknown_application(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            'version = 1\nkind = "sweep"\nname = "x"\n\n'
+            '[sweep]\napps = ["fft"]\n',
+            encoding="utf-8",
+        )
+        assert main(["validate", str(bad)]) == 1
+        assert "fft" in capsys.readouterr().err
+
+    def test_one_bad_file_fails_the_batch_but_checks_all(
+        self, tmp_path, capsys
+    ):
+        good = EXPERIMENTS_DIR / "mission_quick.toml"
+        bad = tmp_path / "bad.json"
+        bad.write_text("{", encoding="utf-8")
+        assert main(["validate", str(bad), str(good)]) == 1
+        captured = capsys.readouterr()
+        assert "not valid JSON" in captured.err
+        assert "mission_quick.toml: ok" in captured.out
+
+    def test_describe_prints_the_plan(self, capsys):
+        assert main(
+            ["describe", str(EXPERIMENTS_DIR / "sweep_quick.toml")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep-quick-quality" in out
+        assert "sweep-quick-energy" in out
+        assert "total: 8 points" in out

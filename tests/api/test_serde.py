@@ -1,0 +1,182 @@
+"""The consolidated serde layer: one source of truth, unchanged bytes."""
+
+from __future__ import annotations
+
+import json
+import tomllib
+
+import numpy as np
+import pytest
+
+import repro.campaign as campaign
+import repro.campaign.evaluators as evaluators
+from repro.api import serde
+from repro.energy.accounting import Workload
+from repro.energy.technology import TECH_32NM_LP
+from repro.errors import CampaignError, ExperimentSpecError
+from repro.mem.layout import PAPER_GEOMETRY, MemoryGeometry
+
+
+class TestConsolidation:
+    """The historical homes re-export the shared implementations."""
+
+    def test_campaign_spec_reexports_canonicalisation(self):
+        assert campaign.canonical_json is serde.canonical_json
+        assert campaign.content_hash is serde.content_hash
+
+    def test_evaluators_reexport_model_serde(self):
+        assert evaluators.technology_to_dict is serde.technology_to_dict
+        assert evaluators.technology_from_dict is serde.technology_from_dict
+        assert evaluators.geometry_to_dict is serde.geometry_to_dict
+        assert evaluators.geometry_from_dict is serde.geometry_from_dict
+        assert evaluators.workload_to_dict is serde.workload_to_dict
+        assert evaluators.workload_from_dict is serde.workload_from_dict
+
+    def test_store_keys_unchanged_by_the_move(self):
+        """The canonical form (and hence every store key) is pinned."""
+        payload = {"b": (1, 2), "a": {"x": np.float64(0.65)}}
+        assert serde.canonical_json(payload) == '{"a":{"x":0.65},"b":[1,2]}'
+        assert serde.content_hash({"kind": "montecarlo", "params": {}}) == (
+            serde.content_hash({"params": {}, "kind": "montecarlo"})
+        )
+
+    def test_unserialisable_value_raises_campaign_error(self):
+        with pytest.raises(CampaignError, match="not JSON-serialisable"):
+            serde.canonical_json({"x": object()})
+
+
+class TestModelSerde:
+    def test_technology_roundtrip(self):
+        payload = serde.technology_to_dict(TECH_32NM_LP)
+        assert json.loads(json.dumps(payload)) == payload
+        assert serde.technology_from_dict(payload) == TECH_32NM_LP
+        assert serde.technology_from_dict(None) == TECH_32NM_LP
+
+    def test_geometry_roundtrip(self):
+        geometry = MemoryGeometry(n_words=256, word_bits=16, n_banks=4)
+        assert serde.geometry_from_dict(
+            serde.geometry_to_dict(geometry)
+        ) == geometry
+        assert serde.geometry_from_dict(None) == PAPER_GEOMETRY
+
+    def test_workload_roundtrip(self):
+        workload = Workload(n_reads=10, n_writes=20, duration_s=0.5)
+        assert serde.workload_from_dict(
+            serde.workload_to_dict(workload)
+        ) == workload
+
+
+class TestMixes:
+    def test_parse_and_format_roundtrip(self):
+        mix = serde.parse_mix("active_day:0.7, overnight:0.3")
+        assert mix == (("active_day", 0.7), ("overnight", 0.3))
+        assert serde.parse_mix(serde.format_mix(mix)) == mix
+
+    def test_value_type_coercion(self):
+        assert serde.parse_mix("1.5:0.6,2.5:0.4", float) == (
+            (1.5, 0.6), (2.5, 0.4)
+        )
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ExperimentSpecError, match="name:weight"):
+            serde.parse_mix("active_day")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ExperimentSpecError, match="bad mix entry"):
+            serde.parse_mix("active_day:lots")
+
+
+class TestPolicyTokens:
+    def test_bare_name_stays_string(self):
+        assert serde.policy_payload("hysteresis") == "hysteresis"
+
+    def test_static_operating_point(self):
+        assert serde.policy_payload("static:dream@0.65") == {
+            "name": "static",
+            "params": {"emt": "dream", "voltage": 0.65},
+        }
+
+    def test_malformed_operating_point_rejected(self):
+        with pytest.raises(ExperimentSpecError, match="emt@voltage"):
+            serde.policy_payload("static:dream")
+        with pytest.raises(ExperimentSpecError, match="bad voltage"):
+            serde.policy_payload("static:dream@low")
+
+    def test_labels(self):
+        assert serde.policy_label("soc") == "soc"
+        assert serde.policy_label({"name": "static"}) == "static"
+        assert serde.policy_label(
+            {"name": "static", "params": {"emt": "dream", "voltage": 0.65}}
+        ) == "static(emt=dream,voltage=0.65)"
+
+
+class TestTomlEmitter:
+    PAYLOAD = {
+        "version": 1,
+        "kind": "mission",
+        "name": "quoted \"name\" with \\ and unicode µ",
+        "flag": True,
+        "ratio": 0.5,
+        "count": 3,
+        "big": 1e20,
+        "mission": {
+            "policies": [
+                "static-ladder",
+                {"name": "static", "params": {"index": 0}},
+            ],
+            "nested": {"pairs": [["a", 0.7], ["b", 0.3]]},
+        },
+    }
+
+    def test_roundtrip_is_exact(self):
+        text = serde.dumps_toml(self.PAYLOAD)
+        assert tomllib.loads(text) == self.PAYLOAD
+
+    def test_floats_stay_floats_and_ints_stay_ints(self):
+        parsed = tomllib.loads(serde.dumps_toml({"f": 2.0, "i": 2}))
+        assert isinstance(parsed["f"], float)
+        assert isinstance(parsed["i"], int)
+
+    def test_numpy_values_canonicalise(self):
+        text = serde.dumps_toml({"v": np.float64(0.65), "a": np.arange(3)})
+        assert tomllib.loads(text) == {"v": 0.65, "a": [0, 1, 2]}
+
+    def test_null_rejected_with_location(self):
+        with pytest.raises(ExperimentSpecError, match="mission.window"):
+            serde.dumps_toml({"mission": {"window": None}})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ExperimentSpecError, match="must be a mapping"):
+            serde.dumps_toml([1, 2, 3])
+
+
+class TestFileIO:
+    def test_suffix_dispatch(self, tmp_path):
+        payload = {"version": 1, "x": [1.5, 2.0]}
+        serde.dump_payload(payload, tmp_path / "p.toml")
+        serde.dump_payload(payload, tmp_path / "p.json")
+        assert serde.load_payload(tmp_path / "p.toml") == payload
+        assert serde.load_payload(tmp_path / "p.json") == payload
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(ExperimentSpecError, match="suffix"):
+            serde.load_payload(tmp_path / "p.yaml")
+        with pytest.raises(ExperimentSpecError, match="suffix"):
+            serde.dump_payload({}, tmp_path / "p.yaml")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ExperimentSpecError, match="cannot read"):
+            serde.load_payload(tmp_path / "absent.toml")
+
+    def test_malformed_content_rejected(self, tmp_path):
+        (tmp_path / "bad.toml").write_text("= not toml", encoding="utf-8")
+        with pytest.raises(ExperimentSpecError, match="not valid TOML"):
+            serde.load_payload(tmp_path / "bad.toml")
+        (tmp_path / "bad.json").write_text("{", encoding="utf-8")
+        with pytest.raises(ExperimentSpecError, match="not valid JSON"):
+            serde.load_payload(tmp_path / "bad.json")
+
+    def test_non_mapping_document_rejected(self, tmp_path):
+        (tmp_path / "list.json").write_text("[1]", encoding="utf-8")
+        with pytest.raises(ExperimentSpecError, match="mapping"):
+            serde.load_payload(tmp_path / "list.json")

@@ -1,0 +1,98 @@
+"""Regression tests: the load() memo must survive mtime-granularity games.
+
+A pure (size, mtime) memo key can serve stale records when the store
+file is replaced by equal-size content within one mtime tick — e.g.
+``compact()`` run by *another* ResultStore instance on a filesystem
+with coarse timestamps.  The signature now carries a content
+fingerprint; these tests pin that behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.store import ResultStore
+
+
+def _record(hash_: str, value: float) -> dict:
+    return {
+        "hash": hash_,
+        "kind": "k",
+        "params": {"x": value},
+        "status": "ok",
+        "result": {"y": value},
+    }
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "stale.jsonl")
+
+
+class TestMemoStaleness:
+    def test_same_size_same_mtime_rewrite_is_detected(self, store):
+        """The historical failure mode: equal-size content swapped in
+        with the mtime pinned back must not be served from the memo."""
+        store.append(_record("a" * 8, 1.0))
+        before = store.load()
+        assert before[("a" * 8)]["result"]["y"] == 1.0
+        stat = store.path.stat()
+
+        # Rewrite out-of-band: same byte count, different content.
+        original = store.path.read_bytes()
+        line = json.dumps(_record("b" * 8, 2.0), sort_keys=True) + "\n"
+        assert len(line.encode()) == len(original)
+        store.path.write_bytes(line.encode())
+        # Pin size and mtime to the memoized signature.
+        os.utime(store.path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert store.path.stat().st_mtime_ns == stat.st_mtime_ns
+        assert store.path.stat().st_size == stat.st_size
+
+        after = store.load()
+        assert "b" * 8 in after and "a" * 8 not in after
+
+    def test_foreign_compact_within_mtime_tick_is_detected(self, store):
+        """A second instance superseding + compacting the same path can
+        land on the original size; the first instance must notice."""
+        store.append(_record("a" * 8, 1.0))
+        assert store.load()[("a" * 8)]["result"]["y"] == 1.0
+        stat = store.path.stat()
+
+        other = ResultStore(store.path)
+        other.append(_record("a" * 8, 9.0))  # supersede: same line length
+        dropped = other.compact()
+        assert dropped == 1
+        # Same single-record size; force the pathological mtime reuse.
+        os.utime(store.path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert store.path.stat().st_size == stat.st_size
+
+        assert store.load()[("a" * 8)]["result"]["y"] == 9.0
+
+    def test_memo_still_avoids_reparsing_untouched_files(self, store):
+        """The fingerprint must not defeat the memo: repeated loads of
+        an unchanged store parse the file exactly once."""
+        store.append_many([_record("a" * 8, 1.0), _record("b" * 8, 2.0)])
+        for _ in range(5):
+            assert len(store.load()) == 2
+        assert store.n_parses == 1
+
+    def test_large_store_tail_append_is_detected(self, store):
+        """Appends beyond the fingerprint head window still invalidate
+        (the tail window sees them) even with a pinned mtime."""
+        # ~40 records comfortably exceeds the 4 KiB head window.
+        store.append_many(
+            [_record(f"{i:064d}", float(i)) for i in range(40)]
+        )
+        assert len(store.load()) == 40
+        stat = store.path.stat()
+
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(_record("c" * 8, 3.0), sort_keys=True) + "\n"
+            )
+        os.utime(store.path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+
+        assert len(store.load()) == 41

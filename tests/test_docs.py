@@ -41,6 +41,7 @@ DOCTEST_MODULES = [
     "repro.cache",
     "repro.cohort.population",
     "repro.cohort.fleet",
+    "repro.api.session",
 ]
 
 
