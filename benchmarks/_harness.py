@@ -6,6 +6,14 @@ instead of ad-hoc prints: :func:`write_bench` deposits one
 derived ops/s and speedup metrics, plus enough environment metadata
 (python / numpy / platform) to interpret the file later.
 
+The numbers themselves are carried as :mod:`repro.obs.events` schema
+events under the artefact's ``"events"`` key — the same one-object-per
+-measurement format the run tracer writes — so ``repro report
+results/BENCH_<name>.json`` renders a benchmark exactly like a trace,
+and this module's own regression gate reads the identical records
+(:func:`load_benches` folds the gauge events back into the legacy
+``metrics`` dict, so older artefacts without events still load).
+
 Regression discipline: ``baselines.json`` (committed next to this file)
 records the *gated* metrics of each benchmark — dimensionless ratios
 like batched-vs-sequential speedup, which transfer across machines far
@@ -37,7 +45,9 @@ Typical benchmark shape::
 from __future__ import annotations
 
 import json
+import os
 import platform
+import sys
 import time
 from collections.abc import Callable, Iterable
 from pathlib import Path
@@ -48,6 +58,12 @@ import numpy as np
 BENCH_DIR = Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
 BASELINE_PATH = BENCH_DIR / "baselines.json"
+
+try:
+    from repro.obs.events import metric_event, run_event, validate_event
+except ImportError:  # `python benchmarks/check_regression.py` without PYTHONPATH
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    from repro.obs.events import metric_event, run_event, validate_event
 
 #: A gated metric may fall this fraction below its committed baseline
 #: before the regression check fails (ISSUE 4: fail on >30% regression).
@@ -90,9 +106,10 @@ def write_bench(
     unknown = set(gate) - set(metrics)
     if unknown:
         raise ValueError(f"gated metrics missing from metrics: {unknown}")
+    events = bench_events(name, metrics, meta=meta)
     payload = {
         "name": name,
-        "metrics": {key: float(value) for key, value in metrics.items()},
+        "events": events,
         "gate": sorted(gate),
         "meta": meta or {},
         "env": {
@@ -107,12 +124,55 @@ def write_bench(
     return path
 
 
+def bench_events(
+    name: str,
+    metrics: dict[str, float],
+    meta: dict[str, Any] | None = None,
+) -> list[dict]:
+    """A benchmark's measurements as :mod:`repro.obs.events` records.
+
+    One ``run`` marker (trace id ``bench-<name>``, carrying ``meta`` as
+    its attrs) followed by one ``gauge`` metric event per measurement —
+    the exact shape ``repro report`` consumes.  Every record is
+    validated against the schema before it is returned; the harness
+    never writes an artefact the reader would reject.
+    """
+    trace = f"bench-{name}"
+    now = time.time()
+    pid = os.getpid()
+    events = [run_event(trace, name, now, pid, attrs=meta or {})]
+    events.extend(
+        metric_event(trace, key, "gauge", float(value), now, pid)
+        for key, value in sorted(metrics.items())
+    )
+    for event in events:
+        problems = validate_event(event)
+        if problems:
+            raise ValueError(
+                f"benchmark {name!r} produced a malformed event: "
+                + "; ".join(problems)
+            )
+    return events
+
+
 def load_benches(results_dir: Path | None = None) -> dict[str, dict]:
-    """All ``BENCH_*.json`` payloads in ``results_dir``, keyed by name."""
+    """All ``BENCH_*.json`` payloads in ``results_dir``, keyed by name.
+
+    Each payload's ``metrics`` dict is reconstructed from its schema
+    ``events`` (gauge value per metric name); artefacts from before the
+    events format carried ``metrics`` directly and pass through as-is.
+    """
     root = results_dir or RESULTS_DIR
     benches: dict[str, dict] = {}
     for path in sorted(root.glob("BENCH_*.json")):
         payload = json.loads(path.read_text())
+        if "metrics" not in payload:
+            payload["metrics"] = {
+                event["name"]: float(event["value"])
+                for event in payload.get("events", [])
+                if event.get("event") == "metric"
+                and event.get("kind") in ("gauge", "counter")
+            }
         benches[payload["name"]] = payload
     return benches
 

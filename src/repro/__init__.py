@@ -27,7 +27,10 @@ depends on:
 * :mod:`repro.api` — the unified experiment API: one declarative,
   file-loadable :class:`~repro.api.Experiment` spec (TOML/JSON) and the
   :class:`~repro.api.Session` facade running every workload kind —
-  figures, sweeps, missions, cohorts — through the campaign engine.
+  figures, sweeps, missions, cohorts — through the campaign engine;
+* :mod:`repro.obs` — observability: span-based tracing with
+  worker-pool context propagation, counters/gauges/histograms, per-run
+  JSONL trace sinks, and the ``repro report`` renderer.
 
 Quickstart::
 
@@ -45,10 +48,22 @@ Quickstart::
     print(snr_db(record.samples, stored))
 """
 
-from . import api, apps, campaign, emt, energy, exp, mem, runtime, signals, soc
+from . import (
+    api,
+    apps,
+    campaign,
+    emt,
+    energy,
+    exp,
+    mem,
+    obs,
+    runtime,
+    signals,
+    soc,
+)
 from .errors import ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "api",
@@ -58,6 +73,7 @@ __all__ = [
     "energy",
     "exp",
     "mem",
+    "obs",
     "runtime",
     "signals",
     "soc",

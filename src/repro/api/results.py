@@ -78,6 +78,7 @@ class ResultHandle:
         self._result: Any = None
         self._reduced = False
         self._summary: dict | None = None
+        self._telemetry: dict[str, Any] | None = None
 
     # -- record-level access ----------------------------------------------
 
@@ -209,6 +210,24 @@ class ResultHandle:
                 base.update(self._summariser(self))
             self._summary = base
         return dict(self._summary)
+
+    def telemetry(self) -> dict[str, Any]:
+        """Run telemetry recorded by the session that produced this handle.
+
+        Keys: ``enabled`` (was the run traced), ``run_id`` (the
+        content-hash-keyed trace id), ``trace_path`` (the JSONL sink to
+        feed ``repro report``, or ``None``), and ``wall_s`` (the run's
+        measured wall time).  An attached (not executed) handle reports
+        ``enabled: False`` with no run id.
+        """
+        if self._telemetry is None:
+            return {
+                "enabled": False,
+                "run_id": None,
+                "trace_path": None,
+                "wall_s": None,
+            }
+        return dict(self._telemetry)
 
     def result(self) -> Any:
         """The kind's rich result object (memoized).

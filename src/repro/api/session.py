@@ -28,12 +28,14 @@ field); register custom backends (e.g. a remote executor) with
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
+from .. import obs
 from ..campaign.runner import CampaignResult, ProgressFn, run_campaign
 from ..campaign.spec import CampaignSpec
 from ..campaign.store import ResultStore
@@ -719,15 +721,70 @@ class Session:
         self.plan(experiment)
         return experiment
 
+    def run_id_for(self, experiment: Experiment | Path | str) -> str:
+        """The content-hash-keyed trace/run id of an experiment.
+
+        Stable across processes and machines (it derives from the
+        experiment's canonical content hash), so a traced run's JSONL
+        sink is addressable before, during, and after the run:
+        ``repro report <run-id>``.
+        """
+        experiment = self._coerce(experiment)
+        return f"{experiment.name}-{experiment.content_hash()[:12]}"
+
+    def _progress_for(
+        self,
+        experiment: Experiment,
+        planned: PlannedCampaign,
+        on_progress: Callable[[dict], None] | None,
+    ) -> ProgressFn | None:
+        """Fan one campaign's per-point progress to both consumers.
+
+        The session-level ``progress`` callback keeps its historical
+        positional form; ``on_progress`` (per run) receives structured
+        heartbeat events — the hook a job service can stream from.
+        """
+        if on_progress is None:
+            return self.progress
+
+        def heartbeat(done: int, total: int, record: dict) -> None:
+            if self.progress is not None:
+                self.progress(done, total, record)
+            on_progress(
+                {
+                    "experiment": experiment.name,
+                    "campaign": planned.spec.name,
+                    "role": planned.role,
+                    "done": done,
+                    "total": total,
+                    "status": record.get("status"),
+                    "elapsed_s": record.get("elapsed_s"),
+                }
+            )
+
+        return heartbeat
+
     def run(
         self,
         experiment: Experiment | Path | str,
         fresh: bool | None = None,
+        on_progress: Callable[[dict], None] | None = None,
     ) -> ResultHandle:
         """Execute an experiment and return its :class:`ResultHandle`.
 
         Campaigns run in plan order; stored points resume unless
         ``fresh`` (argument or session default) disables it.
+
+        ``on_progress`` is the run-level heartbeat: a callable invoked
+        after every completed point with one JSON-safe event dict
+        (``experiment``, ``campaign``, ``role``, ``done``, ``total``,
+        ``status``, ``elapsed_s``) — independent of the session-level
+        ``progress`` callback, which still fires as well.
+
+        When tracing is configured (``REPRO_TRACE_DIR`` or the CLI's
+        ``--trace``), the run opens its own JSONL sink keyed by
+        :meth:`run_id_for` and closes it on exit;
+        :meth:`ResultHandle.telemetry` reports where it landed.
         """
         from ..campaign.evaluators import evaluation_hints
 
@@ -736,34 +793,72 @@ class Session:
         backend_name, workers = self.resolve_backend(experiment)
         backend = make_backend(backend_name, workers)
         resume = not (self.fresh if fresh is None else fresh)
-        runs = []
-        for planned in plan.campaigns:
-            store = self._store_for(planned.store_name)
-            if (
-                planned.intra_point_hint
-                and workers > 1
-                and self._explicit_backend(experiment) is None
+
+        run_id = self.run_id_for(experiment)
+        owns_trace = obs.start_run(
+            run_id,
+            name=experiment.name,
+            attrs={
+                "kind": experiment.kind,
+                "backend": backend_name,
+                "workers": workers,
+            },
+        )
+        traced = obs.enabled()
+        trace_path = obs.trace_path()
+        trace_run = obs.trace_run_id()
+        started = time.perf_counter()
+        try:
+            with obs.span(
+                "session.run",
+                experiment=experiment.name,
+                kind=experiment.kind,
+                backend=backend_name,
+                workers=workers,
             ):
-                # Fan out *inside* each point (e.g. a cohort's patients
-                # across processes) rather than across the few points:
-                # the campaign itself runs inline so the hint stays in
-                # this process, and results are bit-identical.
-                with evaluation_hints(
-                    **{planned.intra_point_hint: workers}
-                ):
-                    result = InlineBackend().execute(
-                        planned.spec, store=store, resume=resume,
-                        progress=self.progress,
+                runs = []
+                for planned in plan.campaigns:
+                    store = self._store_for(planned.store_name)
+                    progress = self._progress_for(
+                        experiment, planned, on_progress
                     )
-            else:
-                result = backend.execute(
-                    planned.spec, store=store, resume=resume,
-                    progress=self.progress,
-                )
-            runs.append(
-                CampaignRun(planned.role, planned.spec, result, store)
-            )
-        return plan.handle(experiment, runs)
+                    if (
+                        planned.intra_point_hint
+                        and workers > 1
+                        and self._explicit_backend(experiment) is None
+                    ):
+                        # Fan out *inside* each point (e.g. a cohort's
+                        # patients across processes) rather than across
+                        # the few points: the campaign itself runs
+                        # inline so the hint stays in this process, and
+                        # results are bit-identical.
+                        with evaluation_hints(
+                            **{planned.intra_point_hint: workers}
+                        ):
+                            result = InlineBackend().execute(
+                                planned.spec, store=store, resume=resume,
+                                progress=progress,
+                            )
+                    else:
+                        result = backend.execute(
+                            planned.spec, store=store, resume=resume,
+                            progress=progress,
+                        )
+                    runs.append(
+                        CampaignRun(planned.role, planned.spec, result, store)
+                    )
+        finally:
+            wall_s = time.perf_counter() - started
+            if owns_trace:
+                obs.disable()
+        handle = plan.handle(experiment, runs)
+        handle._telemetry = {
+            "enabled": traced,
+            "run_id": trace_run,
+            "trace_path": str(trace_path) if trace_path else None,
+            "wall_s": wall_s,
+        }
+        return handle
 
     def attach(self, experiment: Experiment | Path | str) -> ResultHandle:
         """A lazy result view over the experiment's stores — no execution.

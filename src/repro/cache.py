@@ -45,11 +45,13 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from . import obs
 from .campaign.spec import content_hash
 from .errors import ReproError
 
@@ -59,6 +61,7 @@ __all__ = [
     "default_cache_root",
     "shared_cache",
     "computed_events",
+    "event_stats",
 ]
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
@@ -167,10 +170,12 @@ class DiskCache:
         with self._lock:
             if digest in self._memory:
                 self.stats.memory_hits += 1
+                obs.counter("cache.memory_hit")
                 return self._memory[digest]
         if not self.persistent:
             value = compute()
             self.stats.computed += 1
+            obs.counter("cache.computed")
             with self._lock:
                 self._memory[digest] = value
             return value
@@ -178,6 +183,8 @@ class DiskCache:
         value = self._read_entry(digest)
         if value is not _MISSING:
             self.stats.disk_hits += 1
+            obs.counter("cache.disk_hit")
+            self._append_event("hit", digest)
             with self._lock:
                 self._memory[digest] = value
             return value
@@ -196,18 +203,26 @@ class DiskCache:
         self.root.mkdir(parents=True, exist_ok=True)
         lock_path = self.root / f"{digest}.lock"
         with open(lock_path, "w", encoding="utf-8") as lock_file:
+            waited = time.perf_counter() if obs.enabled() else 0.0
             fcntl.flock(lock_file, fcntl.LOCK_EX)
+            if obs.enabled():
+                obs.observe(
+                    "cache.lock_wait_s", time.perf_counter() - waited
+                )
             try:
                 # Another process may have computed the entry while this
                 # one waited on the lock.
                 value = self._read_entry(digest)
                 if value is not _MISSING:
                     self.stats.disk_hits += 1
+                    obs.counter("cache.disk_hit")
+                    self._append_event("hit", digest)
                     return value
                 value = compute()
                 self._write_entry(digest, payload, value)
-                self._append_event(digest)
+                self._append_event("computed", digest)
                 self.stats.computed += 1
+                obs.counter("cache.computed")
                 return value
             finally:
                 fcntl.flock(lock_file, fcntl.LOCK_UN)
@@ -237,13 +252,22 @@ class DiskCache:
         tmp.write_text(text + "\n", encoding="utf-8")
         os.replace(tmp, self._entry_path(digest))
 
-    def _append_event(self, digest: str) -> None:
-        """Record one computation in the fleet-wide event log.
+    def _append_event(self, kind: str, digest: str | None = None) -> None:
+        """Record one cache action in the fleet-wide event log.
 
-        Called only under the entry's exclusive lock, so per-entry event
-        counts are an exact "how many times was this computed" audit.
+        ``kind`` is ``"computed"`` (written only under the entry's
+        exclusive lock, so per-entry counts are an exact "how many
+        times was this computed" audit), ``"hit"`` (a disk-layer read;
+        at most one per entry per process — the memory layer absorbs
+        repeats), or ``"clear"`` (an eviction of the whole cache).
+        Lines are small single ``write`` appends, so concurrent writers
+        stay line-atomic without a lock.
         """
-        line = json.dumps({"hash": digest, "pid": os.getpid()}) + "\n"
+        record: dict[str, Any] = {"event": kind, "pid": os.getpid()}
+        if digest is not None:
+            record["hash"] = digest
+        line = json.dumps(record) + "\n"
+        self.root.mkdir(parents=True, exist_ok=True)
         with open(self.events_path, "a", encoding="utf-8") as handle:
             handle.write(line)
 
@@ -281,25 +305,29 @@ class DiskCache:
                 path.unlink(missing_ok=True)
                 removed += 1
             self.events_path.unlink(missing_ok=True)
+            # Start the fresh log with the eviction itself, so
+            # event_stats() can report "cleared N times" afterwards.
+            self._append_event("clear")
+            obs.counter("cache.cleared_entries", removed)
         with self._lock:
             self._memory.clear()
         self.stats = CacheStats()
         return removed
 
 
-def computed_events(root: Path | str | None = None) -> list[str]:
-    """Entry hashes from the event log, one per computation, in order.
+def _read_events(root: Path | str | None) -> list[dict]:
+    """Parsed cache event-log records, in append order.
 
-    The fleet-wide exactly-once guarantee is checkable as "this list has
-    no duplicates"; malformed lines (torn tail of a crashed writer) are
-    skipped.
+    Malformed lines (torn tail of a crashed writer) are skipped.
+    Records written before the log carried an ``event`` key are
+    computations — the only kind the log recorded then.
     """
     events_path = (
         Path(root) if root is not None else default_cache_root()
     ) / "events.jsonl"
-    hashes: list[str] = []
+    records: list[dict] = []
     if not events_path.exists():
-        return hashes
+        return records
     with events_path.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -309,9 +337,55 @@ def computed_events(root: Path | str | None = None) -> list[str]:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if isinstance(record, dict) and "hash" in record:
-                hashes.append(record["hash"])
-    return hashes
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def computed_events(root: Path | str | None = None) -> list[str]:
+    """Entry hashes from the event log, one per computation, in order.
+
+    The fleet-wide exactly-once guarantee is checkable as "this list has
+    no duplicates".  Hit/clear events in the log are not computations
+    and are excluded.
+    """
+    return [
+        record["hash"]
+        for record in _read_events(root)
+        if record.get("event", "computed") == "computed"
+        and "hash" in record
+    ]
+
+
+def event_stats(root: Path | str | None = None) -> dict[str, Any]:
+    """Fleet-wide hit/miss/evict statistics from the cache event log.
+
+    Unlike :attr:`DiskCache.stats` (this process's counters), these
+    cover every process that ever touched the cache root since its
+    last clear: computations (misses), disk hits, distinct entries,
+    recomputations of the same entry (lock races or post-clear), clear
+    events, and the disk-level hit rate.
+    """
+    computed: list[str] = []
+    hits = 0
+    clears = 0
+    for record in _read_events(root):
+        kind = record.get("event", "computed")
+        if kind == "computed" and "hash" in record:
+            computed.append(record["hash"])
+        elif kind == "hit":
+            hits += 1
+        elif kind == "clear":
+            clears += 1
+    lookups = len(computed) + hits
+    return {
+        "computed": len(computed),
+        "disk_hits": hits,
+        "unique_entries": len(set(computed)),
+        "recomputed": len(computed) - len(set(computed)),
+        "clears": clears,
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+    }
 
 
 #: The process-wide shared cache instance (lazily created; re-resolved

@@ -23,6 +23,7 @@ import traceback
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..errors import CampaignError
 from .evaluators import evaluate_point
 from .spec import CampaignPoint, CampaignSpec
@@ -94,13 +95,28 @@ def _evaluate_payload(payload: tuple[str, CampaignPoint]) -> dict:
         # without the (possibly large) shared fixed parameters.
         "coords": dict(point.coords),
     }
-    try:
-        record["result"] = evaluate_point(point)
-        record["status"] = "ok"
-    except Exception as exc:  # noqa: BLE001 - failure capture is the point
-        record["status"] = "failed"
-        record["error"] = f"{type(exc).__name__}: {exc}"
-        record["traceback"] = traceback.format_exc(limit=20)
+    # In a pool worker this span is the process's top level, so closing
+    # it flushes the worker's buffer — pool teardown (terminate) cannot
+    # lose completed points.
+    with obs.span(
+        "point",
+        **{"kind": point.kind, "hash": point_hash[:12], **point.coords},
+    ) as point_span:
+        try:
+            record["result"] = evaluate_point(point)
+            record["status"] = "ok"
+            obs.counter("campaign.points_ok")
+        except Exception as exc:  # noqa: BLE001 - failure capture is the point
+            record["status"] = "failed"
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            record["traceback"] = traceback.format_exc(limit=20)
+            obs.counter("campaign.points_failed")
+            point_span.fail(record["error"])
+            if point_span.span_id is not None:
+                # Cross-reference the trace from the failure record (and
+                # vice versa) — but only when traced, so stored records
+                # are byte-identical in untraced runs.
+                record["span"] = point_span.span_id
     record["elapsed_s"] = round(time.perf_counter() - started, 6)
     return record
 
@@ -131,6 +147,26 @@ def run_campaign(
     """
     if n_workers < 1:
         raise CampaignError(f"n_workers must be >= 1, got {n_workers}")
+    with obs.span(
+        "campaign", campaign=spec.name, kind=spec.kind, workers=n_workers
+    ) as campaign_span:
+        result = _run_campaign_traced(
+            spec, store, n_workers, progress, resume, campaign_span
+        )
+        obs.counter("campaign.points_executed", result.n_executed)
+        obs.counter("campaign.points_cached", result.n_cached)
+    return result
+
+
+def _run_campaign_traced(
+    spec: CampaignSpec,
+    store: ResultStore | None,
+    n_workers: int,
+    progress: ProgressFn | None,
+    resume: bool,
+    campaign_span,
+) -> CampaignResult:
+    """The body of :func:`run_campaign`, under its campaign span."""
     points = spec.expand()
     cached: dict[str, dict] = {}
     if store is not None and resume:
@@ -224,7 +260,12 @@ def run_campaign(
                     error_callback=_on_error,
                 )
 
-            with multiprocessing.Pool(processes=workers) as pool:
+            # Workers created inside worker_parent() inherit the
+            # campaign span id, so their per-point spans hang off this
+            # campaign in the report's tree.
+            with obs.worker_parent(campaign_span.span_id):
+                pool = multiprocessing.Pool(processes=workers)
+            with pool:
                 for payload in todo:
                     _submit(pool, payload)
                 remaining = len(todo)

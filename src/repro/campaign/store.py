@@ -30,9 +30,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from pathlib import Path
 
+from .. import obs
 from ..errors import CampaignError
 
 __all__ = ["ResultStore", "default_store_root"]
@@ -177,6 +179,7 @@ class ResultStore:
         payload = "".join(
             json.dumps(record, sort_keys=True) + "\n" for record in records
         )
+        started = time.perf_counter() if obs.enabled() else 0.0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             try:
@@ -189,6 +192,9 @@ class ResultStore:
                 # appends stay as unlocked as they historically were.
                 pass
             handle.write(payload)
+        if obs.enabled():
+            obs.observe("store.append_s", time.perf_counter() - started)
+            obs.counter("store.records_appended", len(records))
         # The next load() re-stats the file; dropping the memo eagerly
         # also covers filesystems with coarse mtime resolution.
         self._memo = None

@@ -29,25 +29,36 @@ deprecation note on stderr)::
     python -m repro cohort --size 500 --workers 4
 
 Utility subcommands (not experiments): ``overheads``, ``record``,
-``lifetime`` and ``cache``.
+``lifetime``, ``cache`` and ``report`` (render a run's trace; see
+``docs/observability.md``).
 
 Global options come before the subcommand: ``--seed`` fixes the master
 Monte-Carlo seed of every experiment (overriding the file's ``seed``
 for ``run``), so any artefact is reproducible from the command line
-(``python -m repro --seed 7 fig4 ...``).
+(``python -m repro --seed 7 fig4 ...``); ``--trace [DIR]`` records a
+JSONL trace per run; ``-v``/``-q`` adjust stderr diagnostics (stdout
+carries only tables/JSON, so pipelines can consume it regardless of
+verbosity).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from . import __version__
 from .energy.technology import PAPER_VOLTAGE_GRID
 from .errors import ReproError
+from .obs.logcfg import configure as _configure_logging
+from .obs.logcfg import get_logger
 
 __all__ = ["main", "build_parser"]
+
+#: The CLI's stderr diagnostics logger (configured per main() call).
+_LOG = get_logger("cli")
 
 PAPER_APP_NAMES = (
     "dwt",
@@ -68,11 +79,10 @@ def _csv_floats(raw: str) -> tuple[float, ...]:
 
 def _deprecation_note(command: str) -> None:
     """Point legacy-shim users at the unified experiment API."""
-    print(
-        f"note: 'repro {command}' is a legacy shim over the unified "
-        "experiment API; prefer 'repro run <experiment.toml|json>' "
-        "(see docs/api.md)",
-        file=sys.stderr,
+    _LOG.warning(
+        "'repro %s' is a legacy shim over the unified experiment API; "
+        "prefer 'repro run <experiment.toml|json>' (see docs/api.md)",
+        command,
     )
 
 
@@ -93,6 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="master Monte-Carlo seed (default: the library's fixed seed); "
              "place before the subcommand",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="count", default=0,
+        help="more stderr diagnostics (repeatable; stdout is unaffected)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="count", default=0,
+        help="fewer stderr diagnostics: suppress progress and notes, "
+             "keep errors (repeatable; stdout is unaffected)",
+    )
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="DIR",
+        help="record a JSONL trace per run (span tree, metrics) into DIR "
+             "(default: benchmarks/results/traces); inspect with "
+             "'repro report <run-id>'",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -345,6 +370,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete every cached calibration entry",
     )
 
+    report = sub.add_parser(
+        "report",
+        help="render a recorded run trace: wall-time span tree, worker "
+             "utilization, cache hit rates, slowest spans",
+    )
+    report.add_argument(
+        "target",
+        help="a run id (resolved in the trace directory), a trace "
+             ".jsonl path, or a BENCH .json artefact",
+    )
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="slowest spans to list (default: 10)",
+    )
+    report.add_argument(
+        "--trace-dir", default=None,
+        help="directory run ids resolve in (default: --trace/"
+             "REPRO_TRACE_DIR, falling back to benchmarks/results/traces)",
+    )
+
     sub.add_parser("overheads", help="Section V / Formula 2 bit overheads")
 
     record = sub.add_parser(
@@ -507,6 +552,8 @@ def cohort_experiment(args):
 
 
 def _stderr_progress(done: int, total: int, record: dict) -> None:
+    if not _LOG.isEnabledFor(logging.INFO):  # --quiet silences progress
+        return
     marker = "." if record.get("status") == "ok" else "!"
     print(f"\r  [{done}/{total}] {marker}", end="", file=sys.stderr)
 
@@ -743,8 +790,14 @@ def _execute_and_report(experiment, session) -> int:
     elif experiment.kind == "cohort":
         _print_cohort_header(experiment, workers)
     handle = session.run(experiment)
-    if session.progress is not None:
+    if session.progress is not None and _LOG.isEnabledFor(logging.INFO):
         print(file=sys.stderr)
+    telemetry = handle.telemetry()
+    if telemetry["enabled"]:
+        _LOG.info(
+            "trace recorded: %s (inspect with 'repro report %s')",
+            telemetry["trace_path"], telemetry["run_id"],
+        )
     return _REPORTERS[experiment.kind](experiment, handle, workers)
 
 
@@ -868,7 +921,7 @@ def _cmd_cohort(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from .cache import shared_cache
+    from .cache import event_stats, shared_cache
 
     cache = shared_cache()
     if args.clear:
@@ -885,6 +938,37 @@ def _cmd_cache(args) -> int:
         f"  this process: {stats['memory_hits']} memory hits, "
         f"{stats['disk_hits']} disk hits, {stats['computed']} computed"
     )
+    events = event_stats(cache.root)
+    if events["computed"] or events["disk_hits"] or events["clears"]:
+        # Fleet-wide history from the cache's event log — covers every
+        # process that ever touched this cache root, unlike the
+        # process-local counters above.
+        print(
+            f"  all processes: {events['computed']} computed "
+            f"({events['unique_entries']} unique, "
+            f"{events['recomputed']} recomputed after eviction), "
+            f"{events['disk_hits']} disk hits, {events['clears']} clears"
+        )
+        print(f"  disk hit rate: {events['hit_rate']:.1%}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import (
+        configured_dir,
+        default_trace_dir,
+        load_events,
+        render_report,
+        resolve_trace,
+    )
+
+    trace_dir = (
+        Path(args.trace_dir)
+        if args.trace_dir is not None
+        else (configured_dir() or default_trace_dir())
+    )
+    path = resolve_trace(args.target, trace_dir)
+    print(render_report(load_events(path), top=args.top))
     return 0
 
 
@@ -947,6 +1031,7 @@ _HANDLERS = {
     "mission": _cmd_mission,
     "cohort": _cmd_cohort,
     "cache": _cmd_cache,
+    "report": _cmd_report,
 }
 
 
@@ -954,10 +1039,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose - args.quiet)
+    if args.trace is not None:
+        from .obs import default_trace_dir, set_trace_dir
+
+        set_trace_dir(args.trace if args.trace else default_trace_dir())
     try:
         return _HANDLERS[args.command](args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        # The CLI formatter renders ERROR records as "error: ..." on
+        # stderr; --quiet lowers verbosity but never silences these.
+        _LOG.error(str(error))
         return 1
 
 

@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from .. import obs
 from ..api.serde import policy_label
 from ..cache import shared_cache
 from ..energy.technology import TECH_32NM_LP, Technology
@@ -70,21 +71,29 @@ def simulate_patient(
     """
     profile = cohort.patient(index)
     row: dict[str, Any] = profile.to_dict()
-    try:
-        simulator = MissionSimulator(
-            cohort.mission_for(profile),
-            tech=tech,
-            n_probe=n_probe,
-            probe_duration_s=probe_duration_s,
-        )
-        result = simulator.run(policy_from_dict(policy))
-    except Exception as exc:  # noqa: BLE001 - failure capture is the point
-        row["status"] = "failed"
-        row["error"] = f"{type(exc).__name__}: {exc}"
+    # In a pool worker this span is the top level, so closing it
+    # flushes — pool teardown cannot lose completed patients' events.
+    with obs.span(
+        "patient", cohort=cohort.name, patient=profile.index,
+    ) as patient_span:
+        try:
+            simulator = MissionSimulator(
+                cohort.mission_for(profile),
+                tech=tech,
+                n_probe=n_probe,
+                probe_duration_s=probe_duration_s,
+            )
+            result = simulator.run(policy_from_dict(policy))
+        except Exception as exc:  # noqa: BLE001 - failure capture is the point
+            row["status"] = "failed"
+            row["error"] = f"{type(exc).__name__}: {exc}"
+            obs.counter("fleet.patients_failed")
+            patient_span.fail(row["error"])
+            return row
+        row.update(result.to_dict())
+        row["status"] = "ok"
+        obs.counter("fleet.patients_ok")
         return row
-    row.update(result.to_dict())
-    row["status"] = "ok"
-    return row
 
 
 #: Worker-process state installed by the pool initializer; holding the
@@ -268,28 +277,45 @@ class FleetSimulator:
             if progress is not None:
                 progress(len(rows), len(todo), row)
 
-        if n_workers == 1 or len(todo) <= 1:
-            for index in todo:
-                _absorb(self.simulate_patient(index, policy))
-        else:
-            # Chunked scheduling amortises IPC; the chunk size keeps
-            # every worker busy even when mission lengths vary.
-            chunksize = max(1, len(todo) // (4 * n_workers))
-            with multiprocessing.Pool(
-                processes=min(n_workers, len(todo)),
-                initializer=_init_worker,
-                initargs=(self.cohort.to_dict(), policy, self._knobs()),
-            ) as pool:
-                for row in pool.imap_unordered(
-                    _worker_simulate, todo, chunksize=chunksize
-                ):
-                    _absorb(row)
+        with obs.span(
+            "fleet",
+            cohort=self.cohort.name,
+            policy=policy_label(policy),
+            patients=len(todo),
+            workers=n_workers,
+        ) as fleet_span:
+            if n_workers == 1 or len(todo) <= 1:
+                for index in todo:
+                    _absorb(self.simulate_patient(index, policy))
+            else:
+                # Chunked scheduling amortises IPC; the chunk size keeps
+                # every worker busy even when mission lengths vary.
+                chunksize = max(1, len(todo) // (4 * n_workers))
+                # Workers created inside worker_parent() inherit the
+                # fleet span id, so their per-patient spans hang off
+                # this fleet in the report's tree.
+                with obs.worker_parent(fleet_span.span_id):
+                    pool = multiprocessing.Pool(
+                        processes=min(n_workers, len(todo)),
+                        initializer=_init_worker,
+                        initargs=(
+                            self.cohort.to_dict(), policy, self._knobs()
+                        ),
+                    )
+                with pool:
+                    for row in pool.imap_unordered(
+                        _worker_simulate, todo, chunksize=chunksize
+                    ):
+                        _absorb(row)
+            elapsed = time.perf_counter() - started
+            if obs.enabled() and elapsed > 0:
+                obs.gauge("fleet.patients_per_s", len(rows) / elapsed)
         rows.sort(key=lambda row: row["patient"])
         return FleetResult(
             cohort_name=self.cohort.name,
             policy=policy,
             rows=rows,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=elapsed,
             n_workers=n_workers,
             cache=shared_cache().info(),
         )

@@ -71,3 +71,12 @@ class ExperimentSpecError(ReproError):
     carries an unsupported schema version, or fails structural
     validation before anything is planned or executed.
     """
+
+
+class ObsError(ReproError):
+    """Tracing was misused or a trace file is malformed.
+
+    Raised by :mod:`repro.obs` when tracing is enabled twice in one
+    process, a run id is empty, or ``repro report`` is pointed at a
+    trace whose events violate the schema contract.
+    """

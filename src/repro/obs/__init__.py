@@ -1,0 +1,111 @@
+"""``repro.obs`` — tracing, metrics, and run telemetry.
+
+The package's observability spine: span-based tracing with context
+propagation across worker pools (:mod:`repro.obs.core`), a single JSONL
+event schema shared with the benchmark harness
+(:mod:`repro.obs.events`), the ``repro report`` renderer
+(:mod:`repro.obs.report`), and the CLI's logging configuration
+(:mod:`repro.obs.logcfg`).  Everything is stdlib-only, and every probe
+is a no-op until tracing is enabled — instrumented library code pays
+one cheap check per call when a run is untraced.
+
+Typical library usage::
+
+    from repro import obs
+
+    with obs.span("calibrate", app=app, voltage=v) as span:
+        ...
+        obs.counter("cache.disk_hit")
+
+Tracing turns on per run: set ``REPRO_TRACE_DIR`` (or pass ``--trace``
+to the CLI) and :class:`repro.api.session.Session` opens a sink named
+by the experiment's content-hash run id; ``repro report <run-id>``
+renders it.  See ``docs/observability.md`` for the event schema and
+span taxonomy.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    FLUSH_EVERY,
+    Span,
+    configured_dir,
+    counter,
+    current_span_id,
+    default_trace_dir,
+    disable,
+    enable,
+    enabled,
+    flush,
+    gauge,
+    observe,
+    set_trace_dir,
+    span,
+    start_run,
+    trace_path,
+    trace_run_id,
+    worker_parent,
+)
+from .events import (
+    EVENT_KINDS,
+    METRIC_KINDS,
+    SCHEMA_VERSION,
+    SPAN_STATUSES,
+    metric_event,
+    run_event,
+    span_event,
+    validate_event,
+)
+from .logcfg import configure as configure_logging
+from .logcfg import get_logger
+from .report import (
+    load_events,
+    load_trace,
+    metric_totals,
+    render_report,
+    resolve_trace,
+    span_totals,
+    summarize,
+)
+
+__all__ = [
+    # core
+    "FLUSH_EVERY",
+    "Span",
+    "enabled",
+    "enable",
+    "disable",
+    "span",
+    "counter",
+    "gauge",
+    "observe",
+    "flush",
+    "current_span_id",
+    "trace_path",
+    "trace_run_id",
+    "configured_dir",
+    "set_trace_dir",
+    "default_trace_dir",
+    "start_run",
+    "worker_parent",
+    # events
+    "SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "METRIC_KINDS",
+    "SPAN_STATUSES",
+    "run_event",
+    "span_event",
+    "metric_event",
+    "validate_event",
+    # report
+    "load_trace",
+    "load_events",
+    "resolve_trace",
+    "summarize",
+    "span_totals",
+    "metric_totals",
+    "render_report",
+    # logging
+    "configure_logging",
+    "get_logger",
+]

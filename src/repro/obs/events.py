@@ -1,0 +1,208 @@
+"""The trace-event schema: one JSON object per line, three event kinds.
+
+Everything observability-related in this repo — run traces written by
+:mod:`repro.obs.core`, the ``repro report`` renderer, the cache event
+log statistics, and the benchmark harness's BENCH artefacts — speaks
+this one schema, so a single reader (:mod:`repro.obs.report`) can
+consume any of it.
+
+Event kinds (the ``event`` key):
+
+* ``run`` — the run-start marker: names the trace and records the
+  schema version, wall-clock start and originating process.
+* ``span`` — one *closed* span: a named, timed unit of work with a
+  ``parent`` span id (``None`` for a root), a ``status`` (``"ok"`` or
+  ``"failed"``), and free-form JSON-safe ``attrs``.  Spans written by
+  worker processes carry the parent span id propagated from the
+  process that spawned them, so the tree spans process boundaries.
+* ``metric`` — one measurement: a ``counter`` (delta to sum), a
+  ``gauge`` (last write wins), or a ``histogram`` (an aggregated
+  ``{"count", "sum", "min", "max"}`` summary).
+
+Common keys on every event: ``event``, ``trace`` (the run id), ``t``
+(wall-clock unix seconds) and ``pid``.  The constructors below are the
+only writers; :func:`validate_event` is the reader-side contract that
+``repro report`` enforces (a malformed line is a hard error, not a
+skip — a trace that lies is worse than no trace).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "METRIC_KINDS",
+    "SPAN_STATUSES",
+    "run_event",
+    "span_event",
+    "metric_event",
+    "histogram_summary",
+    "validate_event",
+]
+
+#: Version stamped into every ``run`` event (readers reject unknowns).
+SCHEMA_VERSION = 1
+
+#: Valid values of the ``event`` key.
+EVENT_KINDS = ("run", "span", "metric")
+
+#: Valid values of a metric event's ``kind`` key.
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+#: Valid values of a span event's ``status`` key.
+SPAN_STATUSES = ("ok", "failed")
+
+#: Keys a histogram metric's value summary must carry.
+_HISTOGRAM_KEYS = ("count", "sum", "min", "max")
+
+
+def run_event(
+    trace: str, name: str, t: float, pid: int,
+    attrs: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The run-start marker event of one trace."""
+    return {
+        "event": "run",
+        "v": SCHEMA_VERSION,
+        "trace": trace,
+        "name": name,
+        "t": t,
+        "pid": pid,
+        "attrs": dict(attrs or {}),
+    }
+
+
+def span_event(
+    trace: str,
+    span: str,
+    parent: str | None,
+    name: str,
+    t: float,
+    dur_s: float,
+    pid: int,
+    status: str = "ok",
+    attrs: dict[str, Any] | None = None,
+    error: str | None = None,
+) -> dict[str, Any]:
+    """One closed span: a named, timed unit of work in the trace tree."""
+    payload: dict[str, Any] = {
+        "event": "span",
+        "trace": trace,
+        "span": span,
+        "parent": parent,
+        "name": name,
+        "t": t,
+        "dur_s": dur_s,
+        "pid": pid,
+        "status": status,
+        "attrs": dict(attrs or {}),
+    }
+    if error is not None:
+        payload["error"] = error
+    return payload
+
+
+def metric_event(
+    trace: str,
+    name: str,
+    kind: str,
+    value: Any,
+    t: float,
+    pid: int,
+    attrs: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One measurement: counter delta, gauge write, or histogram summary."""
+    return {
+        "event": "metric",
+        "trace": trace,
+        "name": name,
+        "kind": kind,
+        "value": value,
+        "t": t,
+        "pid": pid,
+        "attrs": dict(attrs or {}),
+    }
+
+
+def histogram_summary(
+    count: int, total: float, minimum: float, maximum: float
+) -> dict[str, float]:
+    """The aggregated value payload of a ``histogram`` metric event."""
+    return {
+        "count": int(count),
+        "sum": float(total),
+        "min": float(minimum),
+        "max": float(maximum),
+    }
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_event(payload: Any) -> list[str]:
+    """Problems with one parsed trace event (empty list when valid).
+
+    This is the reader-side schema contract: ``repro report`` runs it
+    over every line and exits non-zero on the first violation.  The
+    check is structural, not semantic — a span may reference a parent
+    the file never closed (the process was killed mid-span); the tree
+    builder treats such spans as roots.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["event is not a JSON object"]
+    kind = payload.get("event")
+    if kind not in EVENT_KINDS:
+        return [f"unknown event kind {kind!r}"]
+    for key, types in (("trace", str), ("pid", int)):
+        if not isinstance(payload.get(key), types):
+            problems.append(f"{kind} event missing/invalid {key!r}")
+    if not _is_number(payload.get("t")):
+        problems.append(f"{kind} event missing/invalid 't'")
+    if not isinstance(payload.get("attrs", {}), dict):
+        problems.append(f"{kind} event 'attrs' is not an object")
+
+    if kind == "run":
+        if payload.get("v") != SCHEMA_VERSION:
+            problems.append(
+                f"run event schema version {payload.get('v')!r} "
+                f"!= {SCHEMA_VERSION}"
+            )
+        if not isinstance(payload.get("name"), str):
+            problems.append("run event missing/invalid 'name'")
+    elif kind == "span":
+        if not isinstance(payload.get("span"), str):
+            problems.append("span event missing/invalid 'span' id")
+        parent = payload.get("parent")
+        if parent is not None and not isinstance(parent, str):
+            problems.append("span event 'parent' is neither null nor a string")
+        if not isinstance(payload.get("name"), str):
+            problems.append("span event missing/invalid 'name'")
+        if not _is_number(payload.get("dur_s")):
+            problems.append("span event missing/invalid 'dur_s'")
+        if payload.get("status") not in SPAN_STATUSES:
+            problems.append(
+                f"span event status {payload.get('status')!r} not in "
+                f"{SPAN_STATUSES}"
+            )
+    elif kind == "metric":
+        if not isinstance(payload.get("name"), str):
+            problems.append("metric event missing/invalid 'name'")
+        mkind = payload.get("kind")
+        if mkind not in METRIC_KINDS:
+            problems.append(f"metric kind {mkind!r} not in {METRIC_KINDS}")
+        value = payload.get("value")
+        if mkind == "histogram":
+            if not isinstance(value, dict) or any(
+                not _is_number(value.get(key)) for key in _HISTOGRAM_KEYS
+            ):
+                problems.append(
+                    "histogram value must be a "
+                    "{count, sum, min, max} summary"
+                )
+        elif mkind in ("counter", "gauge") and not _is_number(value):
+            problems.append(f"{mkind} value must be numeric")
+    return problems

@@ -1,0 +1,367 @@
+"""Read a trace back and render the ``repro report`` breakdown.
+
+This is the single reader for everything written in the
+:mod:`repro.obs.events` schema: per-run JSONL traces from
+:mod:`repro.obs.core` and the benchmark harness's BENCH ``.json``
+artefacts (which carry their events under an ``"events"`` key).  The
+renderer produces four sections — the wall-time span tree, a per-process
+worker-utilization table, cache hit rates, and the top-N slowest spans —
+from one pass over the events.
+
+Every line is validated against the schema contract on load; a
+malformed event is a hard :class:`~repro.errors.ObsError`, which is how
+``repro report`` turns a corrupt trace into a non-zero exit in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import ObsError
+from .events import validate_event
+
+__all__ = [
+    "load_trace",
+    "load_events",
+    "resolve_trace",
+    "summarize",
+    "span_totals",
+    "metric_totals",
+    "render_report",
+]
+
+
+def load_trace(path: Path | str) -> list[dict]:
+    """Parse and validate a JSONL trace; raises ObsError on any bad line."""
+    events: list[dict] = []
+    source = Path(path)
+    try:
+        text = source.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ObsError(f"cannot read trace {source}: {exc}") from exc
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(
+                f"{source}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+        problems = validate_event(payload)
+        if problems:
+            raise ObsError(
+                f"{source}:{lineno}: malformed trace event: "
+                + "; ".join(problems)
+            )
+        events.append(payload)
+    return events
+
+
+def load_events(path: Path | str) -> list[dict]:
+    """Load schema events from a ``.jsonl`` trace or a BENCH ``.json`` file.
+
+    BENCH artefacts are single JSON objects whose ``"events"`` key holds
+    the metric events the harness emitted; anything else is treated as
+    a line-per-event trace.
+    """
+    source = Path(path)
+    if source.suffix == ".json":
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ObsError(f"cannot read {source}: {exc}") from exc
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("events"), list
+        ):
+            raise ObsError(
+                f"{source}: expected a BENCH object with an 'events' list"
+            )
+        events = []
+        for index, event in enumerate(payload["events"]):
+            problems = validate_event(event)
+            if problems:
+                raise ObsError(
+                    f"{source}: events[{index}] malformed: "
+                    + "; ".join(problems)
+                )
+            events.append(event)
+        return events
+    return load_trace(source)
+
+
+def resolve_trace(target: str, trace_dir: Path | str | None) -> Path:
+    """Turn a ``repro report`` argument into a readable trace path.
+
+    Accepts an existing file path (``.jsonl`` trace or BENCH ``.json``)
+    or a bare run id, which is resolved to ``<trace_dir>/<id>.jsonl``.
+    """
+    direct = Path(target)
+    if direct.is_file():
+        return direct
+    if trace_dir is not None:
+        candidate = Path(trace_dir) / f"{target}.jsonl"
+        if candidate.is_file():
+            return candidate
+        raise ObsError(
+            f"no trace named {target!r}: neither the path {direct} nor "
+            f"{candidate} exists"
+        )
+    raise ObsError(
+        f"no trace named {target!r}: the path {direct} does not exist and "
+        "no trace directory is configured (set REPRO_TRACE_DIR or pass "
+        "--trace)"
+    )
+
+
+def _span_paths(spans: list[dict]) -> dict[str, tuple[str, ...]]:
+    """Each span id's name path from its process/trace root.
+
+    A span whose parent never closed (killed worker, cross-file parent)
+    is treated as a root; the tree degrades rather than fails.
+    """
+    by_id = {event["span"]: event for event in spans}
+    paths: dict[str, tuple[str, ...]] = {}
+
+    def path_of(span_id: str) -> tuple[str, ...]:
+        cached = paths.get(span_id)
+        if cached is not None:
+            return cached
+        chain: list[str] = []
+        cursor: str | None = span_id
+        seen = set()
+        while cursor is not None and cursor in by_id and cursor not in seen:
+            seen.add(cursor)
+            event = by_id[cursor]
+            chain.append(event["name"])
+            cursor = event.get("parent")
+        result = tuple(reversed(chain))
+        paths[span_id] = result
+        return result
+
+    for span_id in by_id:
+        path_of(span_id)
+    return paths
+
+
+def span_totals(events: list[dict]) -> dict[tuple[str, ...], dict]:
+    """Aggregate spans by name path: count, total seconds, failures."""
+    spans = [event for event in events if event["event"] == "span"]
+    paths = _span_paths(spans)
+    totals: dict[tuple[str, ...], dict] = {}
+    for event in spans:
+        path = paths[event["span"]]
+        slot = totals.setdefault(
+            path, {"count": 0, "total_s": 0.0, "failed": 0}
+        )
+        slot["count"] += 1
+        slot["total_s"] += float(event["dur_s"])
+        if event["status"] == "failed":
+            slot["failed"] += 1
+    return totals
+
+
+def metric_totals(events: list[dict]) -> dict[str, dict]:
+    """Fold metric events by name: summed counters, merged histograms.
+
+    Returns ``{name: {"kind": ..., "value": ...}}`` where a counter's
+    value is the sum of its deltas, a gauge's is its last write, and a
+    histogram's is the merged ``{count, sum, min, max}`` summary.
+    """
+    folded: dict[str, dict] = {}
+    for event in events:
+        if event["event"] != "metric":
+            continue
+        name, kind, value = event["name"], event["kind"], event["value"]
+        slot = folded.get(name)
+        if slot is None:
+            folded[name] = {
+                "kind": kind,
+                "value": dict(value) if kind == "histogram" else value,
+            }
+            continue
+        if kind == "counter":
+            slot["value"] += value
+        elif kind == "gauge":
+            slot["value"] = value
+        elif kind == "histogram":
+            merged = slot["value"]
+            merged["count"] += value["count"]
+            merged["sum"] += value["sum"]
+            merged["min"] = min(merged["min"], value["min"])
+            merged["max"] = max(merged["max"], value["max"])
+    return folded
+
+
+def summarize(events: list[dict]) -> dict[str, Any]:
+    """One pass over a trace into the structure the renderer prints.
+
+    Keys: ``run`` (the run marker or None), ``wall_s``, ``tree`` (the
+    :func:`span_totals` aggregate), ``metrics`` (:func:`metric_totals`),
+    ``workers`` (per-pid busy seconds/span counts), ``slowest`` (spans
+    sorted by duration, longest first), ``failed`` (failed span events).
+    """
+    runs = [event for event in events if event["event"] == "run"]
+    spans = [event for event in events if event["event"] == "span"]
+    run = runs[0] if runs else None
+
+    starts = [event["t"] for event in events]
+    ends = [
+        event["t"] + (event["dur_s"] if event["event"] == "span" else 0.0)
+        for event in events
+    ]
+    wall_s = (max(ends) - min(starts)) if events else 0.0
+
+    by_id = {event["span"]: event for event in spans}
+    workers: dict[int, dict] = {}
+    for event in spans:
+        slot = workers.setdefault(
+            event["pid"], {"busy_s": 0.0, "spans": 0}
+        )
+        slot["spans"] += 1
+        parent = event.get("parent")
+        # Busy time counts only process-root spans (those whose parent
+        # lives in another process or nowhere); nested spans would
+        # double-count their parents' wall time.
+        parent_event = by_id.get(parent) if parent is not None else None
+        if parent_event is None or parent_event["pid"] != event["pid"]:
+            slot["busy_s"] += float(event["dur_s"])
+
+    return {
+        "run": run,
+        "wall_s": wall_s,
+        "events": len(events),
+        "spans": len(spans),
+        "tree": span_totals(events),
+        "metrics": metric_totals(events),
+        "workers": workers,
+        "slowest": sorted(
+            spans, key=lambda event: event["dur_s"], reverse=True
+        ),
+        "failed": [event for event in spans if event["status"] == "failed"],
+    }
+
+
+_CACHE_COUNTERS = ("cache.memory_hit", "cache.disk_hit", "cache.computed")
+
+
+def _format_attrs(attrs: dict[str, Any], limit: int = 3) -> str:
+    parts = [
+        f"{key}={attrs[key]}" for key in sorted(attrs)[:limit]
+    ]
+    return ", ".join(parts)
+
+
+def render_report(events: list[dict], top: int = 10) -> str:
+    """The full ``repro report`` text for one trace's events."""
+    summary = summarize(events)
+    run = summary["run"]
+    lines: list[str] = []
+
+    run_id = run["trace"] if run else (
+        events[0]["trace"] if events else "(empty)"
+    )
+    lines.append(f"Trace report — run {run_id}")
+    lines.append(
+        f"  wall time {summary['wall_s']:.3f} s · "
+        f"{summary['spans']} spans · {summary['events']} events · "
+        f"{len(summary['workers'])} process(es)"
+    )
+    if run and run.get("attrs"):
+        lines.append(f"  run attrs: {_format_attrs(run['attrs'], limit=6)}")
+
+    tree = summary["tree"]
+    if tree:
+        lines.append("")
+        lines.append("Wall-time breakdown (spans aggregated by path):")
+        wall = summary["wall_s"] or 1.0
+        for path in sorted(tree):
+            slot = tree[path]
+            indent = "  " * len(path)
+            share = 100.0 * slot["total_s"] / wall
+            failed = (
+                f"  [{slot['failed']} failed]" if slot["failed"] else ""
+            )
+            lines.append(
+                f"{indent}{path[-1]:<28} {slot['count']:>5}× "
+                f"{slot['total_s']:>9.3f} s {share:>5.1f}%{failed}"
+            )
+
+    workers = summary["workers"]
+    if workers:
+        lines.append("")
+        lines.append("Worker utilization (busy = process-root span time):")
+        wall = summary["wall_s"] or 1.0
+        for pid in sorted(workers):
+            slot = workers[pid]
+            lines.append(
+                f"  pid {pid:<8} busy {slot['busy_s']:>8.3f} s "
+                f"({100.0 * slot['busy_s'] / wall:>5.1f}%) · "
+                f"{slot['spans']} spans"
+            )
+
+    metrics = summary["metrics"]
+    cache_counts = {
+        name: metrics[name]["value"]
+        for name in _CACHE_COUNTERS
+        if name in metrics
+    }
+    if cache_counts:
+        hits = sum(
+            value for name, value in cache_counts.items()
+            if name != "cache.computed"
+        )
+        lookups = hits + cache_counts.get("cache.computed", 0)
+        lines.append("")
+        lines.append(
+            f"Calibration cache: {int(lookups)} lookups — "
+            f"{int(cache_counts.get('cache.memory_hit', 0))} memory hits, "
+            f"{int(cache_counts.get('cache.disk_hit', 0))} disk hits, "
+            f"{int(cache_counts.get('cache.computed', 0))} computed "
+            f"({100.0 * hits / lookups if lookups else 0.0:.1f}% hit rate)"
+        )
+
+    other = {
+        name: slot for name, slot in sorted(metrics.items())
+        if name not in _CACHE_COUNTERS
+    }
+    if other:
+        lines.append("")
+        lines.append("Metrics:")
+        for name, slot in other.items():
+            value = slot["value"]
+            if slot["kind"] == "histogram":
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                rendered = (
+                    f"n={value['count']} mean={mean:.6g} "
+                    f"min={value['min']:.6g} max={value['max']:.6g}"
+                )
+            else:
+                rendered = f"{value:.6g}"
+            lines.append(f"  {name:<32} {slot['kind']:<9} {rendered}")
+
+    slowest = summary["slowest"][:top]
+    if slowest:
+        lines.append("")
+        lines.append(f"Slowest spans (top {len(slowest)}):")
+        for rank, event in enumerate(slowest, start=1):
+            attrs = _format_attrs(event.get("attrs", {}))
+            suffix = f"  ({attrs})" if attrs else ""
+            lines.append(
+                f"  {rank:>2}. {event['name']:<20} "
+                f"{event['dur_s']:>9.3f} s  pid {event['pid']}{suffix}"
+            )
+
+    failed = summary["failed"]
+    if failed:
+        lines.append("")
+        lines.append(f"Failures ({len(failed)}):")
+        for event in failed:
+            lines.append(
+                f"  {event['name']} span {event['span']}: "
+                f"{event.get('error', '(no error text)')}"
+            )
+
+    return "\n".join(lines)

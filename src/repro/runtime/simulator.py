@@ -37,6 +37,7 @@ the disk layer off).
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import replace
 from functools import lru_cache
@@ -44,6 +45,7 @@ from typing import Any
 
 import numpy as np
 
+from .. import obs
 from ..cache import shared_cache
 from ..emt import make_emt
 from ..energy.accounting import EnergySystemModel
@@ -271,7 +273,15 @@ def _probe_quality(
         probe_duration_s=probe_duration_s,
         snr_cap_db=snr_cap_db,
     )
-    return calibrator.calibrate(app_name, record, noise_gain, emt_name, ber)
+    # This only runs on a full cache miss, so the span marks exactly
+    # the expensive fault-injection work a trace should surface.
+    with obs.span(
+        "calibrate", app=app_name, record=record, emt=emt_name,
+        ber=ber, n_probe=n_probe,
+    ):
+        return calibrator.calibrate(
+            app_name, record, noise_gain, emt_name, ber
+        )
 
 
 @lru_cache(maxsize=512)
@@ -324,14 +334,17 @@ def _price_window(
     """
     from ..campaign.evaluators import measured_workload
 
-    workload = replace(
-        measured_workload(
-            app_name=app_name, record="100", duration_s=window_s
-        ),
-        duration_s=window_s,
-    )
-    model = EnergySystemModel(make_emt(emt_name), tech=tech)
-    return model.evaluate(voltage, workload).total_pj
+    with obs.span(
+        "price_window", app=app_name, emt=emt_name, voltage=voltage
+    ):
+        workload = replace(
+            measured_workload(
+                app_name=app_name, record="100", duration_s=window_s
+            ),
+            duration_s=window_s,
+        )
+        model = EnergySystemModel(make_emt(emt_name), tech=tech)
+        return model.evaluate(voltage, workload).total_pj
 
 
 def calibration_cache_info() -> dict[str, Any]:
@@ -501,6 +514,32 @@ class MissionSimulator:
         and quality-noise streams — cross-policy comparisons are paired,
         and a dominance result reflects the controller, not draw luck.
         """
+        with obs.span(
+            "mission",
+            mission=self.spec.name,
+            policy=policy.describe(),
+            windows=self.spec.n_windows,
+        ):
+            traced = obs.enabled()
+            started = time.perf_counter() if traced else 0.0
+            result = self._simulate(policy)
+            if traced:
+                elapsed = time.perf_counter() - started
+                obs.counter("mission.windows", result.n_processed)
+                obs.counter("mission.violations", result.n_violations)
+                obs.counter("battery.steps", result.n_processed)
+                obs.counter(
+                    "mission.rng_draws", 2 * self.spec.n_windows
+                )
+                if elapsed > 0:
+                    obs.gauge(
+                        "mission.windows_per_s",
+                        result.n_processed / elapsed,
+                    )
+            return result
+
+    def _simulate(self, policy: Policy) -> MissionResult:
+        """The streaming loop of :meth:`run` (under its mission span)."""
         spec = self.spec
         rng = np.random.default_rng(spec.seed)
         policy.reset(self.context())

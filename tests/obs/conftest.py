@@ -1,0 +1,29 @@
+"""Tracing isolation: every obs test starts and ends untraced.
+
+The tracer is process-global state exported through environment
+variables (so worker processes can find the sink); tests must not leak
+an active sink or a configured trace directory into each other — or
+into the rest of the suite, which pins the disabled fast path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.core import ENV_DIR, ENV_FILE, ENV_FLAG, ENV_PARENT, ENV_RUN
+
+_TRACE_ENV = (ENV_FILE, ENV_RUN, ENV_PARENT, ENV_DIR, ENV_FLAG)
+
+
+@pytest.fixture(autouse=True)
+def _untraced():
+    obs.disable()
+    for key in _TRACE_ENV:
+        os.environ.pop(key, None)
+    yield
+    obs.disable()
+    for key in _TRACE_ENV:
+        os.environ.pop(key, None)

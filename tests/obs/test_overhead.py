@@ -1,0 +1,37 @@
+"""The disabled fast path must stay effectively free.
+
+Every probe in the library sits on a hot seam (per-window, per-point,
+per-cache-lookup), guarded only by ``obs.enabled()``.  These tests pin
+the properties that make that acceptable: no allocation per disabled
+span, and six-figure probe counts in well under a second.  The wall
+bound is deliberately loose — it guards against the fast path growing
+real work (I/O, dict churn, object construction), not against machine
+noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.obs.core import _NULL_SPAN
+
+
+def test_disabled_span_allocates_nothing():
+    # One shared null span, not a fresh object per call.
+    assert obs.span("a") is _NULL_SPAN
+    assert obs.span("b", key="value") is _NULL_SPAN
+
+
+def test_disabled_probes_cost_microseconds_each():
+    n = 100_000
+    started = time.perf_counter()
+    for i in range(n):
+        with obs.span("hot", index=i):
+            obs.counter("hits")
+            obs.observe("wait_s", 0.1)
+    elapsed = time.perf_counter() - started
+    # ~3 probes per iteration; anything near 5 µs/iteration means the
+    # no-op path picked up real work.  Typical: well under 1 s total.
+    assert elapsed < 5.0, f"{n} disabled iterations took {elapsed:.2f}s"
+    assert not obs.enabled()

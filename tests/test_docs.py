@@ -42,6 +42,7 @@ DOCTEST_MODULES = [
     "repro.cohort.population",
     "repro.cohort.fleet",
     "repro.api.session",
+    "repro.obs.core",
 ]
 
 
