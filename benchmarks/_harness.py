@@ -61,9 +61,11 @@ BASELINE_PATH = BENCH_DIR / "baselines.json"
 
 try:
     from repro.obs.events import metric_event, run_event, validate_event
+    from repro.obs.registry import host_metadata
 except ImportError:  # `python benchmarks/check_regression.py` without PYTHONPATH
     sys.path.insert(0, str(BENCH_DIR.parent / "src"))
     from repro.obs.events import metric_event, run_event, validate_event
+    from repro.obs.registry import host_metadata
 
 #: A gated metric may fall this fraction below its committed baseline
 #: before the regression check fails (ISSUE 4: fail on >30% regression).
@@ -133,16 +135,29 @@ def bench_events(
 
     One ``run`` marker (trace id ``bench-<name>``, carrying ``meta`` as
     its attrs) followed by one ``gauge`` metric event per measurement —
-    the exact shape ``repro report`` consumes.  Every record is
-    validated against the schema before it is returned; the harness
-    never writes an artefact the reader would reject.
+    the exact shape ``repro report`` consumes.  Each gauge carries the
+    host fingerprint (interpreter, platform, core count, repro version)
+    as event attrs, so a measurement stays interpretable — and two
+    BENCH artefacts stay comparable via ``repro report --diff`` — even
+    after it is separated from the artefact's ``env`` block.  Every
+    record is validated against the schema before it is returned; the
+    harness never writes an artefact the reader would reject.
     """
     trace = f"bench-{name}"
     now = time.time()
     pid = os.getpid()
+    host = host_metadata()
+    host_attrs = {
+        "python": host["python"],
+        "platform": host["platform"],
+        "cpus": host["cpus"],
+        "repro": host["repro"],
+    }
     events = [run_event(trace, name, now, pid, attrs=meta or {})]
     events.extend(
-        metric_event(trace, key, "gauge", float(value), now, pid)
+        metric_event(
+            trace, key, "gauge", float(value), now, pid, attrs=host_attrs
+        )
         for key, value in sorted(metrics.items())
     )
     for event in events:

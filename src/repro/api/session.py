@@ -742,25 +742,38 @@ class Session:
 
         The session-level ``progress`` callback keeps its historical
         positional form; ``on_progress`` (per run) receives structured
-        heartbeat events — the hook a job service can stream from.
+        heartbeat events — the hook a job service can stream from.  On
+        a traced run the same heartbeat also lands in the trace as a
+        ``run.progress`` gauge (flushed at bounded staleness), so
+        ``repro watch`` follows the run with no callback wiring at all.
         """
-        if on_progress is None:
+        traced = obs.enabled()
+        if on_progress is None and not traced:
             return self.progress
 
         def heartbeat(done: int, total: int, record: dict) -> None:
             if self.progress is not None:
                 self.progress(done, total, record)
-            on_progress(
-                {
-                    "experiment": experiment.name,
-                    "campaign": planned.spec.name,
-                    "role": planned.role,
-                    "done": done,
-                    "total": total,
-                    "status": record.get("status"),
-                    "elapsed_s": record.get("elapsed_s"),
-                }
-            )
+            if traced:
+                obs.heartbeat(
+                    "run.progress", done,
+                    experiment=experiment.name,
+                    campaign=planned.spec.name,
+                    role=planned.role,
+                    total=total,
+                )
+            if on_progress is not None:
+                on_progress(
+                    {
+                        "experiment": experiment.name,
+                        "campaign": planned.spec.name,
+                        "role": planned.role,
+                        "done": done,
+                        "total": total,
+                        "status": record.get("status"),
+                        "elapsed_s": record.get("elapsed_s"),
+                    }
+                )
 
         return heartbeat
 
@@ -807,6 +820,26 @@ class Session:
         traced = obs.enabled()
         trace_path = obs.trace_path()
         trace_run = obs.trace_run_id()
+
+        # A run that opened its own trace sink also registers in the
+        # run registry beside it: `repro runs` lists it immediately
+        # (status `running`), and the finalize below flips it to its
+        # terminal state with wall time and headline metrics.
+        registry = None
+        registry_id = trace_run or run_id
+        if owns_trace and traced and trace_path is not None:
+            registry = obs.RunRegistry(Path(trace_path).parent)
+            registry.register(
+                registry_id,
+                name=experiment.name,
+                kind=experiment.kind,
+                spec_digest=experiment.content_hash(),
+                trace_path=trace_path,
+            )
+
+        status = "ok"
+        error_text: str | None = None
+        runs: list[CampaignRun] = []
         started = time.perf_counter()
         try:
             with obs.span(
@@ -816,7 +849,6 @@ class Session:
                 backend=backend_name,
                 workers=workers,
             ):
-                runs = []
                 for planned in plan.campaigns:
                     store = self._store_for(planned.store_name)
                     progress = self._progress_for(
@@ -847,10 +879,41 @@ class Session:
                     runs.append(
                         CampaignRun(planned.role, planned.spec, result, store)
                     )
+        except BaseException as exc:
+            status = "failed"
+            error_text = f"{type(exc).__name__}: {exc}"
+            raise
         finally:
             wall_s = time.perf_counter() - started
+            # Close the trace before flipping the registry record to a
+            # terminal status: a watcher that sees `ok`/`failed` can
+            # rely on the sink being complete on disk.
             if owns_trace:
                 obs.disable()
+            if registry is not None:
+                n_failed = sum(run.result.n_failed for run in runs)
+                if status == "ok" and n_failed:
+                    status = "failed"
+                    error_text = f"{n_failed} point(s) failed"
+                registry.finalize(
+                    registry_id,
+                    status,
+                    wall_s=wall_s,
+                    metrics={
+                        "n_points": sum(
+                            run.result.n_executed + run.result.n_cached
+                            for run in runs
+                        ),
+                        "n_executed": sum(
+                            run.result.n_executed for run in runs
+                        ),
+                        "n_cached": sum(
+                            run.result.n_cached for run in runs
+                        ),
+                        "n_failed": n_failed,
+                    },
+                    error=error_text,
+                )
         handle = plan.handle(experiment, runs)
         handle._telemetry = {
             "enabled": traced,

@@ -155,6 +155,8 @@ def run_campaign(
         )
         obs.counter("campaign.points_executed", result.n_executed)
         obs.counter("campaign.points_cached", result.n_cached)
+        if result.n_failed:
+            obs.counter("campaign.points_failed", result.n_failed)
     return result
 
 
@@ -198,6 +200,10 @@ def _run_campaign_traced(
                 progress(n_done, total, cached[point_hash])
         else:
             todo.append((point_hash, point))
+    if n_done:
+        obs.heartbeat(
+            "campaign.progress", n_done, campaign=spec.name, total=total
+        )
 
     def _absorb_many(records: list[dict]) -> None:
         """Fold a tick's completed points in: one locked store write."""
@@ -213,6 +219,9 @@ def _run_campaign_traced(
             n_done += 1
             if progress is not None:
                 progress(n_done, total, record)
+        obs.heartbeat(
+            "campaign.progress", n_done, campaign=spec.name, total=total
+        )
 
     if todo:
         if n_workers == 1 or len(todo) == 1:

@@ -373,18 +373,97 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="render a recorded run trace: wall-time span tree, worker "
-             "utilization, cache hit rates, slowest spans",
+             "utilization, cache hit rates, slowest spans — or diff two "
+             "runs with --diff",
     )
     report.add_argument(
-        "target",
-        help="a run id (resolved in the trace directory), a trace "
-             ".jsonl path, or a BENCH .json artefact",
+        "targets", nargs="+", metavar="target",
+        help="a run id (resolved in the trace directory), 'latest', a "
+             "trace .jsonl path, or a BENCH .json artefact; --diff "
+             "takes exactly two",
+    )
+    report.add_argument(
+        "--diff", action="store_true",
+        help="compare two runs: per-span-path wall-time deltas and "
+             "per-metric deltas, regressions highlighted",
+    )
+    report.add_argument(
+        "--alerts", default=None, metavar="RULES.toml",
+        help="evaluate TOML alert rules against the trace; any breach "
+             "exits non-zero (with --diff, rules run against the "
+             "second run)",
     )
     report.add_argument(
         "--top", type=int, default=10,
-        help="slowest spans to list (default: 10)",
+        help="slowest spans / biggest diff movers to list (default: 10)",
     )
     report.add_argument(
+        "--trace-dir", default=None,
+        help="directory run ids resolve in (default: --trace/"
+             "REPRO_TRACE_DIR, falling back to benchmarks/results/traces)",
+    )
+
+    runs = sub.add_parser(
+        "runs",
+        help="list runs from the trace directory's run registry",
+    )
+    runs.add_argument(
+        "--kind", default=None,
+        help="only runs of this experiment kind (figure/sweep/mission/"
+             "cohort)",
+    )
+    runs.add_argument(
+        "--status", default=None,
+        help="only runs in this state (running/ok/failed)",
+    )
+    runs.add_argument(
+        "--name", default=None,
+        help="only runs whose experiment name contains this substring",
+    )
+    runs.add_argument(
+        "--limit", type=int, default=None,
+        help="show at most this many runs (newest first)",
+    )
+    runs.add_argument(
+        "--latest", action="store_true",
+        help="print only the newest matching run id (for scripting, "
+             "e.g. repro watch \"$(repro runs --latest)\")",
+    )
+    runs.add_argument(
+        "--trace-dir", default=None,
+        help="trace directory whose registry to read (default: --trace/"
+             "REPRO_TRACE_DIR, falling back to benchmarks/results/traces)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="live dashboard over a traced run: progress/ETA, "
+             "throughput, workers, cache, failures, alerts",
+    )
+    watch.add_argument(
+        "target",
+        help="a run id, 'latest' (newest registered run), or a trace "
+             ".jsonl path",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (CI / non-interactive mode)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default: 1.0)",
+    )
+    watch.add_argument(
+        "--alerts", default=None, metavar="RULES.toml",
+        help="re-evaluate TOML alert rules every frame; a breach at "
+             "the final frame exits non-zero",
+    )
+    watch.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop watching after this much wall time even if the run "
+             "is still going",
+    )
+    watch.add_argument(
         "--trace-dir", default=None,
         help="directory run ids resolve in (default: --trace/"
              "REPRO_TRACE_DIR, falling back to benchmarks/results/traces)",
@@ -953,23 +1032,185 @@ def _cmd_cache(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
-    from .obs import (
-        configured_dir,
-        default_trace_dir,
-        load_events,
-        render_report,
-        resolve_trace,
-    )
+def _resolved_trace_dir(args) -> Path:
+    """The trace directory a command's run ids/registry resolve in."""
+    from .obs import configured_dir, default_trace_dir
 
-    trace_dir = (
+    return (
         Path(args.trace_dir)
         if args.trace_dir is not None
         else (configured_dir() or default_trace_dir())
     )
-    path = resolve_trace(args.target, trace_dir)
-    print(render_report(load_events(path), top=args.top))
+
+
+def _resolve_run_target(target: str, trace_dir: Path):
+    """Turn a run id / ``latest`` / path into ``(run_id, trace path)``.
+
+    ``latest`` resolves through the registry; a known run id prefers
+    the registry's recorded trace path; anything else falls back to
+    :func:`repro.obs.resolve_trace` (direct paths, ``<dir>/<id>.jsonl``).
+    """
+    from .errors import ObsError
+    from .obs import RunRegistry, resolve_trace
+
+    registry = RunRegistry(trace_dir)
+    if target == "latest":
+        record = registry.latest()
+        if record is None:
+            raise ObsError(
+                f"no runs registered in {trace_dir} — run a traced "
+                "experiment first (repro --trace ...)"
+            )
+        target = record.run_id
+    else:
+        record = registry.get(target)
+    if record is not None:
+        # A registered run's sink may not exist yet (nothing flushed);
+        # return the expected path anyway — the watch tail waits for it.
+        if record.trace_path:
+            recorded = Path(record.trace_path)
+            if recorded.is_file():
+                return record.run_id, recorded
+        return record.run_id, trace_dir / f"{record.run_id}.jsonl"
+    return target, resolve_trace(target, trace_dir)
+
+
+def _cmd_report(args) -> int:
+    from .errors import ObsError
+    from .obs import (
+        breached,
+        diff_events,
+        evaluate_rules,
+        load_events,
+        load_rules,
+        render_diff,
+        render_outcomes,
+        render_report,
+    )
+
+    trace_dir = _resolved_trace_dir(args)
+    rules = load_rules(args.alerts) if args.alerts else None
+
+    if args.diff:
+        if len(args.targets) != 2:
+            raise ObsError(
+                "--diff compares exactly two runs "
+                f"(got {len(args.targets)} target(s))"
+            )
+        sides = []
+        for target in args.targets:
+            _run_id, path = _resolve_run_target(target, trace_dir)
+            sides.append(load_events(path))
+        print(render_diff(diff_events(*sides), top=args.top))
+        exit_code = 0
+        if rules is not None:
+            outcomes = evaluate_rules(rules, sides[1])
+            print()
+            print(render_outcomes(outcomes))
+            exit_code = 1 if breached(outcomes) else 0
+        return exit_code
+
+    exit_code = 0
+    for index, target in enumerate(args.targets):
+        _run_id, path = _resolve_run_target(target, trace_dir)
+        events = load_events(path)
+        if index:
+            print()
+        # A per-run trace sink with no closed spans yet is a run in
+        # progress (exit 0: nothing is wrong); an entirely empty trace
+        # is an error (exit 1).  BENCH .json artefacts are closed by
+        # construction and never "in progress".
+        print(
+            render_report(
+                events, top=args.top, live_source=path.suffix != ".json"
+            )
+        )
+        if not events:
+            exit_code = max(exit_code, 1)
+        if rules is not None:
+            outcomes = evaluate_rules(rules, events)
+            print()
+            print(render_outcomes(outcomes))
+            if breached(outcomes):
+                exit_code = max(exit_code, 1)
+    return exit_code
+
+
+def _cmd_runs(args) -> int:
+    import datetime
+
+    from .errors import ObsError
+    from .obs import RunRegistry
+
+    trace_dir = _resolved_trace_dir(args)
+    registry = RunRegistry(trace_dir)
+    records = registry.runs(
+        kind=args.kind, status=args.status, name=args.name,
+        limit=args.limit,
+    )
+    if args.latest:
+        if not records:
+            raise ObsError(
+                f"no matching runs registered in {trace_dir}"
+            )
+        print(records[0].run_id)
+        return 0
+    if not records:
+        print(
+            f"No runs registered in {trace_dir} — run a traced "
+            "experiment first (repro --trace ...)"
+        )
+        return 0
+    print(f"Runs in {trace_dir} ({len(records)} shown, newest first):")
+    print(
+        f"  {'RUN ID':<36} {'KIND':<8} {'STATUS':<8} "
+        f"{'STARTED':<19} {'WALL':>9} {'POINTS':>7}"
+    )
+    for record in records:
+        started = (
+            datetime.datetime.fromtimestamp(record.started_at)
+            .strftime("%Y-%m-%d %H:%M:%S")
+            if record.started_at
+            else "-"
+        )
+        wall = (
+            f"{record.wall_s:.1f} s" if record.wall_s is not None else "-"
+        )
+        points = record.metrics.get("n_points")
+        failed = record.metrics.get("n_failed") or 0
+        shown = "-" if points is None else str(points)
+        if failed:
+            shown += f" ({failed}!)"
+        print(
+            f"  {record.run_id:<36} {record.kind or '-':<8} "
+            f"{record.status:<8} {started:<19} {wall:>9} {shown:>7}"
+        )
+        if record.error:
+            print(f"      error: {record.error}")
     return 0
+
+
+def _cmd_watch(args) -> int:
+    from .obs import RunRegistry, load_rules, watch
+
+    trace_dir = _resolved_trace_dir(args)
+    run_id, path = _resolve_run_target(args.target, trace_dir)
+    rules = load_rules(args.alerts) if args.alerts else None
+    registry = RunRegistry(trace_dir)
+
+    def _finished() -> bool:
+        record = registry.get(run_id)
+        return record is not None and record.status in ("ok", "failed")
+
+    return watch(
+        path,
+        run_id=run_id,
+        once=args.once,
+        interval_s=args.interval,
+        rules=rules,
+        is_finished=_finished,
+        max_seconds=args.max_seconds,
+    )
 
 
 def _cmd_overheads(args) -> int:
@@ -1032,6 +1273,8 @@ _HANDLERS = {
     "cohort": _cmd_cohort,
     "cache": _cmd_cache,
     "report": _cmd_report,
+    "runs": _cmd_runs,
+    "watch": _cmd_watch,
 }
 
 

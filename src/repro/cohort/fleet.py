@@ -271,16 +271,21 @@ class FleetSimulator:
         )
         started = time.perf_counter()
         rows: list[dict] = []
+        label = policy_label(policy)
 
         def _absorb(row: dict) -> None:
             rows.append(row)
             if progress is not None:
                 progress(len(rows), len(todo), row)
+            obs.heartbeat(
+                "fleet.progress", len(rows),
+                cohort=self.cohort.name, policy=label, total=len(todo),
+            )
 
         with obs.span(
             "fleet",
             cohort=self.cohort.name,
-            policy=policy_label(policy),
+            policy=label,
             patients=len(todo),
             workers=n_workers,
         ) as fleet_span:
@@ -308,8 +313,36 @@ class FleetSimulator:
                     ):
                         _absorb(row)
             elapsed = time.perf_counter() - started
-            if obs.enabled() and elapsed > 0:
-                obs.gauge("fleet.patients_per_s", len(rows) / elapsed)
+            if obs.enabled():
+                if elapsed > 0:
+                    obs.gauge(
+                        "fleet.patients_per_s", len(rows) / elapsed
+                    )
+                # Per-phenotype population gauges: the worst-decile
+                # quality and survival each record class saw, the
+                # series alert rules put floors under.
+                ok = [row for row in rows if row["status"] == "ok"]
+                by_record: dict[str, list[dict]] = {}
+                for row in ok:
+                    by_record.setdefault(str(row["record"]), []).append(row)
+                for record, group in sorted(by_record.items()):
+                    worst = [row["worst_snr_db"] for row in group]
+                    obs.gauge(
+                        "fleet.quality_p10_db",
+                        float(np.percentile(worst, 10.0)),
+                        cohort=self.cohort.name, policy=label,
+                        phenotype=record,
+                    )
+                    obs.gauge(
+                        "fleet.survival_fraction",
+                        float(np.mean([row["survived"] for row in group])),
+                        cohort=self.cohort.name, policy=label,
+                        phenotype=record,
+                    )
+                if len(rows) - len(ok):
+                    obs.counter(
+                        "fleet.patients_failed", len(rows) - len(ok)
+                    )
         rows.sort(key=lambda row: row["patient"])
         return FleetResult(
             cohort_name=self.cohort.name,

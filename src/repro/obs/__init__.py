@@ -26,8 +26,18 @@ span taxonomy.
 
 from __future__ import annotations
 
+from .alerts import (
+    AlertOutcome,
+    AlertRule,
+    breached,
+    evaluate_rules,
+    load_rules,
+    render_outcomes,
+    rules_from_payload,
+)
 from .core import (
     FLUSH_EVERY,
+    HEARTBEAT_FLUSH_S,
     Span,
     configured_dir,
     counter,
@@ -38,6 +48,7 @@ from .core import (
     enabled,
     flush,
     gauge,
+    heartbeat,
     observe,
     set_trace_dir,
     span,
@@ -46,6 +57,7 @@ from .core import (
     trace_run_id,
     worker_parent,
 )
+from .diff import diff_events, render_diff
 from .events import (
     EVENT_KINDS,
     METRIC_KINDS,
@@ -58,19 +70,28 @@ from .events import (
 )
 from .logcfg import configure as configure_logging
 from .logcfg import get_logger
+from .registry import (
+    REGISTRY_BASENAME,
+    RunRecord,
+    RunRegistry,
+    host_metadata,
+)
 from .report import (
     load_events,
     load_trace,
+    metric_series,
     metric_totals,
     render_report,
     resolve_trace,
     span_totals,
     summarize,
 )
+from .watch import TraceTail, WatchState, render_frame, watch
 
 __all__ = [
     # core
     "FLUSH_EVERY",
+    "HEARTBEAT_FLUSH_S",
     "Span",
     "enabled",
     "enable",
@@ -79,6 +100,7 @@ __all__ = [
     "counter",
     "gauge",
     "observe",
+    "heartbeat",
     "flush",
     "current_span_id",
     "trace_path",
@@ -104,7 +126,29 @@ __all__ = [
     "summarize",
     "span_totals",
     "metric_totals",
+    "metric_series",
     "render_report",
+    # registry
+    "REGISTRY_BASENAME",
+    "RunRecord",
+    "RunRegistry",
+    "host_metadata",
+    # watch
+    "TraceTail",
+    "WatchState",
+    "render_frame",
+    "watch",
+    # diff
+    "diff_events",
+    "render_diff",
+    # alerts
+    "AlertRule",
+    "AlertOutcome",
+    "load_rules",
+    "rules_from_payload",
+    "evaluate_rules",
+    "breached",
+    "render_outcomes",
     # logging
     "configure_logging",
     "get_logger",

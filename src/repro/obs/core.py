@@ -59,6 +59,7 @@ from .events import histogram_summary, metric_event, run_event, span_event
 
 __all__ = [
     "FLUSH_EVERY",
+    "HEARTBEAT_FLUSH_S",
     "Span",
     "enabled",
     "enable",
@@ -67,6 +68,7 @@ __all__ = [
     "counter",
     "gauge",
     "observe",
+    "heartbeat",
     "flush",
     "current_span_id",
     "trace_path",
@@ -228,6 +230,7 @@ class _Tracer:
         self._stack: list[Span] = []
         self._counters: dict[tuple, float] = {}
         self._hists: dict[tuple, list[float]] = {}
+        self._last_flush = time.monotonic()
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -308,7 +311,18 @@ class _Tracer:
         with self._lock:
             self._flush_locked()
 
+    def flush_if_stale(self, interval_s: float) -> None:
+        """Flush when the last write-out is older than ``interval_s``.
+
+        The heartbeat probe's throttle: progress gauges reach the sink
+        within about one interval without paying one I/O per event.
+        """
+        with self._lock:
+            if time.monotonic() - self._last_flush >= interval_s:
+                self._flush_locked()
+
     def _flush_locked(self) -> None:
+        self._last_flush = time.monotonic()
         now = time.time()
         for (name, attr_items), value in self._counters.items():
             self._buffer.append(
@@ -514,6 +528,28 @@ def observe(name: str, value: float, **attrs: Any) -> None:
     tracer = _active()
     if tracer is not None:
         tracer.observe(name, float(value), attrs)
+
+
+#: Heartbeat gauges reach the sink at least this often (seconds).
+HEARTBEAT_FLUSH_S = 1.0
+
+
+def heartbeat(name: str, value: float, **attrs: Any) -> None:
+    """A *live* gauge: written through and flushed at a bounded staleness.
+
+    Identical to :func:`gauge` except the tracer also flushes when its
+    last write-out is older than :data:`HEARTBEAT_FLUSH_S` — so a
+    ``repro watch`` tailing the sink sees progress within about a
+    second of it happening, while a burst of fast heartbeats still
+    costs one I/O per interval, not one per event.  No-op (one boolean
+    check) while tracing is disabled, like every other probe.
+    """
+    if not enabled():
+        return
+    tracer = _active()
+    if tracer is not None:
+        tracer.set_gauge(name, float(value), attrs)
+        tracer.flush_if_stale(HEARTBEAT_FLUSH_S)
 
 
 def flush() -> None:

@@ -1,0 +1,330 @@
+"""The run registry: a persistent index of every traced run.
+
+PR 6's traces made single runs inspectable; this module makes *runs*
+addressable.  A :class:`RunRegistry` is one append-only JSONL file
+(``registry.jsonl``) living beside the per-run trace sinks, recording
+each run's identity (content-hash run id, experiment name/kind, spec
+digest), lifecycle (``running`` -> ``ok``/``failed``, start/end
+timestamps, wall time), host metadata, and headline metrics — enough to
+list, filter, tail and *compare* runs without opening any trace:
+
+* ``repro runs`` lists/filters the index;
+* ``repro watch <run-id|latest>`` resolves the live trace sink through
+  it and uses its status to know when a run has finished;
+* ``repro report --diff`` resolves two registered runs by id and — via
+  the host metadata — tells you when a wall-time delta is really a
+  machine delta (the cross-device-comparability requirement of the
+  Samakovlis et al. benchmarking methodology).
+
+Writes follow the tracer's discipline: one ``flock``-serialised append
+per record, last record per run id wins on load (``register`` then
+``finalize`` appends two records; a re-run appends a fresh pair).
+Unlike a trace — where a malformed event is a hard error — a torn
+registry line (a run killed mid-append) is *skipped* on load: the
+registry is operational state, and a crashed run must never brick
+``repro runs`` for every run that came after it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ObsError
+
+__all__ = [
+    "REGISTRY_BASENAME",
+    "RUN_STATUSES",
+    "RunRecord",
+    "RunRegistry",
+    "host_metadata",
+]
+
+#: The registry file's name inside a trace directory.
+REGISTRY_BASENAME = "registry.jsonl"
+
+#: Valid run lifecycle states.
+RUN_STATUSES = ("running", "ok", "failed")
+
+
+def host_metadata() -> dict[str, Any]:
+    """The environment fingerprint stamped on every registered run.
+
+    Enough to decide whether two runs are comparable: interpreter,
+    platform/machine, core count, library version, and host name.
+    """
+    from .. import __version__
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.system().lower() or os.name,
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+        "repro": __version__,
+        "hostname": socket.gethostname(),
+    }
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One run's registry entry (the latest appended state wins).
+
+    Attributes:
+        run_id: the content-hash-keyed trace/run id
+            (:meth:`repro.api.session.Session.run_id_for`).
+        name: the experiment's name.
+        kind: the experiment kind (``figure``/``sweep``/``mission``/
+            ``cohort``), or ``""`` for runs registered outside the
+            session.
+        spec_digest: the experiment's full canonical content hash.
+        status: ``running`` | ``ok`` | ``failed``.
+        started_at / ended_at: wall-clock unix seconds (``ended_at`` is
+            ``None`` while running).
+        wall_s: measured wall time of the run (``None`` while running).
+        trace_path: the run's JSONL sink.
+        host: :func:`host_metadata` captured at registration.
+        metrics: headline metrics recorded at finalization (points
+            executed/cached/failed, plus anything the caller adds).
+        error: failure text when ``status == "failed"``.
+    """
+
+    run_id: str
+    name: str = ""
+    kind: str = ""
+    spec_digest: str = ""
+    status: str = "running"
+    started_at: float = 0.0
+    ended_at: float | None = None
+    wall_s: float | None = None
+    trace_path: str = ""
+    host: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form, exactly what one registry line carries."""
+        payload: dict[str, Any] = {
+            "run_id": self.run_id,
+            "name": self.name,
+            "kind": self.kind,
+            "spec_digest": self.spec_digest,
+            "status": self.status,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "wall_s": self.wall_s,
+            "trace_path": self.trace_path,
+            "host": dict(self.host),
+            "metrics": dict(self.metrics),
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from one parsed registry line."""
+        return cls(
+            run_id=str(payload["run_id"]),
+            name=str(payload.get("name", "")),
+            kind=str(payload.get("kind", "")),
+            spec_digest=str(payload.get("spec_digest", "")),
+            status=str(payload.get("status", "running")),
+            started_at=float(payload.get("started_at", 0.0)),
+            ended_at=payload.get("ended_at"),
+            wall_s=payload.get("wall_s"),
+            trace_path=str(payload.get("trace_path", "")),
+            host=dict(payload.get("host", {})),
+            metrics=dict(payload.get("metrics", {})),
+            error=payload.get("error"),
+        )
+
+
+def _valid_line(payload: Any) -> bool:
+    """A registry line is usable when it names a run id and a status."""
+    return (
+        isinstance(payload, dict)
+        and isinstance(payload.get("run_id"), str)
+        and payload["run_id"] != ""
+        and payload.get("status") in RUN_STATUSES
+    )
+
+
+class RunRegistry:
+    """The run index of one trace directory.
+
+    Args:
+        root: the trace directory the registry lives in (the registry
+            file is ``<root>/registry.jsonl``).
+
+    Example:
+        >>> import tempfile
+        >>> registry = RunRegistry(tempfile.mkdtemp())
+        >>> _ = registry.register("demo-abc123", name="demo", kind="sweep")
+        >>> _ = registry.finalize("demo-abc123", "ok", wall_s=1.5)
+        >>> registry.latest().status
+        'ok'
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.path = self.root / REGISTRY_BASENAME
+
+    # -- writes ------------------------------------------------------------
+
+    def _append(self, record: RunRecord) -> RunRecord:
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            try:
+                import fcntl
+
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            except (ImportError, OSError):  # pragma: no cover - non-POSIX
+                pass
+            handle.write(line)
+        return record
+
+    def register(
+        self,
+        run_id: str,
+        name: str = "",
+        kind: str = "",
+        spec_digest: str = "",
+        trace_path: Path | str = "",
+        started_at: float | None = None,
+    ) -> RunRecord:
+        """Append a ``running`` record for a run that just started."""
+        if not run_id:
+            raise ObsError("registry run_id must be non-empty")
+        return self._append(
+            RunRecord(
+                run_id=run_id,
+                name=name,
+                kind=kind,
+                spec_digest=spec_digest,
+                status="running",
+                started_at=(
+                    time.time() if started_at is None else started_at
+                ),
+                trace_path=str(trace_path),
+                host=host_metadata(),
+            )
+        )
+
+    def finalize(
+        self,
+        run_id: str,
+        status: str,
+        wall_s: float | None = None,
+        metrics: dict[str, Any] | None = None,
+        error: str | None = None,
+        ended_at: float | None = None,
+    ) -> RunRecord:
+        """Append the run's terminal record (``ok`` or ``failed``).
+
+        Carries the registration's identity/host fields forward, so the
+        latest line is self-contained — readers never need to merge.
+        A finalize for a run id that was never registered still works
+        (the record is simply sparse); that keeps the registry usable
+        for runs traced by code that predates registration.
+        """
+        if status not in ("ok", "failed"):
+            raise ObsError(
+                f"finalize status must be 'ok' or 'failed', got {status!r}"
+            )
+        previous = self.get(run_id)
+        base = (
+            previous
+            if previous is not None
+            else RunRecord(run_id=run_id, host=host_metadata())
+        )
+        ended = time.time() if ended_at is None else ended_at
+        return self._append(
+            RunRecord(
+                run_id=run_id,
+                name=base.name,
+                kind=base.kind,
+                spec_digest=base.spec_digest,
+                status=status,
+                started_at=base.started_at,
+                ended_at=ended,
+                wall_s=wall_s,
+                trace_path=base.trace_path,
+                host=dict(base.host),
+                metrics=dict(metrics or {}),
+                error=error,
+            )
+        )
+
+    # -- reads -------------------------------------------------------------
+
+    def load(self) -> dict[str, RunRecord]:
+        """All runs, keyed by run id — the last record per id wins.
+
+        Unparsable or structurally invalid lines (torn writes from
+        killed processes) are skipped, not fatal.
+        """
+        if not self.path.is_file():
+            return {}
+        runs: dict[str, RunRecord] = {}
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not _valid_line(payload):
+                continue
+            record = RunRecord.from_dict(payload)
+            runs[record.run_id] = record
+        return runs
+
+    def get(self, run_id: str) -> RunRecord | None:
+        """The latest record of one run, or ``None``."""
+        return self.load().get(run_id)
+
+    def runs(
+        self,
+        kind: str | None = None,
+        status: str | None = None,
+        name: str | None = None,
+        limit: int | None = None,
+    ) -> list[RunRecord]:
+        """Filtered run records, newest start first.
+
+        Args:
+            kind: keep runs of this experiment kind only.
+            status: keep runs in this lifecycle state only.
+            name: keep runs whose experiment name contains this
+                substring.
+            limit: keep at most this many (after sorting).
+        """
+        if status is not None and status not in RUN_STATUSES:
+            raise ObsError(
+                f"unknown run status {status!r}; valid: {RUN_STATUSES}"
+            )
+        selected = [
+            record
+            for record in self.load().values()
+            if (kind is None or record.kind == kind)
+            and (status is None or record.status == status)
+            and (name is None or name in record.name)
+        ]
+        selected.sort(key=lambda record: record.started_at, reverse=True)
+        if limit is not None:
+            selected = selected[: max(0, limit)]
+        return selected
+
+    def latest(
+        self, kind: str | None = None, status: str | None = None
+    ) -> RunRecord | None:
+        """The most recently started run matching the filters, if any."""
+        matches = self.runs(kind=kind, status=status, limit=1)
+        return matches[0] if matches else None

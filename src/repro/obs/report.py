@@ -29,6 +29,7 @@ __all__ = [
     "summarize",
     "span_totals",
     "metric_totals",
+    "metric_series",
     "render_report",
 ]
 
@@ -195,6 +196,52 @@ def metric_totals(events: list[dict]) -> dict[str, dict]:
     return folded
 
 
+def metric_series(
+    events: list[dict],
+) -> dict[tuple[str, tuple], dict[str, Any]]:
+    """Fold metric events by ``(name, attrs)`` instead of name alone.
+
+    :func:`metric_totals` collapses a metric's attribute dimensions —
+    right for the report's one-line-per-metric table, wrong for
+    consumers that need the dimensions: alert rules scoped to one
+    phenotype, or a watch dashboard showing per-campaign progress
+    gauges.  Returns ``{(name, sorted attr items): {"kind", "value",
+    "t", "attrs"}}`` with the same per-kind folding as
+    :func:`metric_totals` (counters sum, gauges keep the latest write
+    by timestamp, histograms merge), plus the folded series' last
+    event time.
+    """
+    folded: dict[tuple[str, tuple], dict[str, Any]] = {}
+    for event in events:
+        if event["event"] != "metric":
+            continue
+        attrs = event.get("attrs", {})
+        key = (event["name"], tuple(sorted(attrs.items())))
+        kind, value, t = event["kind"], event["value"], event["t"]
+        slot = folded.get(key)
+        if slot is None:
+            folded[key] = {
+                "kind": kind,
+                "value": dict(value) if kind == "histogram" else value,
+                "t": t,
+                "attrs": dict(attrs),
+            }
+            continue
+        if kind == "counter":
+            slot["value"] += value
+        elif kind == "gauge":
+            if t >= slot["t"]:
+                slot["value"] = value
+        elif kind == "histogram":
+            merged = slot["value"]
+            merged["count"] += value["count"]
+            merged["sum"] += value["sum"]
+            merged["min"] = min(merged["min"], value["min"])
+            merged["max"] = max(merged["max"], value["max"])
+        slot["t"] = max(slot["t"], t)
+    return folded
+
+
 def summarize(events: list[dict]) -> dict[str, Any]:
     """One pass over a trace into the structure the renderer prints.
 
@@ -254,15 +301,28 @@ def _format_attrs(attrs: dict[str, Any], limit: int = 3) -> str:
     return ", ".join(parts)
 
 
-def render_report(events: list[dict], top: int = 10) -> str:
-    """The full ``repro report`` text for one trace's events."""
+def render_report(
+    events: list[dict], top: int = 10, live_source: bool = False
+) -> str:
+    """The full ``repro report`` text for one trace's events.
+
+    ``live_source`` marks events read from a per-run trace sink (as
+    opposed to a closed BENCH artefact): a live trace with no closed
+    spans yet is reported as *in progress* rather than rendered as a
+    bare header, and an entirely empty one says so explicitly.
+    """
     summary = summarize(events)
     run = summary["run"]
     lines: list[str] = []
 
-    run_id = run["trace"] if run else (
-        events[0]["trace"] if events else "(empty)"
-    )
+    if not events:
+        return (
+            "Trace is empty — no events recorded.\n"
+            "  (the run may have crashed before its first flush, or the "
+            "sink was truncated)"
+        )
+
+    run_id = run["trace"] if run else events[0]["trace"]
     lines.append(f"Trace report — run {run_id}")
     lines.append(
         f"  wall time {summary['wall_s']:.3f} s · "
@@ -271,6 +331,11 @@ def render_report(events: list[dict], top: int = 10) -> str:
     )
     if run and run.get("attrs"):
         lines.append(f"  run attrs: {_format_attrs(run['attrs'], limit=6)}")
+    if live_source and not summary["spans"]:
+        lines.append(
+            "  run in progress — no closed spans yet "
+            f"(tail it live with 'repro watch {run_id}')"
+        )
 
     tree = summary["tree"]
     if tree:

@@ -144,6 +144,19 @@ def test_bench_artefacts_speak_the_same_schema(tmp_path, monkeypatch):
     events = load_events(path)
     assert [e["event"] for e in events] == ["run", "metric", "metric"]
     assert all(validate_event(e) == [] for e in events)
+    # Gauges carry the host fingerprint as attrs, so a measurement
+    # stays interpretable after it is separated from the artefact's
+    # env block; the run marker's attrs stay the caller's meta.
+    import platform as _platform
+
+    from repro import __version__
+
+    assert events[0]["attrs"] == {"note": "round-trip"}
+    for gauge in events[1:]:
+        assert gauge["attrs"]["python"] == _platform.python_version()
+        assert gauge["attrs"]["repro"] == __version__
+        assert gauge["attrs"]["cpus"] >= 1
+        assert "platform" in gauge["attrs"]
     # The regression gate reconstructs the legacy metrics dict from the
     # same events the report renderer reads.
     benches = _harness.load_benches(tmp_path)

@@ -1,0 +1,182 @@
+"""Run registry: lifecycle round-trips, crash tolerance, `repro runs`.
+
+The registry is operational state, so its failure philosophy inverts
+the tracer's: a torn line (a run killed mid-append) must be *skipped*
+on load — one crashed run can never brick the run listing for every
+run that came after it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObsError
+from repro.obs import REGISTRY_BASENAME, RunRecord, RunRegistry, host_metadata
+
+
+def test_register_finalize_round_trip(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register(
+        "demo-abc123", name="demo", kind="sweep",
+        spec_digest="deadbeef", trace_path=tmp_path / "demo-abc123.jsonl",
+        started_at=100.0,
+    )
+    running = registry.get("demo-abc123")
+    assert running.status == "running"
+    assert running.kind == "sweep"
+    assert running.host["python"]
+
+    registry.finalize(
+        "demo-abc123", "ok", wall_s=2.5,
+        metrics={"n_points": 9, "n_failed": 0}, ended_at=102.5,
+    )
+    done = registry.get("demo-abc123")
+    assert done.status == "ok"
+    assert done.wall_s == 2.5
+    assert done.metrics["n_points"] == 9
+    # Identity and host carry forward: the latest line is self-contained.
+    assert done.name == "demo"
+    assert done.spec_digest == "deadbeef"
+    assert done.host == running.host
+    assert done.trace_path == str(tmp_path / "demo-abc123.jsonl")
+
+    # Two lines on disk, last record per run id wins.
+    lines = (tmp_path / REGISTRY_BASENAME).read_text().splitlines()
+    assert len(lines) == 2
+    assert RunRecord.from_dict(json.loads(lines[-1])) == done
+
+
+def test_failed_run_records_error(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register("bad-run", name="bad")
+    registry.finalize("bad-run", "failed", error="ValueError: boom")
+    record = registry.get("bad-run")
+    assert record.status == "failed"
+    assert record.error == "ValueError: boom"
+
+
+def test_torn_lines_are_skipped_not_fatal(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register("good-run", name="good", started_at=1.0)
+    with open(registry.path, "a", encoding="utf-8") as handle:
+        handle.write('{"run_id": "torn-run", "status": "run')  # killed mid-append
+        handle.write("\n")
+        handle.write("not json at all\n")
+        handle.write('{"status": "ok"}\n')  # no run_id
+    runs = registry.load()
+    assert set(runs) == {"good-run"}
+
+
+def test_runs_filtering_and_latest(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register("sweep-aaa", name="volt-sweep", kind="sweep",
+                      started_at=10.0)
+    registry.finalize("sweep-aaa", "ok", wall_s=1.0)
+    registry.register("cohort-bbb", name="pilot-cohort", kind="cohort",
+                      started_at=20.0)
+    registry.finalize("cohort-bbb", "failed", error="boom")
+    registry.register("cohort-ccc", name="pilot-cohort", kind="cohort",
+                      started_at=30.0)
+
+    assert [r.run_id for r in registry.runs()] == [
+        "cohort-ccc", "cohort-bbb", "sweep-aaa",
+    ]
+    assert [r.run_id for r in registry.runs(kind="cohort")] == [
+        "cohort-ccc", "cohort-bbb",
+    ]
+    assert [r.run_id for r in registry.runs(status="failed")] == [
+        "cohort-bbb",
+    ]
+    assert [r.run_id for r in registry.runs(name="volt")] == ["sweep-aaa"]
+    assert [r.run_id for r in registry.runs(limit=1)] == ["cohort-ccc"]
+    assert registry.latest().run_id == "cohort-ccc"
+    assert registry.latest(status="ok").run_id == "sweep-aaa"
+    with pytest.raises(ObsError, match="unknown run status"):
+        registry.runs(status="done")
+
+
+def test_empty_and_invalid_registrations_rejected(tmp_path):
+    registry = RunRegistry(tmp_path)
+    with pytest.raises(ObsError, match="non-empty"):
+        registry.register("")
+    with pytest.raises(ObsError, match="'ok' or 'failed'"):
+        registry.finalize("whatever", "running")
+
+
+def test_finalize_without_register_still_lands(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.finalize("orphan-run", "ok", wall_s=3.0)
+    record = registry.get("orphan-run")
+    assert record.status == "ok"
+    assert record.wall_s == 3.0
+
+
+def test_host_metadata_fingerprint():
+    host = host_metadata()
+    assert set(host) >= {
+        "python", "platform", "machine", "cpus", "repro", "hostname",
+    }
+    assert host["cpus"] >= 1
+
+
+def test_cli_runs_lists_and_filters(tmp_path, capsys):
+    registry = RunRegistry(tmp_path)
+    registry.register("cohort-aaa", name="pilot", kind="cohort",
+                      started_at=10.0)
+    registry.finalize(
+        "cohort-aaa", "ok", wall_s=1.5,
+        metrics={"n_points": 4, "n_failed": 0},
+    )
+    registry.register("sweep-bbb", name="volts", kind="sweep",
+                      started_at=20.0)
+
+    assert main(["runs", "--trace-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cohort-aaa" in out and "sweep-bbb" in out
+    assert "ok" in out and "running" in out
+
+    assert main(
+        ["runs", "--trace-dir", str(tmp_path), "--kind", "cohort"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "cohort-aaa" in out and "sweep-bbb" not in out
+
+    assert main(["runs", "--trace-dir", str(tmp_path), "--latest"]) == 0
+    assert capsys.readouterr().out.strip() == "sweep-bbb"
+
+
+def test_cli_runs_empty_registry(tmp_path, capsys):
+    assert main(["runs", "--trace-dir", str(tmp_path)]) == 0
+    assert "No runs registered" in capsys.readouterr().out
+    # --latest is for scripting: nothing to print is an error there.
+    assert main(["runs", "--trace-dir", str(tmp_path), "--latest"]) == 1
+
+
+def test_session_run_registers_and_finalizes(tmp_path):
+    from repro import obs
+    from repro.api.schema import Experiment, Fig2Params
+    from repro.api.session import Session
+
+    obs.set_trace_dir(tmp_path)
+    experiment = Experiment(
+        name="reg-fig2",
+        kind="figure",
+        params=Fig2Params(
+            apps=("morphology",), records=("100",), duration_s=2.0
+        ),
+    )
+    session = Session(workers=1, store_dir=tmp_path / "stores")
+    handle = session.run(experiment)
+
+    registry = RunRegistry(tmp_path)
+    record = registry.get(session.run_id_for(experiment))
+    assert record is not None
+    assert record.status == "ok"
+    assert record.kind == "figure"
+    assert record.wall_s is not None and record.wall_s > 0
+    assert record.metrics["n_points"] >= 1
+    assert record.metrics["n_failed"] == 0
+    assert record.trace_path == handle.telemetry()["trace_path"]

@@ -1,0 +1,232 @@
+"""Live watch: incremental tailing, snapshot folding, exit codes.
+
+The committed ``data/mini_partial.jsonl`` is a recorded *partial* trace
+(a run mid-flight: progress heartbeats, one worker span, no closed
+``session.run``) — the `--once` snapshot assertions pin what a CI
+operator sees when they peek at a live run.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObsError
+from repro.obs import RunRegistry, TraceTail, WatchState, load_trace, watch
+from repro.obs.alerts import AlertRule
+from repro.obs.watch import render_frame
+
+DATA = Path(__file__).parent / "data"
+
+
+# --------------------------------------------------------------------------
+# TraceTail
+# --------------------------------------------------------------------------
+
+
+def test_tail_reads_incrementally(tmp_path):
+    sink = tmp_path / "t.jsonl"
+    tail = TraceTail(sink)
+    assert tail.poll() == []  # file does not exist yet
+
+    lines = load_trace(DATA / "mini_partial.jsonl")
+    import json
+
+    with open(sink, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(lines[0]) + "\n")
+    assert [e["event"] for e in tail.poll()] == ["run"]
+    assert tail.poll() == []  # nothing new
+
+    with open(sink, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(lines[1]) + "\n")
+        handle.write(json.dumps(lines[2])[:20])  # torn mid-append
+    polled = tail.poll()
+    assert [e["name"] for e in polled] == ["run.progress"]
+
+    with open(sink, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(lines[2])[20:] + "\n")  # completed
+    assert [e["value"] for e in tail.poll()] == [2.0]
+
+
+def test_tail_resets_on_truncation(tmp_path):
+    sink = tmp_path / "t.jsonl"
+    import json
+
+    lines = load_trace(DATA / "mini_partial.jsonl")
+    sink.write_text(
+        "".join(json.dumps(line) + "\n" for line in lines[:3])
+    )
+    tail = TraceTail(sink)
+    assert len(tail.poll()) == 3
+    sink.write_text(json.dumps(lines[0]) + "\n")  # re-run truncated it
+    assert len(tail.poll()) == 1
+
+
+def test_tail_rejects_complete_malformed_line(tmp_path):
+    sink = tmp_path / "t.jsonl"
+    sink.write_text('{"event": "nope"}\n')
+    with pytest.raises(ObsError, match="malformed"):
+        TraceTail(sink).poll()
+    sink.write_text("not json\n")
+    with pytest.raises(ObsError, match="not valid JSON"):
+        TraceTail(sink).poll()
+
+
+# --------------------------------------------------------------------------
+# WatchState snapshots
+# --------------------------------------------------------------------------
+
+
+def test_snapshot_of_partial_trace():
+    state = WatchState()
+    state.update(load_trace(DATA / "mini_partial.jsonl"))
+    snapshot = state.snapshot()
+
+    assert snapshot["run_id"] == "mini-partial"
+    assert not snapshot["finished"]
+
+    by_gauge = {e["gauge"]: e for e in snapshot["progress"]}
+    run = by_gauge["run.progress"]
+    assert (run["done"], run["total"]) == (2.0, 4.0)
+    # Two samples one second apart -> 1 unit/s -> 2 remaining -> 2 s ETA.
+    assert run["rate"] == pytest.approx(1.0)
+    assert run["eta_s"] == pytest.approx(2.0)
+    fleet = by_gauge["fleet.progress"]
+    assert fleet["label"] == "fleet pilot/hysteresis"
+    assert (fleet["done"], fleet["total"]) == (3.0, 6.0)
+    assert fleet["rate"] is None  # single sample: no rate yet
+
+    assert snapshot["cache"] == {
+        "lookups": 12, "hit_rate": pytest.approx(0.75),
+    }
+    assert {w["pid"] for w in snapshot["workers"]} == {200, 201}
+
+
+def test_snapshot_of_finished_trace_drops_campaign_duplicate():
+    state = WatchState()
+    state.update(load_trace(DATA / "mini_a.jsonl"))
+    snapshot = state.snapshot()
+    assert snapshot["finished"]  # session.run span closed
+    assert snapshot["failures"]["spans"] == 0
+
+
+def test_render_frame_sections():
+    state = WatchState()
+    state.update(load_trace(DATA / "mini_partial.jsonl"))
+    frame = render_frame(state.snapshot())
+    assert "Watching run mini-partial — running" in frame
+    assert "fleet-grid" in frame
+    assert "fleet pilot/hysteresis" in frame
+    assert "ETA 2 s" in frame
+    assert "75.0% hit rate" in frame
+    assert "pid 200" in frame and "pid 201" in frame
+
+
+# --------------------------------------------------------------------------
+# The watch loop
+# --------------------------------------------------------------------------
+
+
+def test_watch_once_snapshot_of_partial_trace():
+    stream = io.StringIO()
+    code = watch(DATA / "mini_partial.jsonl", once=True, stream=stream)
+    assert code == 0
+    out = stream.getvalue()
+    assert "running" in out
+    assert "fleet pilot/hysteresis" in out
+
+
+def test_watch_stops_when_run_span_closes():
+    # mini_a's session.run span is closed: the loop renders one final
+    # frame and exits without --once (no sleeping, no extra frames).
+    stream = io.StringIO()
+    sleeps: list[float] = []
+    code = watch(
+        DATA / "mini_a.jsonl", stream=stream, _sleep=sleeps.append
+    )
+    assert code == 0
+    assert sleeps == []
+    assert "finished" in stream.getvalue()
+
+
+def test_watch_stops_on_registry_terminal_status(tmp_path):
+    stream = io.StringIO()
+    code = watch(
+        DATA / "mini_partial.jsonl",
+        stream=stream,
+        is_finished=lambda: True,
+        _sleep=lambda s: pytest.fail("should not sleep"),
+    )
+    assert code == 0
+
+
+def test_watch_alert_breach_exits_nonzero():
+    rules = [
+        AlertRule(name="floor", metric="fleet.quality_p10_db", min=200.0),
+    ]
+    stream = io.StringIO()
+    code = watch(
+        DATA / "mini_a.jsonl", once=True, rules=rules, stream=stream
+    )
+    assert code == 1
+    assert "ALERT floor" in stream.getvalue()
+
+
+def test_cli_watch_once(tmp_path, capsys):
+    assert main(
+        ["watch", str(DATA / "mini_partial.jsonl"), "--once",
+         "--trace-dir", str(tmp_path)]
+    ) == 0
+    assert "mini-partial" in capsys.readouterr().out
+
+
+def test_cli_watch_latest_resolves_registry(tmp_path, capsys):
+    registry = RunRegistry(tmp_path)
+    registry.register(
+        "mini-a", name="mini",
+        trace_path=DATA / "mini_a.jsonl", started_at=1.0,
+    )
+    registry.finalize("mini-a", "ok", wall_s=1.0)
+    assert main(
+        ["watch", "latest", "--trace-dir", str(tmp_path), "--interval",
+         "0.01"]
+    ) == 0
+    assert "finished" in capsys.readouterr().out
+
+
+def test_cli_watch_unknown_run_errors(tmp_path, capsys):
+    assert main(
+        ["watch", "no-such-run", "--trace-dir", str(tmp_path)]
+    ) == 1
+    assert "no trace named" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------
+# `repro report` on live/empty traces (the in-progress satellite)
+# --------------------------------------------------------------------------
+
+
+def test_cli_report_in_progress_trace_exits_zero(tmp_path, capsys):
+    import json
+
+    # A live sink with a run marker and heartbeats but no closed spans.
+    sink = tmp_path / "live-run.jsonl"
+    events = [
+        e for e in load_trace(DATA / "mini_partial.jsonl")
+        if e["event"] != "span"
+    ]
+    sink.write_text("".join(json.dumps(e) + "\n" for e in events))
+    assert main(["report", str(sink)]) == 0
+    out = capsys.readouterr().out
+    assert "run in progress" in out
+    assert "repro watch" in out
+
+
+def test_cli_report_empty_trace_exits_nonzero(tmp_path, capsys):
+    sink = tmp_path / "crashed-run.jsonl"
+    sink.write_text("")
+    assert main(["report", str(sink)]) == 1
+    assert "Trace is empty" in capsys.readouterr().out
