@@ -60,10 +60,12 @@ RESULTS_DIR = BENCH_DIR / "results"
 BASELINE_PATH = BENCH_DIR / "baselines.json"
 
 try:
+    from repro.obs import bench as bench_history
     from repro.obs.events import metric_event, run_event, validate_event
     from repro.obs.registry import host_metadata
 except ImportError:  # `python benchmarks/check_regression.py` without PYTHONPATH
     sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    from repro.obs import bench as bench_history
     from repro.obs.events import metric_event, run_event, validate_event
     from repro.obs.registry import host_metadata
 
@@ -123,7 +125,21 @@ def write_bench(
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # Every measurement also lands in the append-only benchmark history
+    # (flock'd, git-revision-stamped) so `repro bench trend` and
+    # `check_regression.py --history` can see multi-run trajectories,
+    # not just this snapshot.  REPRO_BENCH_HISTORY redirects it; the
+    # default lives in the gitignored results directory.
+    bench_history.append_history(events, path=history_path())
     return path
+
+
+def history_path() -> Path:
+    """This checkout's benchmark history (``REPRO_BENCH_HISTORY`` wins)."""
+    raw = os.environ.get(bench_history.ENV_HISTORY)
+    if raw:
+        return Path(raw).expanduser()
+    return RESULTS_DIR / "bench_history.jsonl"
 
 
 def bench_events(

@@ -14,6 +14,11 @@ the CI job log carries the numbers even on success.
 ``--update-baselines`` rewrites ``baselines.json`` from the current
 results' gated metrics — run locally after an intentional performance
 change, then commit the file.
+
+``--history`` additionally consults the append-only benchmark history
+(``bench_history.jsonl``, every ``write_bench`` call appends to it) and
+fails on any series drifting beyond the rolling-median band — the slow
+multi-PR creep the 30 % single-run gate cannot see.
 """
 
 from __future__ import annotations
@@ -27,9 +32,11 @@ from _harness import (  # noqa: E402
     BASELINE_PATH,
     compare_to_baseline,
     format_summary,
+    history_path,
     load_baselines,
     load_benches,
 )
+from repro.obs import bench as bench_history  # noqa: E402
 
 
 def update_baselines(benches: dict[str, dict]) -> dict[str, dict[str, float]]:
@@ -62,6 +69,16 @@ def main(argv: list[str] | None = None) -> int:
     baselines = load_baselines()
     rows, failures = compare_to_baseline(benches, baselines)
     print(format_summary(benches, rows))
+    if "--history" in args:
+        events = bench_history.load_history(history_path())
+        text, drifting = bench_history.render_trend(events)
+        print()
+        print(text)
+        if drifting:
+            failures.append(
+                f"benchmark history: {drifting} series drifted beyond "
+                f"the rolling-median band (see trend above)"
+            )
     if failures:
         print()
         for failure in failures:

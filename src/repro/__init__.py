@@ -63,7 +63,7 @@ from . import (
 )
 from .errors import ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "api",

@@ -841,6 +841,7 @@ class Session:
         error_text: str | None = None
         runs: list[CampaignRun] = []
         started = time.perf_counter()
+        cpu_started = time.process_time()
         try:
             with obs.span(
                 "session.run",
@@ -913,6 +914,10 @@ class Session:
                         "n_failed": n_failed,
                     },
                     error=error_text,
+                    # Owner-process resource headline (workers report
+                    # through their proc.* trace gauges instead).
+                    peak_rss_bytes=obs.peak_rss_bytes(),
+                    cpu_s=time.process_time() - cpu_started,
                 )
         handle = plan.handle(experiment, runs)
         handle._telemetry = {

@@ -118,6 +118,9 @@ def _evaluate_payload(payload: tuple[str, CampaignPoint]) -> dict:
                 # are byte-identical in untraced runs.
                 record["span"] = point_span.span_id
     record["elapsed_s"] = round(time.perf_counter() - started, 6)
+    # Throttled per-process resource gauges (worker RSS/CPU) at the
+    # per-point seam — one boolean check when untraced.
+    obs.resource_probe()
     return record
 
 

@@ -29,8 +29,10 @@ deprecation note on stderr)::
     python -m repro cohort --size 500 --workers 4
 
 Utility subcommands (not experiments): ``overheads``, ``record``,
-``lifetime``, ``cache`` and ``report`` (render a run's trace; see
-``docs/observability.md``).
+``lifetime``, ``cache``, ``report`` (render a run's trace), ``runs``,
+``watch``, ``profile`` (merge a run's sampling-profile shards) and
+``bench trend`` (benchmark-history drift); see
+``docs/observability.md``.
 
 Global options come before the subcommand: ``--seed`` fixes the master
 Monte-Carlo seed of every experiment (overriding the file's ``seed``
@@ -45,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -118,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a JSONL trace per run (span tree, metrics) into DIR "
              "(default: benchmarks/results/traces); inspect with "
              "'repro report <run-id>'",
+    )
+    parser.add_argument(
+        "--profile", action="store_true", dest="profile_run",
+        help="record a span-attributed sampling profile alongside the "
+             "trace (implies --trace when tracing is unconfigured); "
+             "inspect with 'repro profile <run-id>'",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -395,7 +404,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--top", type=int, default=10,
-        help="slowest spans / biggest diff movers to list (default: 10)",
+        help="slowest spans / biggest diff movers / hot functions to "
+             "list per section (default: 10)",
+    )
+    report.add_argument(
+        "--profile", action="store_true",
+        help="append the run's sampling profile: top-N hot functions "
+             "folded per span path (needs shards recorded with "
+             "--profile/REPRO_PROFILE)",
     )
     report.add_argument(
         "--trace-dir", default=None,
@@ -467,6 +483,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None,
         help="directory run ids resolve in (default: --trace/"
              "REPRO_TRACE_DIR, falling back to benchmarks/results/traces)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="merge a run's sampling-profile shards and print collapsed "
+             "stacks (pipe into any flamegraph tool), or write "
+             "speedscope JSON with --flamegraph",
+    )
+    profile.add_argument(
+        "target",
+        help="a run id (resolved in the trace directory), 'latest', or "
+             "a trace .jsonl path whose profile shards to merge",
+    )
+    profile.add_argument(
+        "--flamegraph", default=None, metavar="OUT.json",
+        help="write a speedscope-compatible JSON document to OUT.json "
+             "(open at https://www.speedscope.app) instead of printing "
+             "collapsed stacks",
+    )
+    profile.add_argument(
+        "--trace-dir", default=None,
+        help="directory run ids resolve in (default: --trace/"
+             "REPRO_TRACE_DIR, falling back to benchmarks/results/traces)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark-history utilities (trajectories over every "
+             "write_bench measurement)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    trend = bench_sub.add_parser(
+        "trend",
+        help="render per-metric history sparklines and flag drift "
+             "beyond a rolling-median band (exits non-zero on drift)",
+    )
+    trend.add_argument(
+        "metric", nargs="?", default=None,
+        help="only series of this metric name (default: all)",
+    )
+    trend.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="history file to read (default: $REPRO_BENCH_HISTORY or "
+             "benchmarks/results/bench_history.jsonl)",
+    )
+    trend.add_argument(
+        "--window", type=int, default=None,
+        help="rolling-median window in points (default: 5)",
+    )
+    trend.add_argument(
+        "--band", type=float, default=None,
+        help="allowed fractional deviation from the rolling median "
+             "(default: 0.25)",
     )
 
     sub.add_parser("overheads", help="Section V / Formula 2 bit overheads")
@@ -1092,6 +1161,8 @@ def _cmd_report(args) -> int:
     rules = load_rules(args.alerts) if args.alerts else None
 
     if args.diff:
+        if args.profile:
+            raise ObsError("--profile cannot be combined with --diff")
         if len(args.targets) != 2:
             raise ObsError(
                 "--diff compares exactly two runs "
@@ -1114,6 +1185,11 @@ def _cmd_report(args) -> int:
     for index, target in enumerate(args.targets):
         _run_id, path = _resolve_run_target(target, trace_dir)
         events = load_events(path)
+        profile = None
+        if args.profile:
+            from .obs import load_profile
+
+            profile = load_profile(path)
         if index:
             print()
         # A per-run trace sink with no closed spans yet is a run in
@@ -1122,7 +1198,10 @@ def _cmd_report(args) -> int:
         # construction and never "in progress".
         print(
             render_report(
-                events, top=args.top, live_source=path.suffix != ".json"
+                events,
+                top=args.top,
+                live_source=path.suffix != ".json",
+                profile=profile,
             )
         )
         if not events:
@@ -1164,7 +1243,8 @@ def _cmd_runs(args) -> int:
     print(f"Runs in {trace_dir} ({len(records)} shown, newest first):")
     print(
         f"  {'RUN ID':<36} {'KIND':<8} {'STATUS':<8} "
-        f"{'STARTED':<19} {'WALL':>9} {'POINTS':>7}"
+        f"{'STARTED':<19} {'WALL':>9} {'POINTS':>7} "
+        f"{'CPU':>8} {'PEAK RSS':>9}"
     )
     for record in records:
         started = (
@@ -1181,9 +1261,18 @@ def _cmd_runs(args) -> int:
         shown = "-" if points is None else str(points)
         if failed:
             shown += f" ({failed}!)"
+        # Resource columns stay blank for records written before
+        # schema revision 1.5 (they simply lack the fields).
+        cpu = f"{record.cpu_s:.1f} s" if record.cpu_s is not None else "-"
+        rss = (
+            f"{record.peak_rss_bytes / 1048576.0:.0f} MB"
+            if record.peak_rss_bytes is not None
+            else "-"
+        )
         print(
             f"  {record.run_id:<36} {record.kind or '-':<8} "
-            f"{record.status:<8} {started:<19} {wall:>9} {shown:>7}"
+            f"{record.status:<8} {started:<19} {wall:>9} {shown:>7} "
+            f"{cpu:>8} {rss:>9}"
         )
         if record.error:
             print(f"      error: {record.error}")
@@ -1211,6 +1300,59 @@ def _cmd_watch(args) -> int:
         is_finished=_finished,
         max_seconds=args.max_seconds,
     )
+
+
+def _cmd_profile(args) -> int:
+    import json as _json
+
+    from .obs import load_profile, speedscope_document
+    from .obs.profile import collapsed_lines
+
+    trace_dir = _resolved_trace_dir(args)
+    _run_id, path = _resolve_run_target(args.target, trace_dir)
+    profile = load_profile(path)
+    _LOG.info(
+        "merged %d shard(s): %d samples at %.1f ms, %d idle-thread "
+        "samples skipped",
+        len(profile["shards"]), profile["samples"],
+        profile["interval_s"] * 1000.0, profile["skipped"],
+    )
+    if args.flamegraph:
+        out = Path(args.flamegraph)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            _json.dumps(speedscope_document(profile), sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote speedscope profile to {out}")
+        return 0
+    # Bare collapsed-stack lines on stdout (the summary goes to the
+    # stderr logger) so the output pipes straight into flamegraph.pl.
+    for line in collapsed_lines(profile):
+        print(line)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .obs import bench as bench_history
+
+    history = (
+        Path(args.history)
+        if args.history is not None
+        else bench_history.default_history_path()
+    )
+    events = bench_history.load_history(history)
+    kwargs = {}
+    if args.window is not None:
+        kwargs["window"] = args.window
+    if args.band is not None:
+        kwargs["band"] = args.band
+    text, drifting = bench_history.render_trend(
+        events, metric=args.metric, **kwargs
+    )
+    print(text)
+    return 1 if drifting else 0
 
 
 def _cmd_overheads(args) -> int:
@@ -1275,6 +1417,8 @@ _HANDLERS = {
     "report": _cmd_report,
     "runs": _cmd_runs,
     "watch": _cmd_watch,
+    "profile": _cmd_profile,
+    "bench": _cmd_bench,
 }
 
 
@@ -1287,6 +1431,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .obs import default_trace_dir, set_trace_dir
 
         set_trace_dir(args.trace if args.trace else default_trace_dir())
+    if args.profile_run:
+        from .obs import configured_dir, default_trace_dir, set_trace_dir
+        from .obs.profile import ENV_PROFILE
+
+        os.environ[ENV_PROFILE] = "1"
+        # Profile shards live beside the trace sink, so profiling
+        # implies tracing; an explicit --trace/REPRO_TRACE_* wins.
+        if configured_dir() is None:
+            set_trace_dir(default_trace_dir())
     try:
         return _HANDLERS[args.command](args)
     except ReproError as error:

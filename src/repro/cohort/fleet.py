@@ -93,6 +93,9 @@ def simulate_patient(
         row.update(result.to_dict())
         row["status"] = "ok"
         obs.counter("fleet.patients_ok")
+        # Throttled per-process resource gauges (worker RSS/CPU) at
+        # the per-patient seam — one boolean check when untraced.
+        obs.resource_probe()
         return row
 
 

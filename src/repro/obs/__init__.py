@@ -4,10 +4,13 @@ The package's observability spine: span-based tracing with context
 propagation across worker pools (:mod:`repro.obs.core`), a single JSONL
 event schema shared with the benchmark harness
 (:mod:`repro.obs.events`), the ``repro report`` renderer
-(:mod:`repro.obs.report`), and the CLI's logging configuration
-(:mod:`repro.obs.logcfg`).  Everything is stdlib-only, and every probe
-is a no-op until tracing is enabled — instrumented library code pays
-one cheap check per call when a run is untraced.
+(:mod:`repro.obs.report`), a span-attributed sampling profiler
+(:mod:`repro.obs.profile`, ``--profile`` / ``REPRO_PROFILE``), the
+benchmark history and drift detector (:mod:`repro.obs.bench`), and the
+CLI's logging configuration (:mod:`repro.obs.logcfg`).  Everything is
+stdlib-only, and every probe is a no-op until tracing is enabled —
+instrumented library code pays one cheap check per call when a run is
+untraced.
 
 Typical library usage::
 
@@ -35,12 +38,22 @@ from .alerts import (
     render_outcomes,
     rules_from_payload,
 )
+from .bench import (
+    append_history,
+    default_history_path,
+    detect_drift,
+    git_revision,
+    load_history,
+    render_trend,
+)
 from .core import (
     FLUSH_EVERY,
     HEARTBEAT_FLUSH_S,
+    RESOURCE_INTERVAL_S,
     Span,
     configured_dir,
     counter,
+    cpu_seconds,
     current_span_id,
     default_trace_dir,
     disable,
@@ -50,6 +63,9 @@ from .core import (
     gauge,
     heartbeat,
     observe,
+    peak_rss_bytes,
+    resource_probe,
+    rss_bytes,
     set_trace_dir,
     span,
     start_run,
@@ -70,6 +86,12 @@ from .events import (
 )
 from .logcfg import configure as configure_logging
 from .logcfg import get_logger
+from .profile import (
+    load_profile,
+    profile_dir_for,
+    sampler_active,
+    speedscope_document,
+)
 from .registry import (
     REGISTRY_BASENAME,
     RunRecord,
@@ -92,6 +114,7 @@ __all__ = [
     # core
     "FLUSH_EVERY",
     "HEARTBEAT_FLUSH_S",
+    "RESOURCE_INTERVAL_S",
     "Span",
     "enabled",
     "enable",
@@ -110,6 +133,22 @@ __all__ = [
     "default_trace_dir",
     "start_run",
     "worker_parent",
+    "resource_probe",
+    "rss_bytes",
+    "peak_rss_bytes",
+    "cpu_seconds",
+    # profile
+    "load_profile",
+    "profile_dir_for",
+    "sampler_active",
+    "speedscope_document",
+    # bench
+    "append_history",
+    "default_history_path",
+    "detect_drift",
+    "git_revision",
+    "load_history",
+    "render_trend",
     # events
     "SCHEMA_VERSION",
     "EVENT_KINDS",

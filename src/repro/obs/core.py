@@ -35,10 +35,13 @@ Example:
     ...     obs.counter("items", 3)
     >>> obs.disable()
     >>> from repro.obs.report import load_trace
-    >>> [event["event"] for event in load_trace(path)]
+    >>> [event["event"] for event in load_trace(path)][:3]
     ['run', 'span', 'metric']
     >>> obs.enabled()
     False
+
+(The trace tail also carries a final ``proc.rss_bytes``/``proc.cpu_s``
+resource gauge pair, forced out by :func:`disable`.)
 """
 
 from __future__ import annotations
@@ -60,6 +63,7 @@ from .events import histogram_summary, metric_event, run_event, span_event
 __all__ = [
     "FLUSH_EVERY",
     "HEARTBEAT_FLUSH_S",
+    "RESOURCE_INTERVAL_S",
     "Span",
     "enabled",
     "enable",
@@ -78,6 +82,10 @@ __all__ = [
     "default_trace_dir",
     "start_run",
     "worker_parent",
+    "resource_probe",
+    "rss_bytes",
+    "peak_rss_bytes",
+    "cpu_seconds",
 ]
 
 #: Sink path exported to (and lazily read by) worker processes.
@@ -90,10 +98,20 @@ ENV_PARENT = "REPRO_TRACE_PARENT"
 ENV_DIR = "REPRO_TRACE_DIR"
 #: Boolean switch enabling tracing into :func:`default_trace_dir`.
 ENV_FLAG = "REPRO_TRACE"
+#: Opt-in switch for ``tracemalloc`` top-site capture on the run span.
+ENV_TRACEMALLOC = "REPRO_TRACEMALLOC"
 
 #: Buffered events are written out at this buffer size (or whenever the
 #: span stack empties, whichever comes first).
 FLUSH_EVERY = 256
+
+#: Throttle for the per-process resource gauges (``proc.rss_bytes``,
+#: ``proc.cpu_s``): at most one pair per interval, emitted at flush
+#: time and from :func:`resource_probe` calls on the hot seams.
+RESOURCE_INTERVAL_S = 2.0
+
+#: Top allocation sites captured when ``REPRO_TRACEMALLOC`` is set.
+_TRACEMALLOC_TOP = 5
 
 
 def default_trace_dir() -> Path:
@@ -134,6 +152,59 @@ def set_trace_dir(path: Path | str | None) -> None:
         os.environ[ENV_DIR] = str(path)
 
 
+# -- process resource readings ---------------------------------------------
+
+#: Largest RSS observed by any probe in this process (bytes).
+_PEAK_RSS = 0
+
+
+def rss_bytes() -> int | None:
+    """This process's current resident set size in bytes, best effort.
+
+    Reads ``/proc/self/statm`` (Linux; field 2 is resident pages);
+    falls back to ``resource.getrusage`` — whose ``ru_maxrss`` is the
+    *peak*, in KiB on Linux — and returns ``None`` where neither works.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        return int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        )
+    except (ImportError, OSError):  # pragma: no cover - exotic platform
+        return None
+
+
+def _note_rss(value: int) -> None:
+    global _PEAK_RSS
+    if value > _PEAK_RSS:
+        _PEAK_RSS = value
+
+
+def peak_rss_bytes() -> int | None:
+    """The largest RSS this process has shown to any probe (bytes).
+
+    Samples the current RSS first, so a call at run end reflects at
+    least the final footprint even if no probe fired in between.
+    ``None`` when the platform exposes no RSS reading at all.
+    """
+    current = rss_bytes()
+    if current is not None:
+        _note_rss(current)
+    return _PEAK_RSS or None
+
+
+def cpu_seconds() -> float:
+    """CPU seconds consumed by this process (``time.process_time``)."""
+    return time.process_time()
+
+
 class Span:
     """One live unit of work; context manager that emits on close.
 
@@ -145,7 +216,8 @@ class Span:
 
     __slots__ = (
         "name", "span_id", "parent_id", "attrs",
-        "status", "error", "_t", "_p0", "_tracer",
+        "status", "error", "cpu_s",
+        "_t", "_p0", "_c0", "_tracer", "thread_id",
     )
 
     def __init__(
@@ -161,9 +233,16 @@ class Span:
         self.attrs = attrs
         self.status = "ok"
         self.error: str | None = None
+        #: CPU seconds consumed while open (set at close; process-wide
+        #: ``time.process_time`` delta, so concurrent spans overlap).
+        self.cpu_s: float | None = None
         self._t = time.time()
         self._p0 = time.perf_counter()
+        self._c0 = time.process_time()
         self._tracer = tracer
+        #: The opening thread — the profiler attributes that thread's
+        #: stack samples to this span while it is the innermost open.
+        self.thread_id = threading.get_ident()
 
     def set(self, **attrs: Any) -> "Span":
         """Attach (JSON-safe) attributes to this span; returns self."""
@@ -183,6 +262,7 @@ class Span:
     def __exit__(self, exc_type, exc, _tb) -> None:
         if exc is not None and self.status == "ok":
             self.fail(f"{exc_type.__name__}: {exc}")
+        self.cpu_s = time.process_time() - self._c0
         self._tracer.close(self, time.perf_counter() - self._p0)
 
 
@@ -196,6 +276,7 @@ class _NullSpan:
     #: with a span id when one exists).
     span_id = None
     name = ""
+    cpu_s = None
 
     def set(self, **attrs: Any) -> "_NullSpan":
         """No-op; returns self."""
@@ -231,6 +312,9 @@ class _Tracer:
         self._counters: dict[tuple, float] = {}
         self._hists: dict[tuple, list[float]] = {}
         self._last_flush = time.monotonic()
+        # First interval passes silently: short-lived tracers emit one
+        # resource pair at disable() instead of noise at every flush.
+        self._last_resource = time.monotonic()
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -259,6 +343,7 @@ class _Tracer:
             status=item.status,
             attrs=item.attrs,
             error=item.error,
+            cpu_s=item.cpu_s,
         )
         with self._lock:
             if item in self._stack:
@@ -266,6 +351,20 @@ class _Tracer:
             self._buffer.append(event)
             if not self._stack or len(self._buffer) >= FLUSH_EVERY:
                 self._flush_locked()
+
+    def open_span_paths(self) -> dict[int, tuple[str, ...]]:
+        """Open-span name paths keyed by opening thread id.
+
+        The sampling profiler's attribution source: for each thread
+        that currently holds open spans, the span names in push order
+        (outermost first).  Spans opened by different threads interleave
+        on the shared stack; grouping by ``thread_id`` untangles them.
+        """
+        with self._lock:
+            paths: dict[int, list[str]] = {}
+            for item in self._stack:
+                paths.setdefault(item.thread_id, []).append(item.name)
+        return {tid: tuple(names) for tid, names in paths.items()}
 
     # -- metrics -----------------------------------------------------------
 
@@ -321,8 +420,42 @@ class _Tracer:
             if time.monotonic() - self._last_flush >= interval_s:
                 self._flush_locked()
 
+    def _resources_locked(self, force: bool = False) -> None:
+        """Append throttled per-process resource gauges to the buffer.
+
+        One ``proc.rss_bytes`` + ``proc.cpu_s`` pair at most every
+        :data:`RESOURCE_INTERVAL_S` — readers take the max per pid for
+        peak RSS and the last write per pid for cumulative CPU.
+        ``force`` bypasses the throttle (the final pair at disable).
+        """
+        now_mono = time.monotonic()
+        if not force and (
+            now_mono - self._last_resource < RESOURCE_INTERVAL_S
+        ):
+            return
+        self._last_resource = now_mono
+        now = time.time()
+        rss = rss_bytes()
+        if rss is not None:
+            _note_rss(rss)
+            self._buffer.append(
+                metric_event(
+                    trace=self.run_id, name="proc.rss_bytes",
+                    kind="gauge", value=float(rss), t=now, pid=self.pid,
+                    attrs={},
+                )
+            )
+        self._buffer.append(
+            metric_event(
+                trace=self.run_id, name="proc.cpu_s", kind="gauge",
+                value=time.process_time(), t=now, pid=self.pid,
+                attrs={},
+            )
+        )
+
     def _flush_locked(self) -> None:
         self._last_flush = time.monotonic()
+        self._resources_locked()
         now = time.time()
         for (name, attr_items), value in self._counters.items():
             self._buffer.append(
@@ -365,6 +498,7 @@ class _Tracer:
 _TRACER: _Tracer | None = None
 _STATE_LOCK = threading.Lock()
 _ATEXIT_REGISTERED = False
+_TRACEMALLOC_ACTIVE = False
 
 
 def _register_atexit() -> None:
@@ -372,6 +506,51 @@ def _register_atexit() -> None:
     if not _ATEXIT_REGISTERED:
         atexit.register(flush)
         _ATEXIT_REGISTERED = True
+
+
+def _maybe_start_profiler(tracer: _Tracer, fresh: bool = False) -> None:
+    """Start the sampling profiler for this tracer when requested.
+
+    Called once per tracer construction (owner enable, fork rebind,
+    spawn lazy build) — never on the per-probe fast path, so the
+    disabled overhead contract is untouched.  ``fresh`` (the owner
+    path) clears stale shards left by an earlier run of the same id.
+    """
+    from . import profile as _profile
+
+    if _profile.requested():
+        _profile.ensure_started(tracer, fresh=fresh)
+
+
+def _emit_tracemalloc_top(tracer: _Tracer) -> None:
+    """Fold tracemalloc's top allocation sites into run-end gauges."""
+    global _TRACEMALLOC_ACTIVE
+    _TRACEMALLOC_ACTIVE = False
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():  # pragma: no cover - stopped elsewhere
+        return
+    snapshot = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    stats = snapshot.statistics("lineno")[:_TRACEMALLOC_TOP]
+    now = time.time()
+    with tracer._lock:
+        for rank, stat in enumerate(stats, start=1):
+            frame = stat.traceback[0]
+            tracer._buffer.append(
+                metric_event(
+                    trace=tracer.run_id,
+                    name="mem.alloc_top_bytes",
+                    kind="gauge",
+                    value=float(stat.size),
+                    t=now,
+                    pid=tracer.pid,
+                    attrs={
+                        "site": f"{frame.filename}:{frame.lineno}",
+                        "rank": rank,
+                    },
+                )
+            )
 
 
 def _active() -> _Tracer | None:
@@ -391,6 +570,7 @@ def _active() -> _Tracer | None:
             )
             _TRACER = tracer
             _register_atexit()
+            _maybe_start_profiler(tracer)
         return tracer
     raw = os.environ.get(ENV_FILE)
     if not raw:
@@ -403,6 +583,7 @@ def _active() -> _Tracer | None:
                 os.environ.get(ENV_PARENT),
             )
             _register_atexit()
+            _maybe_start_profiler(_TRACER)
     return _TRACER
 
 
@@ -429,7 +610,7 @@ def enable(
     ``truncate`` (the default) starts the sink fresh — a re-run of the
     same run id replaces its stale trace rather than appending to it.
     """
-    global _TRACER
+    global _TRACER, _TRACEMALLOC_ACTIVE
     if not run_id:
         raise ObsError("trace run_id must be non-empty")
     sink = Path(path)
@@ -447,6 +628,13 @@ def enable(
         os.environ[ENV_RUN] = run_id
         os.environ.pop(ENV_PARENT, None)
         _register_atexit()
+    _maybe_start_profiler(_TRACER, fresh=truncate)
+    if os.environ.get(ENV_TRACEMALLOC, "") in ("1", "true"):
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            _TRACEMALLOC_ACTIVE = True
     _TRACER.emit(
         run_event(
             trace=run_id, name=name or run_id, t=time.time(),
@@ -457,7 +645,14 @@ def enable(
 
 
 def disable() -> None:
-    """Flush and stop tracing; clears the worker-propagation exports."""
+    """Flush and stop tracing; clears the worker-propagation exports.
+
+    Run-end bookkeeping happens here too: the sampling profiler (if
+    active) writes its final shard, tracemalloc's top allocation sites
+    become ``mem.alloc_top_bytes`` gauges, and one final
+    ``proc.rss_bytes``/``proc.cpu_s`` pair is forced out so every
+    completed trace carries at least one resource sample per owner.
+    """
     global _TRACER
     with _STATE_LOCK:
         tracer = _TRACER
@@ -465,6 +660,13 @@ def disable() -> None:
         for key in (ENV_FILE, ENV_RUN, ENV_PARENT):
             os.environ.pop(key, None)
     if tracer is not None and tracer.pid == os.getpid():
+        from . import profile as _profile
+
+        _profile.stop_sampler()
+        if _TRACEMALLOC_ACTIVE:
+            _emit_tracemalloc_top(tracer)
+        with tracer._lock:
+            tracer._resources_locked(force=True)
         tracer.flush()
 
 
@@ -550,6 +752,23 @@ def heartbeat(name: str, value: float, **attrs: Any) -> None:
     if tracer is not None:
         tracer.set_gauge(name, float(value), attrs)
         tracer.flush_if_stale(HEARTBEAT_FLUSH_S)
+
+
+def resource_probe() -> None:
+    """Buffer throttled resource gauges for this process, if traced.
+
+    The hot seams (per campaign point, per fleet patient) call this so
+    long runs chart worker memory growth and CPU burn without waiting
+    for a flush; the :data:`RESOURCE_INTERVAL_S` throttle keeps it to
+    at most one ``proc.rss_bytes``/``proc.cpu_s`` pair per interval.
+    No-op (one boolean check) while tracing is disabled.
+    """
+    if not enabled():
+        return
+    tracer = _active()
+    if tracer is not None:
+        with tracer._lock:
+            tracer._resources_locked()
 
 
 def flush() -> None:

@@ -15,6 +15,10 @@ Event kinds (the ``event`` key):
   ``"failed"``), and free-form JSON-safe ``attrs``.  Spans written by
   worker processes carry the parent span id propagated from the
   process that spawned them, so the tree spans process boundaries.
+  Spans may additionally carry ``cpu_s`` — the CPU seconds
+  (``time.process_time`` delta) the process consumed while the span
+  was open — written by tracers from schema revision 1.5 on; readers
+  treat the key as optional, so older traces stay loadable.
 * ``metric`` — one measurement: a ``counter`` (delta to sum), a
   ``gauge`` (last write wins), or a ``histogram`` (an aggregated
   ``{"count", "sum", "min", "max"}`` summary).
@@ -85,6 +89,7 @@ def span_event(
     status: str = "ok",
     attrs: dict[str, Any] | None = None,
     error: str | None = None,
+    cpu_s: float | None = None,
 ) -> dict[str, Any]:
     """One closed span: a named, timed unit of work in the trace tree."""
     payload: dict[str, Any] = {
@@ -101,6 +106,8 @@ def span_event(
     }
     if error is not None:
         payload["error"] = error
+    if cpu_s is not None:
+        payload["cpu_s"] = cpu_s
     return payload
 
 
@@ -188,6 +195,8 @@ def validate_event(payload: Any) -> list[str]:
                 f"span event status {payload.get('status')!r} not in "
                 f"{SPAN_STATUSES}"
             )
+        if "cpu_s" in payload and not _is_number(payload["cpu_s"]):
+            problems.append("span event 'cpu_s' is not numeric")
     elif kind == "metric":
         if not isinstance(payload.get("name"), str):
             problems.append("metric event missing/invalid 'name'")

@@ -92,6 +92,11 @@ class RunRecord:
         metrics: headline metrics recorded at finalization (points
             executed/cached/failed, plus anything the caller adds).
         error: failure text when ``status == "failed"``.
+        peak_rss_bytes: the owner process's peak resident set at
+            finalization (``None`` for records written before schema
+            revision 1.5 — readers render a blank).
+        cpu_s: CPU seconds the owner process burned over the run
+            (``time.process_time`` delta; ``None`` pre-1.5).
     """
 
     run_id: str
@@ -106,6 +111,8 @@ class RunRecord:
     host: dict[str, Any] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
     error: str | None = None
+    peak_rss_bytes: int | None = None
+    cpu_s: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe form, exactly what one registry line carries."""
@@ -122,8 +129,15 @@ class RunRecord:
             "host": dict(self.host),
             "metrics": dict(self.metrics),
         }
+        # Resource fields (schema revision 1.5) are written only when
+        # known — older readers never see unexpected keys, and records
+        # written by older code simply lack them (rendered blank).
         if self.error is not None:
             payload["error"] = self.error
+        if self.peak_rss_bytes is not None:
+            payload["peak_rss_bytes"] = self.peak_rss_bytes
+        if self.cpu_s is not None:
+            payload["cpu_s"] = self.cpu_s
         return payload
 
     @classmethod
@@ -142,6 +156,8 @@ class RunRecord:
             host=dict(payload.get("host", {})),
             metrics=dict(payload.get("metrics", {})),
             error=payload.get("error"),
+            peak_rss_bytes=payload.get("peak_rss_bytes"),
+            cpu_s=payload.get("cpu_s"),
         )
 
 
@@ -225,6 +241,8 @@ class RunRegistry:
         metrics: dict[str, Any] | None = None,
         error: str | None = None,
         ended_at: float | None = None,
+        peak_rss_bytes: int | None = None,
+        cpu_s: float | None = None,
     ) -> RunRecord:
         """Append the run's terminal record (``ok`` or ``failed``).
 
@@ -259,6 +277,8 @@ class RunRegistry:
                 host=dict(base.host),
                 metrics=dict(metrics or {}),
                 error=error,
+                peak_rss_bytes=peak_rss_bytes,
+                cpu_s=cpu_s,
             )
         )
 

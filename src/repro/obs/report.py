@@ -148,19 +148,40 @@ def _span_paths(spans: list[dict]) -> dict[str, tuple[str, ...]]:
 
 
 def span_totals(events: list[dict]) -> dict[tuple[str, ...], dict]:
-    """Aggregate spans by name path: count, total seconds, failures."""
+    """Aggregate spans by name path: count, wall/self/CPU seconds, failures.
+
+    ``self_s`` is the *exclusive* wall time — each path's total minus
+    the totals of its direct children (clamped at zero: overlapping
+    child spans from concurrent threads can nominally exceed the
+    parent).  ``cpu_s`` sums the spans' ``time.process_time`` deltas;
+    traces from before schema revision 1.5 carry none and report 0.
+    """
     spans = [event for event in events if event["event"] == "span"]
     paths = _span_paths(spans)
+    by_id = {event["span"]: event for event in spans}
     totals: dict[tuple[str, ...], dict] = {}
     for event in spans:
         path = paths[event["span"]]
         slot = totals.setdefault(
-            path, {"count": 0, "total_s": 0.0, "failed": 0}
+            path,
+            {
+                "count": 0, "total_s": 0.0, "failed": 0,
+                "cpu_s": 0.0, "child_s": 0.0,
+            },
         )
         slot["count"] += 1
         slot["total_s"] += float(event["dur_s"])
+        slot["cpu_s"] += float(event.get("cpu_s") or 0.0)
         if event["status"] == "failed":
             slot["failed"] += 1
+    for event in spans:
+        parent = by_id.get(event.get("parent"))
+        if parent is not None:
+            totals[paths[parent["span"]]]["child_s"] += float(
+                event["dur_s"]
+            )
+    for slot in totals.values():
+        slot["self_s"] = max(0.0, slot["total_s"] - slot.pop("child_s"))
     return totals
 
 
@@ -247,8 +268,10 @@ def summarize(events: list[dict]) -> dict[str, Any]:
 
     Keys: ``run`` (the run marker or None), ``wall_s``, ``tree`` (the
     :func:`span_totals` aggregate), ``metrics`` (:func:`metric_totals`),
-    ``workers`` (per-pid busy seconds/span counts), ``slowest`` (spans
-    sorted by duration, longest first), ``failed`` (failed span events).
+    ``workers`` (per-pid busy seconds/span counts), ``resources``
+    (per-pid peak RSS / cumulative CPU from the ``proc.*`` gauges),
+    ``slowest`` (spans sorted by duration, longest first), ``failed``
+    (failed span events).
     """
     runs = [event for event in events if event["event"] == "run"]
     spans = [event for event in events if event["event"] == "span"]
@@ -276,6 +299,30 @@ def summarize(events: list[dict]) -> dict[str, Any]:
         if parent_event is None or parent_event["pid"] != event["pid"]:
             slot["busy_s"] += float(event["dur_s"])
 
+    # Per-process resource readings from the throttled proc.* gauges:
+    # peak RSS is the max ever seen, CPU is cumulative (process_time),
+    # so the latest write per pid wins.
+    resources: dict[int, dict] = {}
+    for event in events:
+        if event["event"] != "metric" or event["kind"] != "gauge":
+            continue
+        name = event["name"]
+        if name not in ("proc.rss_bytes", "proc.cpu_s"):
+            continue
+        slot = resources.setdefault(
+            event["pid"],
+            {"peak_rss_bytes": None, "cpu_s": None, "_cpu_t": 0.0},
+        )
+        value = float(event["value"])
+        if name == "proc.rss_bytes":
+            if slot["peak_rss_bytes"] is None or value > slot["peak_rss_bytes"]:
+                slot["peak_rss_bytes"] = value
+        elif event["t"] >= slot["_cpu_t"]:
+            slot["cpu_s"] = value
+            slot["_cpu_t"] = event["t"]
+    for slot in resources.values():
+        slot.pop("_cpu_t")
+
     return {
         "run": run,
         "wall_s": wall_s,
@@ -284,6 +331,7 @@ def summarize(events: list[dict]) -> dict[str, Any]:
         "tree": span_totals(events),
         "metrics": metric_totals(events),
         "workers": workers,
+        "resources": resources,
         "slowest": sorted(
             spans, key=lambda event: event["dur_s"], reverse=True
         ),
@@ -302,7 +350,10 @@ def _format_attrs(attrs: dict[str, Any], limit: int = 3) -> str:
 
 
 def render_report(
-    events: list[dict], top: int = 10, live_source: bool = False
+    events: list[dict],
+    top: int = 10,
+    live_source: bool = False,
+    profile: dict | None = None,
 ) -> str:
     """The full ``repro report`` text for one trace's events.
 
@@ -310,6 +361,10 @@ def render_report(
     opposed to a closed BENCH artefact): a live trace with no closed
     spans yet is reported as *in progress* rather than rendered as a
     bare header, and an entirely empty one says so explicitly.
+    ``top`` bounds every ranked section (slowest spans, hot functions).
+    ``profile`` is a merged sampling profile
+    (:func:`repro.obs.profile.load_profile`); when given, the report
+    ends with the top-``top`` hot functions folded per span path.
     """
     summary = summarize(events)
     run = summary["run"]
@@ -339,8 +394,15 @@ def render_report(
 
     tree = summary["tree"]
     if tree:
+        # The CPU column only earns its width when the trace carries
+        # cpu_s at all (schema revision 1.5+); older traces keep the
+        # original layout.
+        has_cpu = any(slot["cpu_s"] > 0.0 for slot in tree.values())
         lines.append("")
-        lines.append("Wall-time breakdown (spans aggregated by path):")
+        lines.append(
+            "Wall-time breakdown (spans aggregated by path; "
+            "self = exclusive wall):"
+        )
         wall = summary["wall_s"] or 1.0
         for path in sorted(tree):
             slot = tree[path]
@@ -349,9 +411,11 @@ def render_report(
             failed = (
                 f"  [{slot['failed']} failed]" if slot["failed"] else ""
             )
+            cpu = f" cpu {slot['cpu_s']:>8.3f} s" if has_cpu else ""
             lines.append(
                 f"{indent}{path[-1]:<28} {slot['count']:>5}× "
-                f"{slot['total_s']:>9.3f} s {share:>5.1f}%{failed}"
+                f"{slot['total_s']:>9.3f} s {share:>5.1f}% "
+                f"self {slot['self_s']:>8.3f} s{cpu}{failed}"
             )
 
     workers = summary["workers"]
@@ -359,13 +423,25 @@ def render_report(
         lines.append("")
         lines.append("Worker utilization (busy = process-root span time):")
         wall = summary["wall_s"] or 1.0
+        resources = summary["resources"]
         for pid in sorted(workers):
             slot = workers[pid]
-            lines.append(
+            line = (
                 f"  pid {pid:<8} busy {slot['busy_s']:>8.3f} s "
                 f"({100.0 * slot['busy_s'] / wall:>5.1f}%) · "
                 f"{slot['spans']} spans"
             )
+            proc = resources.get(pid, {})
+            cpu_s = proc.get("cpu_s")
+            if cpu_s is not None:
+                line += (
+                    f" · cpu {cpu_s:>7.3f} s "
+                    f"({100.0 * cpu_s / wall:>5.1f}% util)"
+                )
+            rss = proc.get("peak_rss_bytes")
+            if rss is not None:
+                line += f" · peak rss {rss / 1048576.0:>7.1f} MB"
+            lines.append(line)
 
     metrics = summary["metrics"]
     cache_counts = {
@@ -428,5 +504,11 @@ def render_report(
                 f"  {event['name']} span {event['span']}: "
                 f"{event.get('error', '(no error text)')}"
             )
+
+    if profile is not None:
+        from .profile import render_hot_section
+
+        lines.append("")
+        lines.append(render_hot_section(profile, top=top))
 
     return "\n".join(lines)

@@ -23,6 +23,7 @@ registry reporting a terminal status.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from collections import deque
@@ -151,7 +152,14 @@ class WatchState:
 
     @staticmethod
     def _rate(samples: deque) -> float | None:
-        """Progress units per second over the trailing window."""
+        """Progress units per second over the trailing window.
+
+        Defensive on purpose: a first heartbeat landing in the same
+        tick as the run span gives a zero (or float-epsilon) elapsed
+        window, and a clock hiccup can hand back non-finite values —
+        both must yield "no rate yet" (``None``), never an inf/NaN
+        that leaks into the rendered frame.
+        """
         if len(samples) < 2:
             return None
         t_last, v_last = samples[-1]
@@ -160,9 +168,11 @@ class WatchState:
             if t >= t_last - _RATE_WINDOW_S:
                 t_first, v_first = t, value
                 break
-        if t_last <= t_first:
+        elapsed = t_last - t_first
+        if not math.isfinite(elapsed) or elapsed < 1e-6:
             return None
-        return (v_last - v_first) / (t_last - t_first)
+        rate = (v_last - v_first) / elapsed
+        return rate if math.isfinite(rate) else None
 
     def progress_entries(self) -> list[dict[str, Any]]:
         """One entry per live progress gauge, in display order.
@@ -193,12 +203,18 @@ class WatchState:
                 total = attrs.get("total")
                 rate = self._rate(samples)
                 eta_s = None
+                # Only a positive, finite rate yields an ETA — a run
+                # whose progress gauge went *backwards* (a re-run
+                # resetting counters) must not print a negative ETA.
                 if (
-                    rate
+                    rate is not None
+                    and rate > 0
                     and isinstance(total, (int, float))
                     and total > done
                 ):
                     eta_s = (total - done) / rate
+                    if not math.isfinite(eta_s):
+                        eta_s = None
                 if name == "run.progress":
                     label = str(
                         attrs.get("campaign")
@@ -238,7 +254,10 @@ class WatchState:
         gauges = {
             name: slot["value"]
             for (name, _attrs), slot in sorted(series.items())
-            if slot["kind"] == "gauge" and name.endswith("_per_s")
+            if slot["kind"] == "gauge"
+            and name.endswith("_per_s")
+            and isinstance(slot["value"], (int, float))
+            and math.isfinite(slot["value"])
         }
 
         cache = {}
@@ -279,6 +298,25 @@ class WatchState:
                 }
             )
 
+        elapsed_s = summary["wall_s"] if self.events else 0.0
+        resources = []
+        for pid in sorted(summary["resources"]):
+            proc = summary["resources"][pid]
+            cpu_s = proc.get("cpu_s")
+            cpu_util = (
+                cpu_s / elapsed_s
+                if cpu_s is not None and elapsed_s > 0.0
+                else None
+            )
+            resources.append(
+                {
+                    "pid": pid,
+                    "peak_rss_bytes": proc.get("peak_rss_bytes"),
+                    "cpu_s": cpu_s,
+                    "cpu_util": cpu_util,
+                }
+            )
+
         failures = {
             "spans": len(summary["failed"]),
             "points": int(
@@ -295,9 +333,7 @@ class WatchState:
             ),
             "run_attrs": dict(run.get("attrs", {})) if run else {},
             "started_t": run["t"] if run else None,
-            "elapsed_s": (
-                summary["wall_s"] if self.events else 0.0
-            ),
+            "elapsed_s": elapsed_s,
             "events": len(self.events),
             "spans": summary["spans"],
             "finished": self.finished,
@@ -305,6 +341,7 @@ class WatchState:
             "gauges": gauges,
             "cache": cache,
             "workers": workers,
+            "resources": resources,
             "failures": failures,
         }
 
@@ -353,7 +390,7 @@ def render_frame(
             done, total = entry["done"], entry["total"]
             counted = (
                 f"{done:g}/{total:g} ({100.0 * done / total:.0f}%)"
-                if total
+                if total and total > 0 and math.isfinite(done)
                 else f"{done:g}"
             )
             rate = (
@@ -401,6 +438,25 @@ def render_frame(
                 f"  pid {worker['pid']:<8} {worker['spans']:>5} spans · "
                 f"busy {worker['busy_s']:>8.3f} s{flag}"
             )
+
+    resources = snapshot.get("resources", [])
+    if resources:
+        lines.append("")
+        lines.append("Resources (from throttled proc.* gauges):")
+        for proc in resources:
+            parts = [f"  pid {proc['pid']:<8}"]
+            if proc["peak_rss_bytes"] is not None:
+                parts.append(
+                    f"peak rss {proc['peak_rss_bytes'] / 1048576.0:>7.1f} MB"
+                )
+            if proc["cpu_s"] is not None:
+                util = (
+                    f" ({100.0 * proc['cpu_util']:.0f}% util)"
+                    if proc["cpu_util"] is not None
+                    else ""
+                )
+                parts.append(f"cpu {proc['cpu_s']:>7.2f} s{util}")
+            lines.append(" · ".join(parts))
 
     failures = snapshot["failures"]
     if any(failures.values()):

@@ -2,8 +2,9 @@
 
 The tracer is process-global state exported through environment
 variables (so worker processes can find the sink); tests must not leak
-an active sink or a configured trace directory into each other — or
-into the rest of the suite, which pins the disabled fast path.
+an active sink, a configured trace directory, or an armed profiler
+into each other — or into the rest of the suite, which pins the
+disabled fast path.
 """
 
 from __future__ import annotations
@@ -13,17 +14,37 @@ import os
 import pytest
 
 from repro import obs
-from repro.obs.core import ENV_DIR, ENV_FILE, ENV_FLAG, ENV_PARENT, ENV_RUN
+from repro.obs.core import (
+    ENV_DIR,
+    ENV_FILE,
+    ENV_FLAG,
+    ENV_PARENT,
+    ENV_RUN,
+    ENV_TRACEMALLOC,
+)
+from repro.obs.profile import ENV_PROFILE, ENV_PROFILE_INTERVAL, stop_sampler
 
-_TRACE_ENV = (ENV_FILE, ENV_RUN, ENV_PARENT, ENV_DIR, ENV_FLAG)
+_TRACE_ENV = (
+    ENV_FILE,
+    ENV_RUN,
+    ENV_PARENT,
+    ENV_DIR,
+    ENV_FLAG,
+    ENV_TRACEMALLOC,
+    ENV_PROFILE,
+    ENV_PROFILE_INTERVAL,
+)
+
+
+def _reset() -> None:
+    obs.disable()
+    stop_sampler()
+    for key in _TRACE_ENV:
+        os.environ.pop(key, None)
 
 
 @pytest.fixture(autouse=True)
 def _untraced():
-    obs.disable()
-    for key in _TRACE_ENV:
-        os.environ.pop(key, None)
+    _reset()
     yield
-    obs.disable()
-    for key in _TRACE_ENV:
-        os.environ.pop(key, None)
+    _reset()

@@ -100,6 +100,24 @@ def test_validator_rejects_kind_specific_corruption():
     assert validate_event("not an object") == ["event is not a JSON object"]
 
 
+def test_span_cpu_s_is_optional_but_must_be_numeric():
+    # Pre-1.5 span events (no cpu_s at all) stay valid forever.
+    bare = _sample_events()[1]
+    assert "cpu_s" not in bare
+    assert validate_event(bare) == []
+
+    timed = span_event(
+        "run-1", span="7.3", parent=None, name="timed",
+        t=100.0, dur_s=0.5, pid=7, cpu_s=0.25,
+    )
+    assert timed["cpu_s"] == 0.25
+    assert validate_event(timed) == []
+
+    timed["cpu_s"] = "fast"
+    problems = validate_event(timed)
+    assert problems and any("cpu_s" in p for p in problems)
+
+
 def test_load_trace_round_trips_and_rejects_malformed(tmp_path):
     good = tmp_path / "good.jsonl"
     events = _sample_events()

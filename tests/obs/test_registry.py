@@ -114,6 +114,63 @@ def test_finalize_without_register_still_lands(tmp_path):
     assert record.wall_s == 3.0
 
 
+def test_resource_fields_round_trip(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register("res-run", name="res", started_at=1.0)
+    registry.finalize(
+        "res-run", "ok", wall_s=2.0,
+        peak_rss_bytes=96 * 1048576, cpu_s=3.75,
+    )
+    record = registry.get("res-run")
+    assert record.peak_rss_bytes == 96 * 1048576
+    assert record.cpu_s == 3.75
+    line = json.loads(
+        (tmp_path / REGISTRY_BASENAME).read_text().splitlines()[-1]
+    )
+    assert line["peak_rss_bytes"] == 96 * 1048576
+    assert line["cpu_s"] == 3.75
+
+
+def test_pre_15_records_load_with_blank_resources(tmp_path, capsys):
+    # A registry line written before schema revision 1.5: no
+    # peak_rss_bytes / cpu_s keys at all.  It must load as None and
+    # render blank — never KeyError, never a fabricated zero.
+    registry = RunRegistry(tmp_path)
+    old_line = {
+        "run_id": "old-run", "name": "old", "kind": "sweep",
+        "status": "ok", "started_at": 5.0, "ended_at": 6.0,
+        "wall_s": 1.0, "trace_path": "", "host": {}, "metrics": {},
+    }
+    registry.root.mkdir(parents=True, exist_ok=True)
+    registry.path.write_text(json.dumps(old_line) + "\n", encoding="utf-8")
+
+    record = registry.get("old-run")
+    assert record.peak_rss_bytes is None
+    assert record.cpu_s is None
+    # An unknowing round trip does not invent the missing keys.
+    assert "peak_rss_bytes" not in record.to_dict()
+    assert "cpu_s" not in record.to_dict()
+
+    assert main(["runs", "--trace-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    (row,) = [line for line in out.splitlines() if "old-run" in line]
+    assert " - " in row  # blank CPU / PEAK RSS columns
+
+
+def test_cli_runs_shows_resource_columns(tmp_path, capsys):
+    registry = RunRegistry(tmp_path)
+    registry.register("res-run", name="res", started_at=1.0)
+    registry.finalize(
+        "res-run", "ok", wall_s=2.0,
+        peak_rss_bytes=96 * 1048576, cpu_s=3.75,
+    )
+    assert main(["runs", "--trace-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "CPU" in out and "PEAK RSS" in out
+    assert "3.8 s" in out
+    assert "96 MB" in out
+
+
 def test_host_metadata_fingerprint():
     host = host_metadata()
     assert set(host) >= {

@@ -126,6 +126,93 @@ def test_render_frame_sections():
 
 
 # --------------------------------------------------------------------------
+# Rate/ETA defence and the resources pane
+# --------------------------------------------------------------------------
+
+
+def _progress(value: float, t: float, total: float = 10.0) -> dict:
+    from repro.obs.events import metric_event
+
+    return metric_event(
+        trace="g", name="run.progress", kind="gauge", value=value,
+        t=t, pid=1, attrs={"campaign": "c", "total": total},
+    )
+
+
+def test_zero_elapsed_window_yields_no_rate_or_eta():
+    # Two heartbeats in the same tick: elapsed is exactly zero, which
+    # must read as "no rate yet" — never a ZeroDivisionError or an
+    # inf ETA leaking into the frame.
+    state = WatchState()
+    state.update([_progress(1.0, t=5.0), _progress(2.0, t=5.0)])
+    (entry,) = state.snapshot()["progress"]
+    assert entry["rate"] is None
+    assert entry["eta_s"] is None
+    frame = render_frame(state.snapshot())
+    assert "inf" not in frame and "nan" not in frame
+
+
+def test_backwards_progress_yields_no_eta():
+    # A re-run resetting its counter mid-watch: negative rate, no ETA.
+    state = WatchState()
+    state.update([_progress(5.0, t=0.0), _progress(3.0, t=1.0)])
+    (entry,) = state.snapshot()["progress"]
+    assert entry["rate"] == pytest.approx(-2.0)
+    assert entry["eta_s"] is None
+    assert "ETA" not in render_frame(state.snapshot())
+
+
+def test_nonfinite_throughput_gauges_are_dropped():
+    from repro.obs.events import metric_event
+
+    state = WatchState()
+    state.update(
+        [
+            metric_event(
+                trace="g", name="windows_per_s", kind="gauge",
+                value=float("inf"), t=1.0, pid=1,
+            ),
+            metric_event(
+                trace="g", name="patients_per_s", kind="gauge",
+                value=4.0, t=1.0, pid=1,
+            ),
+        ]
+    )
+    assert state.snapshot()["gauges"] == {"patients_per_s": 4.0}
+
+
+def test_resources_pane_folds_proc_gauges():
+    from repro.obs.events import metric_event
+
+    def proc(name: str, value: float, t: float, pid: int) -> dict:
+        return metric_event(
+            trace="g", name=name, kind="gauge", value=value, t=t, pid=pid,
+        )
+
+    state = WatchState()
+    state.update(
+        [
+            proc("proc.rss_bytes", 50.0 * 1048576, t=0.0, pid=7),
+            proc("proc.rss_bytes", 80.0 * 1048576, t=5.0, pid=7),
+            proc("proc.rss_bytes", 60.0 * 1048576, t=10.0, pid=7),
+            proc("proc.cpu_s", 2.0, t=5.0, pid=7),
+            proc("proc.cpu_s", 5.0, t=10.0, pid=7),
+        ]
+    )
+    snapshot = state.snapshot()
+    (proc7,) = snapshot["resources"]
+    assert proc7["pid"] == 7
+    assert proc7["peak_rss_bytes"] == 80.0 * 1048576  # max, not latest
+    assert proc7["cpu_s"] == 5.0  # cumulative: latest write wins
+    assert proc7["cpu_util"] == pytest.approx(0.5)  # 5 cpu-s / 10 wall-s
+
+    frame = render_frame(snapshot)
+    assert "Resources (from throttled proc.* gauges):" in frame
+    assert "peak rss    80.0 MB" in frame
+    assert "cpu    5.00 s (50% util)" in frame
+
+
+# --------------------------------------------------------------------------
 # The watch loop
 # --------------------------------------------------------------------------
 
