@@ -30,7 +30,11 @@ depends on:
   figures, sweeps, missions, cohorts — through the campaign engine;
 * :mod:`repro.obs` — observability: span-based tracing with
   worker-pool context propagation, counters/gauges/histograms, per-run
-  JSONL trace sinks, and the ``repro report`` renderer.
+  JSONL trace sinks, and the ``repro report`` renderer;
+* :mod:`repro.resilience` — supervised execution: the crash-tolerant
+  worker pool behind campaigns and fleets (retry/timeout/backoff,
+  poison-work quarantine, graceful cancellation) and the deterministic
+  chaos harness (``REPRO_CHAOS`` / ``repro --chaos``).
 
 Quickstart::
 
@@ -57,13 +61,14 @@ from . import (
     exp,
     mem,
     obs,
+    resilience,
     runtime,
     signals,
     soc,
 )
 from .errors import ReproError
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "api",
@@ -74,6 +79,7 @@ __all__ = [
     "exp",
     "mem",
     "obs",
+    "resilience",
     "runtime",
     "signals",
     "soc",

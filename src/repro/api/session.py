@@ -39,7 +39,7 @@ from .. import obs
 from ..campaign.runner import CampaignResult, ProgressFn, run_campaign
 from ..campaign.spec import CampaignSpec
 from ..campaign.store import ResultStore
-from ..errors import ExperimentError, ExperimentSpecError
+from ..errors import ExperimentError, ExperimentSpecError, RunInterrupted
 from . import serde
 from .results import CampaignRun, ResultHandle
 from .schema import (
@@ -881,7 +881,14 @@ class Session:
                         CampaignRun(planned.role, planned.spec, result, store)
                     )
         except BaseException as exc:
-            status = "failed"
+            # Cancellation (SIGINT/SIGTERM or an injected interrupt) is
+            # not a failure: completed work was drained and persisted
+            # on the way out, so the run is resumable — the registry
+            # row says so.
+            if isinstance(exc, (KeyboardInterrupt, RunInterrupted)):
+                status = "interrupted"
+            else:
+                status = "failed"
             error_text = f"{type(exc).__name__}: {exc}"
             raise
         finally:

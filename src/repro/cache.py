@@ -266,9 +266,16 @@ class DiskCache:
         record: dict[str, Any] = {"event": kind, "pid": os.getpid()}
         if digest is not None:
             record["hash"] = digest
-        line = json.dumps(record) + "\n"
+        line = (json.dumps(record) + "\n").encode("utf-8")
         self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.events_path, "a", encoding="utf-8") as handle:
+        # a+b so the torn-tail check can read the current last byte: if
+        # a previous writer died mid-line, seal the debris with a
+        # newline so this event cannot merge with it (the reader then
+        # tolerates-and-quarantines the isolated torn line).
+        with open(self.events_path, "a+b") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size and os.pread(handle.fileno(), 1, size - 1) != b"\n":
+                handle.write(b"\n")
             handle.write(line)
 
     # -- maintenance -------------------------------------------------------
@@ -318,16 +325,21 @@ class DiskCache:
 def _read_events(root: Path | str | None) -> list[dict]:
     """Parsed cache event-log records, in append order.
 
-    Malformed lines (torn tail of a crashed writer) are skipped.
-    Records written before the log carried an ``event`` key are
-    computations — the only kind the log recorded then.
+    Malformed lines (torn tail of a crashed writer) are tolerated and
+    quarantined — skipped by the parse, logged, and preserved in
+    ``events.jsonl.quarantine`` — never fatal.  Records written before
+    the log carried an ``event`` key are computations — the only kind
+    the log recorded then.
     """
+    from .campaign.store import quarantine_torn_lines
+
     events_path = (
         Path(root) if root is not None else default_cache_root()
     ) / "events.jsonl"
     records: list[dict] = []
     if not events_path.exists():
         return records
+    torn: list[str] = []
     with events_path.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -336,9 +348,12 @@ def _read_events(root: Path | str | None) -> list[dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
+                torn.append(line)
                 continue
             if isinstance(record, dict):
                 records.append(record)
+    if torn:
+        quarantine_torn_lines(events_path, torn)
     return records
 
 

@@ -3,33 +3,41 @@
 The runner expands a :class:`~repro.campaign.spec.CampaignSpec`, skips
 every point whose content hash already has a successful record in the
 :class:`~repro.campaign.store.ResultStore` (resume), and evaluates the
-remainder — serially, or across a ``multiprocessing`` pool when
-``n_workers > 1``.  Each point is evaluated by a pure function of its
-parameters with deterministic per-point seeding, so worker-pool and
-serial executions produce identical results regardless of scheduling
-order.
+remainder — serially, or across a supervised worker pool
+(:class:`~repro.resilience.SupervisedPool`) when ``n_workers > 1``.
+Each point is evaluated by a pure function of its parameters with
+deterministic per-point seeding, so worker-pool and serial executions
+produce identical results regardless of scheduling order — and a
+*retried* point (after a worker crash, timeout, or injected transient
+fault) is bit-identical to a first-try point.
 
 Failures are captured, not fatal: an evaluator exception becomes a
 ``status == "failed"`` record carrying the error text, the campaign keeps
-going, and failed points are retried on the next run.
+going, and failed points are retried on the next run.  Infrastructure
+faults — a dead worker, an overstayed deadline, a transport error, an
+injected chaos fault — are retried *within* the run with backoff, and a
+point that exhausts its attempts is quarantined as a ``failed`` record
+carrying its attempt history instead of hanging the drain.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import threading
 import time
 import traceback
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from .. import obs
-from ..errors import CampaignError
+from ..errors import CampaignError, RunInterrupted
+from ..resilience import SupervisedPool, WorkOutcome, active_chaos, retry_serial
 from .evaluators import evaluate_point
 from .spec import CampaignPoint, CampaignSpec
 from .store import ResultStore
 
 __all__ = ["CampaignResult", "run_campaign"]
+
+#: Bounded retry of a store append (transient ENOSPC-style faults).
+_STORE_WRITE_ATTEMPTS = 5
 
 #: Signature of the optional progress callback:
 #: ``progress(n_done, n_total, record)`` after every completed point.
@@ -106,6 +114,10 @@ def _evaluate_payload(payload: tuple[str, CampaignPoint]) -> dict:
             record["result"] = evaluate_point(point)
             record["status"] = "ok"
             obs.counter("campaign.points_ok")
+        except RunInterrupted:
+            # Cancellation of a nested drain (a cohort point runs its
+            # own fleet pool) is a run-level event, not a point failure.
+            raise
         except Exception as exc:  # noqa: BLE001 - failure capture is the point
             record["status"] = "failed"
             record["error"] = f"{type(exc).__name__}: {exc}"
@@ -121,6 +133,40 @@ def _evaluate_payload(payload: tuple[str, CampaignPoint]) -> dict:
     # Throttled per-process resource gauges (worker RSS/CPU) at the
     # per-point seam — one boolean check when untraced.
     obs.resource_probe()
+    return record
+
+
+def _quarantine_record(
+    point_hash: str, point: CampaignPoint, outcome: WorkOutcome
+) -> dict:
+    """The ``failed`` record of a point that exhausted its attempts.
+
+    Every attempt died on an infrastructure fault (worker crash,
+    deadline, transport error, injected chaos), so there is no
+    evaluator record to store — this one is honest about what happened:
+    the real cumulative elapsed time, the attempt count, and the
+    per-attempt history (satellite of the old ``_on_error`` path, which
+    fabricated ``elapsed_s: 0.0`` for transport faults).
+    """
+    last = outcome.history[-1] if outcome.history else {}
+    record = {
+        "hash": point_hash,
+        "kind": point.kind,
+        "params": point.params,
+        "coords": dict(point.coords),
+        "status": "failed",
+        "error": last.get("error", "quarantined"),
+        "elapsed_s": round(
+            sum(entry.get("elapsed_s", 0.0) for entry in outcome.history), 6
+        ),
+        "attempts": outcome.attempts,
+        "attempt_history": [
+            {k: v for k, v in entry.items() if k != "traceback"}
+            for entry in outcome.history
+        ],
+    }
+    if last.get("traceback"):
+        record["traceback"] = last["traceback"]
     return record
 
 
@@ -208,6 +254,31 @@ def _run_campaign_traced(
             "campaign.progress", n_done, campaign=spec.name, total=total
         )
 
+    def _persist(records: list[dict]) -> None:
+        """One locked store write, with bounded retry on write faults.
+
+        A transient ``OSError`` (a full disk that frees up, an injected
+        ENOSPC from the chaos layer) is retried a few times before it
+        fails the campaign — completed evaluations should survive a
+        hiccup at the persistence seam.
+        """
+        if store is None:
+            return
+        chaos = active_chaos()
+        for attempt in range(1, _STORE_WRITE_ATTEMPTS + 1):
+            try:
+                chaos.inject_store_write(records[0]["hash"], attempt)
+                store.append_many(records)
+                return
+            except OSError as exc:
+                if attempt >= _STORE_WRITE_ATTEMPTS:
+                    raise CampaignError(
+                        f"store append failed after {attempt} attempts: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                obs.counter("store.write_retries")
+                time.sleep(0.02 * attempt)
+
     def _absorb_many(records: list[dict]) -> None:
         """Fold a tick's completed points in: one locked store write."""
         nonlocal n_done
@@ -216,8 +287,7 @@ def _run_campaign_traced(
             result.n_executed += 1
             if record["status"] == "failed":
                 result.n_failed += 1
-        if store is not None:
-            store.append_many(records)
+        _persist(records)
         for record in records:
             n_done += 1
             if progress is not None:
@@ -226,69 +296,54 @@ def _run_campaign_traced(
             "campaign.progress", n_done, campaign=spec.name, total=total
         )
 
+    def _record_of(
+        outcome: WorkOutcome, payload: tuple[str, CampaignPoint]
+    ) -> dict:
+        if outcome.status == "completed":
+            return outcome.value
+        return _quarantine_record(payload[0], payload[1], outcome)
+
     if todo:
         if n_workers == 1 or len(todo) == 1:
             # Serial execution keeps per-point durability: every point
-            # is persisted before the next one starts.
+            # is persisted before the next one starts.  retry_serial
+            # shares the pool's retry/chaos semantics in-process.
+            chaos = active_chaos()
+            n_fresh = 0
             for payload in todo:
-                _absorb_many([_evaluate_payload(payload)])
-        else:
-            # Pool execution drains *all* results that completed since
-            # the last wake-up in one tick, so a burst of fast points
-            # costs one store append (single open + flock) instead of
-            # one per point.
-            workers = min(n_workers, len(todo))
-            ready: list[dict] = []
-            condition = threading.Condition()
-
-            def _collect(record: dict) -> None:
-                with condition:
-                    ready.append(record)
-                    condition.notify()
-
-            def _submit(pool, payload: tuple[str, CampaignPoint]) -> None:
-                point_hash, point = payload
-
-                def _on_error(exc: BaseException) -> None:
-                    # _evaluate_payload never raises, so this only fires
-                    # on transport faults (e.g. an unpicklable result);
-                    # record the failure instead of hanging the drain.
-                    _collect(
-                        {
-                            "hash": point_hash,
-                            "kind": point.kind,
-                            "params": point.params,
-                            "coords": dict(point.coords),
-                            "status": "failed",
-                            "error": f"{type(exc).__name__}: {exc}",
-                            "elapsed_s": 0.0,
-                        }
-                    )
-
-                pool.apply_async(
-                    _evaluate_payload,
-                    (payload,),
-                    callback=_collect,
-                    error_callback=_on_error,
+                outcome = retry_serial(
+                    _evaluate_payload, payload[0], payload, name="campaign"
                 )
-
-            # Workers created inside worker_parent() inherit the
-            # campaign span id, so their per-point spans hang off this
-            # campaign in the report's tree.
+                _absorb_many([_record_of(outcome, payload)])
+                n_fresh += 1
+                chaos.check_interrupt(n_fresh)
+        else:
+            # Supervised pool execution: dead workers are respawned and
+            # their claimed points requeued, transient faults retry
+            # with backoff, and poison points are quarantined instead
+            # of hanging the drain.  The pool yields every point that
+            # completed since the last tick, so a burst of fast points
+            # still costs one store append (single open + flock).
+            by_key = dict(todo)
+            pool = SupervisedPool(
+                _evaluate_payload,
+                min(n_workers, len(todo)),
+                name="campaign",
+            )
+            # Workers spawned inside worker_parent() (including
+            # respawns after a crash) inherit the campaign span id, so
+            # their per-point spans hang off this campaign in the
+            # report's tree.
             with obs.worker_parent(campaign_span.span_id):
-                pool = multiprocessing.Pool(processes=workers)
-            with pool:
-                for payload in todo:
-                    _submit(pool, payload)
-                remaining = len(todo)
-                while remaining:
-                    with condition:
-                        while not ready:
-                            condition.wait()
-                        batch = list(ready)
-                        ready.clear()
-                    _absorb_many(batch)
-                    remaining -= len(batch)
+                # Work key = point hash; payload = the same (hash,
+                # point) tuple _evaluate_payload always took.
+                for outcomes in pool.run([(h, (h, p)) for h, p in todo]):
+                    _absorb_many(
+                        [
+                            _record_of(o, (o.key, by_key[o.key]))
+                            for o in outcomes
+                        ]
+                    )
 
     result.records = [by_hash[h] for h in point_hashes]
     return result

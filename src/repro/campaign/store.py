@@ -6,8 +6,11 @@ object per line::
     {"hash": "...", "kind": "montecarlo", "params": {...},
      "status": "ok", "result": {...}, "elapsed_s": 0.41}
 
-The append-only discipline makes writes crash-safe (a torn final line is
-skipped on load) and keeps concurrent readers simple.  Records are keyed
+The append-only discipline makes writes crash-safe: a torn final line
+(a writer crashed mid-append) is tolerated and quarantined on load —
+logged and copied to a ``<store>.quarantine`` side file, never fatal —
+and the next append seals it with a newline before writing, so torn
+debris can never merge with a fresh record.  Records are keyed
 by the point's content hash (:meth:`CampaignPoint.content_hash`);
 re-appending a hash supersedes the earlier record, so a store never needs
 compaction to stay *correct* — :meth:`ResultStore.compact` exists to
@@ -29,6 +32,7 @@ mtime tick.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 import zlib
@@ -37,7 +41,45 @@ from pathlib import Path
 from .. import obs
 from ..errors import CampaignError
 
-__all__ = ["ResultStore", "default_store_root"]
+__all__ = ["ResultStore", "default_store_root", "quarantine_torn_lines"]
+
+_LOG = logging.getLogger(__name__)
+
+
+def quarantine_torn_lines(path: Path, lines: list[str]) -> int:
+    """Preserve malformed JSONL lines in a ``.quarantine`` side file.
+
+    Crash-consistency contract shared by the result store and the cache
+    event log: a malformed line (usually the torn tail of a writer that
+    died mid-append) is *tolerated* — skipped by the reader, never
+    fatal — and *quarantined* — logged and appended to
+    ``<path>.quarantine`` so the debris stays inspectable after a
+    :meth:`ResultStore.compact` or log rotation drops it from the live
+    file.  Lines already quarantined are not duplicated.  Returns the
+    number of newly quarantined lines; quarantine-file write errors are
+    swallowed (the side file is best-effort, the load must succeed).
+    """
+    if not lines:
+        return 0
+    side = path.with_suffix(path.suffix + ".quarantine")
+    try:
+        known = set(
+            side.read_text(encoding="utf-8").splitlines()
+        ) if side.exists() else set()
+        fresh = [line for line in lines if line not in known]
+        if fresh:
+            with side.open("a", encoding="utf-8") as handle:
+                handle.write("".join(line + "\n" for line in fresh))
+    except OSError:  # pragma: no cover - best-effort side file
+        fresh = lines
+    _LOG.warning(
+        "%s: quarantined %d malformed line(s) (torn tail of an "
+        "interrupted writer?); see %s",
+        path, len(lines), side,
+    )
+    if obs.enabled():
+        obs.counter("store.quarantined_lines", len(lines))
+    return len(fresh)
 
 #: Valid terminal states of a stored point.
 _STATUSES = ("ok", "failed")
@@ -113,12 +155,14 @@ class ResultStore:
         """Read all records, keyed by point hash (later lines win).
 
         Malformed lines (e.g. a torn tail from an interrupted run) are
-        skipped silently; an absent file is an empty store.  Duplicate
-        lines from resumed or ``resume=False`` runs collapse here —
-        last write wins.  The parse is memoized against the file's
-        (size, mtime) signature; the returned mapping is a fresh dict
-        each call, but the record dicts themselves are shared — treat
-        them as read-only.
+        tolerated and quarantined: skipped by the parse, logged, and
+        preserved in ``<store>.quarantine`` — a crashed run never makes
+        its store unreadable.  An absent file is an empty store.
+        Duplicate lines from resumed or ``resume=False`` runs collapse
+        here — last write wins.  The parse is memoized against the
+        file's (size, mtime) signature; the returned mapping is a fresh
+        dict each call, but the record dicts themselves are shared —
+        treat them as read-only.
         """
         signature = self._signature()
         if signature is None:
@@ -127,6 +171,7 @@ class ResultStore:
             return dict(self._memo[1])
         records: dict[str, dict] = {}
         n_lines = 0
+        torn: list[str] = []
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -136,9 +181,12 @@ class ResultStore:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    torn.append(line)
                     continue
                 if isinstance(record, dict) and "hash" in record:
                     records[record["hash"]] = record
+        if torn:
+            quarantine_torn_lines(self.path, torn)
         self.n_parses += 1
         self._memo = (signature, records, n_lines)
         return dict(records)
@@ -178,10 +226,12 @@ class ResultStore:
                 raise CampaignError("record must carry the point hash")
         payload = "".join(
             json.dumps(record, sort_keys=True) + "\n" for record in records
-        )
+        ).encode("utf-8")
         started = time.perf_counter() if obs.enabled() else 0.0
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
+        # a+b (read + append) so the torn-tail check below can inspect
+        # the current last byte through the same locked descriptor.
+        with self.path.open("a+b") as handle:
             try:
                 import fcntl
 
@@ -191,6 +241,13 @@ class ResultStore:
                 # fcntl, and some network filesystems refuse flock —
                 # appends stay as unlocked as they historically were.
                 pass
+            # Crash consistency: if the previous writer died mid-line,
+            # seal the torn tail with a newline before appending, so
+            # the debris stays an isolated (quarantinable) line instead
+            # of merging with — and corrupting — the first new record.
+            size = os.fstat(handle.fileno()).st_size
+            if size and os.pread(handle.fileno(), 1, size - 1) != b"\n":
+                handle.write(b"\n")
             handle.write(payload)
         if obs.enabled():
             obs.observe("store.append_s", time.perf_counter() - started)

@@ -38,9 +38,10 @@ Global options come before the subcommand: ``--seed`` fixes the master
 Monte-Carlo seed of every experiment (overriding the file's ``seed``
 for ``run``), so any artefact is reproducible from the command line
 (``python -m repro --seed 7 fig4 ...``); ``--trace [DIR]`` records a
-JSONL trace per run; ``-v``/``-q`` adjust stderr diagnostics (stdout
-carries only tables/JSON, so pipelines can consume it regardless of
-verbosity).
+JSONL trace per run; ``--chaos SPEC`` injects deterministic faults
+into supervised execution (see ``docs/robustness.md``); ``-v``/``-q``
+adjust stderr diagnostics (stdout carries only tables/JSON, so
+pipelines can consume it regardless of verbosity).
 """
 
 from __future__ import annotations
@@ -54,7 +55,7 @@ from pathlib import Path
 
 from . import __version__
 from .energy.technology import PAPER_VOLTAGE_GRID
-from .errors import ReproError
+from .errors import ReproError, RunInterrupted
 from .obs.logcfg import configure as _configure_logging
 from .obs.logcfg import get_logger
 
@@ -127,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a span-attributed sampling profile alongside the "
              "trace (implies --trace when tracing is unconfigured); "
              "inspect with 'repro profile <run-id>'",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject deterministic faults into supervised execution "
+             "(testing aid): comma-separated clauses kill:P, raise:P, "
+             "delay:P:S, enospc:P, interrupt:N, seed:N — e.g. "
+             "'kill:0.2,raise:0.2,seed:7'; equivalent to REPRO_CHAOS",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -430,7 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs.add_argument(
         "--status", default=None,
-        help="only runs in this state (running/ok/failed)",
+        help="only runs in this state (running/ok/failed/interrupted/"
+             "stale — 'stale' means registered as running but the owner "
+             "process is dead)",
     )
     runs.add_argument(
         "--name", default=None,
@@ -444,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--latest", action="store_true",
         help="print only the newest matching run id (for scripting, "
              "e.g. repro watch \"$(repro runs --latest)\")",
+    )
+    runs.add_argument(
+        "--prune-stale", action="store_true",
+        help="finalize stale runs (owner process dead, never finalized) "
+             "as 'interrupted' so they stop rendering as running",
     )
     runs.add_argument(
         "--trace-dir", default=None,
@@ -1223,6 +1238,14 @@ def _cmd_runs(args) -> int:
 
     trace_dir = _resolved_trace_dir(args)
     registry = RunRegistry(trace_dir)
+    if args.prune_stale:
+        pruned = registry.prune_stale()
+        for record in pruned:
+            print(f"pruned stale run {record.run_id} -> interrupted "
+                  f"({record.error})")
+        if not pruned:
+            print(f"no stale runs in {trace_dir}")
+        return 0
     records = registry.runs(
         kind=args.kind, status=args.status, name=args.name,
         limit=args.limit,
@@ -1242,7 +1265,7 @@ def _cmd_runs(args) -> int:
         return 0
     print(f"Runs in {trace_dir} ({len(records)} shown, newest first):")
     print(
-        f"  {'RUN ID':<36} {'KIND':<8} {'STATUS':<8} "
+        f"  {'RUN ID':<36} {'KIND':<8} {'STATUS':<11} "
         f"{'STARTED':<19} {'WALL':>9} {'POINTS':>7} "
         f"{'CPU':>8} {'PEAK RSS':>9}"
     )
@@ -1271,11 +1294,16 @@ def _cmd_runs(args) -> int:
         )
         print(
             f"  {record.run_id:<36} {record.kind or '-':<8} "
-            f"{record.status:<8} {started:<19} {wall:>9} {shown:>7} "
-            f"{cpu:>8} {rss:>9}"
+            f"{record.effective_status():<11} {started:<19} {wall:>9} "
+            f"{shown:>7} {cpu:>8} {rss:>9}"
         )
         if record.error:
             print(f"      error: {record.error}")
+        elif record.is_stale():
+            print(
+                f"      stale: owner pid {record.pid} is dead and never "
+                "finalized this run (repro runs --prune-stale)"
+            )
     return 0
 
 
@@ -1289,7 +1317,21 @@ def _cmd_watch(args) -> int:
 
     def _finished() -> bool:
         record = registry.get(run_id)
-        return record is not None and record.status in ("ok", "failed")
+        return record is not None and record.status in (
+            "ok", "failed", "interrupted"
+        )
+
+    def _dead() -> str | None:
+        # A run whose registry row says "running" but whose owner pid
+        # is gone will never produce another event: tell the user
+        # instead of tailing forever.
+        record = registry.get(run_id)
+        if record is not None and record.is_stale():
+            return (
+                f"owner pid {record.pid} of run {run_id} is dead and "
+                "the run was never finalized"
+            )
+        return None
 
     return watch(
         path,
@@ -1298,6 +1340,7 @@ def _cmd_watch(args) -> int:
         interval_s=args.interval,
         rules=rules,
         is_finished=_finished,
+        is_dead=_dead,
         max_seconds=args.max_seconds,
     )
 
@@ -1440,8 +1483,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         # implies tracing; an explicit --trace/REPRO_TRACE_* wins.
         if configured_dir() is None:
             set_trace_dir(default_trace_dir())
+    if args.chaos is not None:
+        from .resilience import ENV_CHAOS, parse_chaos
+
+        try:
+            parse_chaos(args.chaos)  # fail fast on a malformed spec
+        except ReproError as error:
+            _LOG.error(str(error))
+            return 1
+        os.environ[ENV_CHAOS] = args.chaos
     try:
         return _HANDLERS[args.command](args)
+    except RunInterrupted as error:
+        # The session already drained and persisted completed work and
+        # finalized the registry row as 'interrupted'; exit like a
+        # SIGINT'd process so wrappers treat the run as cancelled.
+        _LOG.error("interrupted: %s", error)
+        return 130
     except ReproError as error:
         # The CLI formatter renders ERROR records as "error: ..." on
         # stderr; --quiet lowers verbosity but never silences these.

@@ -10,10 +10,13 @@
   segment signature, operating point)`` is calibrated exactly once
   across the whole fleet *and* all worker processes (the cache's event
   log makes that auditable);
-* **patient-level parallelism** — patients fan out over a
-  ``multiprocessing`` pool; per-patient seeding depends on ``(cohort
-  seed, patient index)`` only, so results are bit-identical for any
-  worker count or simulation order;
+* **patient-level parallelism** — patients fan out over a supervised
+  worker pool (:class:`~repro.resilience.SupervisedPool`): a dead or
+  stuck worker is detected, respawned, and its patient requeued, so an
+  OOM-killed worker costs one retry instead of hanging the fleet.
+  Per-patient seeding depends on ``(cohort seed, patient index)`` only,
+  so results are bit-identical for any worker count, simulation order,
+  or retry count;
 * **batched streaming** — the mission simulator prices windows per rung
   and batches its environment draws, so the per-window cost is one
   policy decision and a few array reads.
@@ -25,7 +28,6 @@ the same discipline as the campaign runner.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -38,6 +40,7 @@ from ..api.serde import policy_label
 from ..cache import shared_cache
 from ..energy.technology import TECH_32NM_LP, Technology
 from ..errors import CohortError
+from ..resilience import SupervisedPool, WorkOutcome, active_chaos, retry_serial
 from ..runtime.policy import policy_from_dict
 from ..runtime.simulator import MissionSimulator
 from .population import CohortSpec
@@ -285,6 +288,22 @@ class FleetSimulator:
                 cohort=self.cohort.name, policy=label, total=len(todo),
             )
 
+        def _row_of(outcome: WorkOutcome) -> dict:
+            """An outcome's row; quarantined patients become failures."""
+            if outcome.status == "completed":
+                return outcome.value
+            index = int(outcome.key.rsplit("-", 1)[1])
+            row = self.cohort.patient(index).to_dict()
+            last = outcome.history[-1] if outcome.history else {}
+            row["status"] = "failed"
+            row["error"] = last.get("error", "quarantined")
+            row["attempts"] = outcome.attempts
+            row["attempt_history"] = [
+                {k: v for k, v in entry.items() if k != "traceback"}
+                for entry in outcome.history
+            ]
+            return row
+
         with obs.span(
             "fleet",
             cohort=self.cohort.name,
@@ -293,28 +312,39 @@ class FleetSimulator:
             workers=n_workers,
         ) as fleet_span:
             if n_workers == 1 or len(todo) <= 1:
-                for index in todo:
-                    _absorb(self.simulate_patient(index, policy))
-            else:
-                # Chunked scheduling amortises IPC; the chunk size keeps
-                # every worker busy even when mission lengths vary.
-                chunksize = max(1, len(todo) // (4 * n_workers))
-                # Workers created inside worker_parent() inherit the
-                # fleet span id, so their per-patient spans hang off
-                # this fleet in the report's tree.
-                with obs.worker_parent(fleet_span.span_id):
-                    pool = multiprocessing.Pool(
-                        processes=min(n_workers, len(todo)),
-                        initializer=_init_worker,
-                        initargs=(
-                            self.cohort.to_dict(), policy, self._knobs()
-                        ),
+                chaos = active_chaos()
+                for n_fresh, index in enumerate(todo, start=1):
+                    outcome = retry_serial(
+                        lambda i: self.simulate_patient(i, policy),
+                        f"patient-{index}",
+                        index,
+                        name="fleet",
                     )
-                with pool:
-                    for row in pool.imap_unordered(
-                        _worker_simulate, todo, chunksize=chunksize
+                    _absorb(_row_of(outcome))
+                    chaos.check_interrupt(n_fresh)
+            else:
+                # Supervised fan-out: one patient per dispatch, dead
+                # workers respawned and their patients requeued,
+                # poison patients quarantined as failed rows.
+                pool = SupervisedPool(
+                    _worker_simulate,
+                    min(n_workers, len(todo)),
+                    initializer=_init_worker,
+                    initargs=(
+                        self.cohort.to_dict(), policy, self._knobs()
+                    ),
+                    name="fleet",
+                )
+                # Workers spawned inside worker_parent() (including
+                # respawns after a crash) inherit the fleet span id, so
+                # their per-patient spans hang off this fleet in the
+                # report's tree.
+                with obs.worker_parent(fleet_span.span_id):
+                    for outcomes in pool.run(
+                        [(f"patient-{index}", index) for index in todo]
                     ):
-                        _absorb(row)
+                        for outcome in outcomes:
+                            _absorb(_row_of(outcome))
             elapsed = time.perf_counter() - started
             if obs.enabled():
                 if elapsed > 0:

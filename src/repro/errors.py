@@ -80,3 +80,29 @@ class ObsError(ReproError):
     process, a run id is empty, or ``repro report`` is pointed at a
     trace whose events violate the schema contract.
     """
+
+
+class ResilienceError(ReproError):
+    """The supervised-execution layer was misconfigured.
+
+    Raised by :mod:`repro.resilience` for invalid retry policies,
+    malformed ``REPRO_CHAOS`` specs, or misuse of the supervised pool.
+    """
+
+
+class ChaosError(ResilienceError):
+    """A fault injected by the deterministic chaos layer.
+
+    Deliberately transient: the supervisor retries work that failed
+    with an injected fault, so a chaos run converges to the same
+    results as an undisturbed one.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A run was cancelled (SIGINT/SIGTERM or an injected interrupt).
+
+    Raised after completed work has been drained and persisted, so the
+    interrupted run is resumable; the session layer finalises the run
+    registry row as ``interrupted`` on the way out.
+    """

@@ -94,11 +94,14 @@ from .profile import (
 )
 from .registry import (
     REGISTRY_BASENAME,
+    STALE_STATUS,
     RunRecord,
     RunRegistry,
     host_metadata,
+    pid_alive,
 )
 from .report import (
+    RESILIENCE_COUNTERS,
     load_events,
     load_trace,
     metric_series,
@@ -159,6 +162,7 @@ __all__ = [
     "metric_event",
     "validate_event",
     # report
+    "RESILIENCE_COUNTERS",
     "load_trace",
     "load_events",
     "resolve_trace",
@@ -169,9 +173,11 @@ __all__ = [
     "render_report",
     # registry
     "REGISTRY_BASENAME",
+    "STALE_STATUS",
     "RunRecord",
     "RunRegistry",
     "host_metadata",
+    "pid_alive",
     # watch
     "TraceTail",
     "WatchState",

@@ -41,16 +41,38 @@ from ..errors import ObsError
 __all__ = [
     "REGISTRY_BASENAME",
     "RUN_STATUSES",
+    "STALE_STATUS",
     "RunRecord",
     "RunRegistry",
     "host_metadata",
+    "pid_alive",
 ]
 
 #: The registry file's name inside a trace directory.
 REGISTRY_BASENAME = "registry.jsonl"
 
-#: Valid run lifecycle states.
-RUN_STATUSES = ("running", "ok", "failed")
+#: Valid run lifecycle states.  ``interrupted`` is terminal: the run
+#: was cancelled (SIGINT/SIGTERM or an injected interrupt) after its
+#: completed work was persisted, so it can be resumed by re-running.
+RUN_STATUSES = ("running", "ok", "failed", "interrupted")
+
+#: The computed (never stored) status of a ``running`` record whose
+#: owner process is dead — accepted by :meth:`RunRegistry.runs` as a
+#: filter and rendered by ``repro runs``.
+STALE_STATUS = "stale"
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists on this host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - e.g. invalid pid value
+        return False
+    return True
 
 
 def host_metadata() -> dict[str, Any]:
@@ -83,7 +105,7 @@ class RunRecord:
             ``cohort``), or ``""`` for runs registered outside the
             session.
         spec_digest: the experiment's full canonical content hash.
-        status: ``running`` | ``ok`` | ``failed``.
+        status: ``running`` | ``ok`` | ``failed`` | ``interrupted``.
         started_at / ended_at: wall-clock unix seconds (``ended_at`` is
             ``None`` while running).
         wall_s: measured wall time of the run (``None`` while running).
@@ -97,6 +119,10 @@ class RunRecord:
             revision 1.5 — readers render a blank).
         cpu_s: CPU seconds the owner process burned over the run
             (``time.process_time`` delta; ``None`` pre-1.5).
+        pid: the owner process's pid, stamped at registration (``None``
+            pre-1.6).  While ``status == "running"``, a dead owner pid
+            on the same host marks the record *stale* — the run crashed
+            without finalizing.
     """
 
     run_id: str
@@ -113,6 +139,24 @@ class RunRecord:
     error: str | None = None
     peak_rss_bytes: int | None = None
     cpu_s: float | None = None
+    pid: int | None = None
+
+    def is_stale(self) -> bool:
+        """A ``running`` record whose owner process is provably dead.
+
+        Conservative: only decidable on the host that ran it (pid
+        liveness means nothing across machines) and only for records
+        that carry a pid — anything else is assumed live.
+        """
+        if self.status != "running" or self.pid is None:
+            return False
+        if self.host.get("hostname") not in (None, socket.gethostname()):
+            return False
+        return not pid_alive(self.pid)
+
+    def effective_status(self) -> str:
+        """The status to render: ``stale`` for dead-owner running rows."""
+        return STALE_STATUS if self.is_stale() else self.status
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe form, exactly what one registry line carries."""
@@ -138,6 +182,8 @@ class RunRecord:
             payload["peak_rss_bytes"] = self.peak_rss_bytes
         if self.cpu_s is not None:
             payload["cpu_s"] = self.cpu_s
+        if self.pid is not None:
+            payload["pid"] = self.pid
         return payload
 
     @classmethod
@@ -158,6 +204,7 @@ class RunRecord:
             error=payload.get("error"),
             peak_rss_bytes=payload.get("peak_rss_bytes"),
             cpu_s=payload.get("cpu_s"),
+            pid=payload.get("pid"),
         )
 
 
@@ -215,7 +262,12 @@ class RunRegistry:
         trace_path: Path | str = "",
         started_at: float | None = None,
     ) -> RunRecord:
-        """Append a ``running`` record for a run that just started."""
+        """Append a ``running`` record for a run that just started.
+
+        The owner pid is stamped so readers (``repro runs``, ``repro
+        watch``) can tell a live run from one whose process crashed
+        without finalizing.
+        """
         if not run_id:
             raise ObsError("registry run_id must be non-empty")
         return self._append(
@@ -230,6 +282,7 @@ class RunRegistry:
                 ),
                 trace_path=str(trace_path),
                 host=host_metadata(),
+                pid=os.getpid(),
             )
         )
 
@@ -244,7 +297,8 @@ class RunRegistry:
         peak_rss_bytes: int | None = None,
         cpu_s: float | None = None,
     ) -> RunRecord:
-        """Append the run's terminal record (``ok`` or ``failed``).
+        """Append the run's terminal record (``ok`` / ``failed`` /
+        ``interrupted``).
 
         Carries the registration's identity/host fields forward, so the
         latest line is self-contained — readers never need to merge.
@@ -252,9 +306,10 @@ class RunRegistry:
         (the record is simply sparse); that keeps the registry usable
         for runs traced by code that predates registration.
         """
-        if status not in ("ok", "failed"):
+        if status not in ("ok", "failed", "interrupted"):
             raise ObsError(
-                f"finalize status must be 'ok' or 'failed', got {status!r}"
+                "finalize status must be 'ok', 'failed' or 'interrupted',"
+                f" got {status!r}"
             )
         previous = self.get(run_id)
         base = (
@@ -321,26 +376,56 @@ class RunRegistry:
 
         Args:
             kind: keep runs of this experiment kind only.
-            status: keep runs in this lifecycle state only.
+            status: keep runs in this lifecycle state only.  The
+                computed ``"stale"`` selects ``running`` records whose
+                owner process is dead; plain ``"running"`` excludes
+                them — a crashed run no longer masquerades as live.
             name: keep runs whose experiment name contains this
                 substring.
             limit: keep at most this many (after sorting).
         """
-        if status is not None and status not in RUN_STATUSES:
+        if status is not None and status not in (
+            *RUN_STATUSES, STALE_STATUS,
+        ):
             raise ObsError(
-                f"unknown run status {status!r}; valid: {RUN_STATUSES}"
+                f"unknown run status {status!r}; "
+                f"valid: {(*RUN_STATUSES, STALE_STATUS)}"
             )
         selected = [
             record
             for record in self.load().values()
             if (kind is None or record.kind == kind)
-            and (status is None or record.status == status)
+            and (status is None or record.effective_status() == status)
             and (name is None or name in record.name)
         ]
         selected.sort(key=lambda record: record.started_at, reverse=True)
         if limit is not None:
             selected = selected[: max(0, limit)]
         return selected
+
+    def prune_stale(self) -> list[RunRecord]:
+        """Finalize every stale run as ``interrupted``; return them.
+
+        The terminal record notes the dead owner pid, so ``repro runs``
+        stops listing the run as live and ``repro watch`` refuses to
+        wait on it.  Safe to run repeatedly — already-terminal runs are
+        untouched.
+        """
+        pruned = []
+        for record in self.load().values():
+            if not record.is_stale():
+                continue
+            pruned.append(
+                self.finalize(
+                    record.run_id,
+                    "interrupted",
+                    error=(
+                        f"pruned: owner pid {record.pid} died without "
+                        "finalizing"
+                    ),
+                )
+            )
+        return pruned
 
     def latest(
         self, kind: str | None = None, status: str | None = None

@@ -341,6 +341,17 @@ def summarize(events: list[dict]) -> dict[str, Any]:
 
 _CACHE_COUNTERS = ("cache.memory_hit", "cache.disk_hit", "cache.computed")
 
+#: Supervision counters rendered as their own Resilience section (and
+#: excluded from the generic metrics table), in display order.
+RESILIENCE_COUNTERS = (
+    "work.retries",
+    "worker.restarts",
+    "work.timeouts",
+    "work.quarantined",
+    "store.write_retries",
+    "store.quarantined_lines",
+)
+
 
 def _format_attrs(attrs: dict[str, Any], limit: int = 3) -> str:
     parts = [
@@ -464,9 +475,21 @@ def render_report(
             f"({100.0 * hits / lookups if lookups else 0.0:.1f}% hit rate)"
         )
 
+    resilience = {
+        name: int(metrics[name]["value"])
+        for name in RESILIENCE_COUNTERS
+        if name in metrics and metrics[name]["value"]
+    }
+    if resilience:
+        lines.append("")
+        lines.append("Resilience (supervised execution):")
+        for name, value in resilience.items():
+            label = name.split(".", 1)[1].replace("_", " ")
+            lines.append(f"  {label:<32} {value}")
+
     other = {
         name: slot for name, slot in sorted(metrics.items())
-        if name not in _CACHE_COUNTERS
+        if name not in _CACHE_COUNTERS + RESILIENCE_COUNTERS
     }
     if other:
         lines.append("")

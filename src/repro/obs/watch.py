@@ -17,7 +17,9 @@ re-evaluate every frame, so a degrading fleet flags while it runs.
 In a TTY the frame redraws in place (ANSI home+clear); ``--once`` or a
 non-TTY stream prints plain frames — the CI/log mode.  The loop ends
 when the run does: the ``session.run`` root span closing, or the run
-registry reporting a terminal status.
+registry reporting a terminal status.  A run that can never finish —
+no events arriving and a provably dead owner pid — ends the watch with
+a clear note and exit code 2 instead of hanging forever.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ from typing import Any, Callable, TextIO
 from ..errors import ObsError
 from .alerts import AlertRule, breached, evaluate_rules, render_outcomes
 from .events import validate_event
-from .report import metric_series, summarize
+from .report import RESILIENCE_COUNTERS, metric_series, summarize
 
 __all__ = [
     "TraceTail",
@@ -51,6 +53,10 @@ _RATE_WINDOW_S = 30.0
 #: A worker with no events for this long (while the run advances) is
 #: flagged as a possible straggler.
 _STRAGGLER_S = 20.0
+
+#: The event stream must be quiet for this long before a dead-owner
+#: verdict ends the watch — dying workers may still be flushing.
+_DEAD_QUIET_S = 3.0
 
 
 class TraceTail:
@@ -327,6 +333,12 @@ class WatchState:
             ),
         }
 
+        resilience = {
+            name: int(metrics[name]["value"])
+            for name in RESILIENCE_COUNTERS
+            if name in metrics and metrics[name]["value"]
+        }
+
         return {
             "run_id": (
                 run["trace"] if run else (self.run_id or "(unknown)")
@@ -343,6 +355,7 @@ class WatchState:
             "workers": workers,
             "resources": resources,
             "failures": failures,
+            "resilience": resilience,
         }
 
 
@@ -458,6 +471,19 @@ def render_frame(
                 parts.append(f"cpu {proc['cpu_s']:>7.2f} s{util}")
             lines.append(" · ".join(parts))
 
+    resilience = snapshot.get("resilience", {})
+    if resilience:
+        lines.append("")
+        lines.append(
+            "Resilience: "
+            + " · ".join(
+                f"{name.split('.', 1)[1].replace('_', ' ')} "
+                f"{resilience[name]}"
+                for name in RESILIENCE_COUNTERS
+                if name in resilience
+            )
+        )
+
     failures = snapshot["failures"]
     if any(failures.values()):
         lines.append("")
@@ -481,6 +507,7 @@ def watch(
     rules: list[AlertRule] | None = None,
     stream: TextIO | None = None,
     is_finished: Callable[[], bool] | None = None,
+    is_dead: Callable[[], str | None] | None = None,
     max_seconds: float | None = None,
     _sleep: Callable[[float], None] = time.sleep,
 ) -> int:
@@ -500,10 +527,17 @@ def watch(
             place, others print plain frames separated by blank lines.
         is_finished: extra terminal-state probe (the CLI passes the run
             registry's status) consulted each frame.
+        is_dead: probe for a run that will *never* finish — the CLI
+            passes the registry's dead-owner-pid check.  Consulted only
+            once the event stream has been quiet for a grace period
+            (dying workers may still be flushing); a non-``None``
+            verdict ends the watch with that note and exit code 2
+            instead of hanging forever.
         max_seconds: stop after this much wall time even if the run is
             still going (0 exit unless alerts fire).
 
     Returns:
+        2 when the watched run is dead (crashed owner, stale stream),
         1 when alert rules fired (at the last rendered frame),
         0 otherwise.
     """
@@ -518,8 +552,13 @@ def watch(
         time.monotonic() + max_seconds if max_seconds is not None else None
     )
     first_frame = True
+    last_activity = time.monotonic()
+    dead_reason: str | None = None
     while True:
-        state.update(tail.poll())
+        fresh = tail.poll()
+        state.update(fresh)
+        if fresh:
+            last_activity = time.monotonic()
         done = state.finished or (
             is_finished is not None and is_finished()
         )
@@ -527,9 +566,21 @@ def watch(
             # The registry flips to a terminal status only after the
             # trace's final flush — one more poll catches it.
             state.update(tail.poll())
+        if (
+            not done
+            and is_dead is not None
+            and (once or time.monotonic() - last_activity >= _DEAD_QUIET_S)
+        ):
+            dead_reason = is_dead()
         if rules:
             outcomes = evaluate_rules(rules, state.events)
         frame = render_frame(state.snapshot(), outcomes)
+        if dead_reason:
+            frame += (
+                f"\n\nRUN DEAD: {dead_reason} — the run will never "
+                "finish; exiting instead of waiting forever.\n"
+                "(finalize it with `repro runs --prune-stale`)"
+            )
         if tty and not once:
             out.write("\x1b[H\x1b[2J" + frame + "\n")
         else:
@@ -538,9 +589,11 @@ def watch(
             out.write(frame + "\n")
         out.flush()
         first_frame = False
-        if once or done:
+        if once or done or dead_reason:
             break
         if deadline is not None and time.monotonic() >= deadline:
             break
         _sleep(interval_s)
+    if dead_reason:
+        return 2
     return 1 if (outcomes is not None and breached(outcomes)) else 0

@@ -1,0 +1,200 @@
+"""Deterministic fault injection, configured by ``REPRO_CHAOS``.
+
+The spec is a comma-separated list of clauses::
+
+    kill:P          SIGKILL the worker before evaluating (probability P)
+    raise:P         raise a transient ChaosError before evaluating
+    delay:P:S       sleep S seconds before evaluating (probability P)
+    enospc:P        fail a store append with an ENOSPC-style OSError
+    interrupt:N     cancel the run after N completed units of work
+    seed:N          seed of the fault schedule (default 0)
+
+e.g. ``REPRO_CHAOS="kill:0.2,raise:0.2,seed:7"`` or
+``repro --chaos "delay:0.5:0.01,enospc:0.3"``.
+
+Every probabilistic decision is a pure function of ``(seed, site, key,
+attempt)`` — no RNG state, no wall clock — so a given schedule injects
+exactly the same faults on every run of the same work, and a *retry*
+(attempt + 1) gets a fresh draw.  That is what makes the recovery paths
+CI-provable: with ``P < 1`` a retried unit eventually draws clean, and
+the run's final results are bit-identical to an undisturbed run's.
+
+The active spec is re-read from the environment on every
+:func:`active_chaos` call (memoized against the raw env value, the
+:func:`~repro.cache.shared_cache` pattern), so pool workers inherit it
+through their environment and tests repoint it by setting one variable.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from ..errors import ChaosError, ResilienceError, RunInterrupted
+
+__all__ = [
+    "ENV_CHAOS",
+    "ChaosSpec",
+    "active_chaos",
+    "chaos_draw",
+    "parse_chaos",
+]
+
+#: Environment variable holding the chaos spec (empty/absent: no chaos).
+ENV_CHAOS = "REPRO_CHAOS"
+
+
+def chaos_draw(seed: int, site: str, key: str, attempt: int) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` for one decision.
+
+    ``site`` names the injection point (``"kill"``, ``"raise"``, ...),
+    ``key`` the unit of work, ``attempt`` its attempt number — so
+    distinct decisions are independent and a retry re-draws.
+    """
+    digest = hashlib.sha256(
+        f"{seed}|{site}|{key}|{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One parsed ``REPRO_CHAOS`` schedule; inactive when all-zero."""
+
+    kill_p: float = 0.0
+    raise_p: float = 0.0
+    delay_p: float = 0.0
+    delay_s: float = 0.0
+    enospc_p: float = 0.0
+    interrupt_after: int | None = None
+    seed: int = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any clause can ever fire."""
+        return bool(
+            self.kill_p
+            or self.raise_p
+            or self.delay_p
+            or self.enospc_p
+            or self.interrupt_after is not None
+        )
+
+    def _fires(self, site: str, p: float, key: str, attempt: int) -> bool:
+        return p > 0.0 and chaos_draw(self.seed, site, key, attempt) < p
+
+    def inject_worker(
+        self, key: str, attempt: int, allow_kill: bool = True
+    ) -> None:
+        """Run the pre-evaluation fault sites for one unit of work.
+
+        Called by the supervised pool's worker wrapper (and, with
+        ``allow_kill=False``, by the serial retry loop — killing the
+        only process would not be an injected fault, it would be the
+        real thing).  May sleep, raise :class:`ChaosError`, or SIGKILL
+        the calling process.
+        """
+        if self._fires("delay", self.delay_p, key, attempt):
+            time.sleep(self.delay_s)
+        if self._fires("raise", self.raise_p, key, attempt):
+            raise ChaosError(
+                f"injected transient fault (work={key[:12]} "
+                f"attempt={attempt})"
+            )
+        if allow_kill and self._fires("kill", self.kill_p, key, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def inject_store_write(self, key: str, attempt: int) -> None:
+        """ENOSPC site: fail one store append (the caller retries)."""
+        if self._fires("enospc", self.enospc_p, key, attempt):
+            raise OSError(
+                errno.ENOSPC,
+                f"injected ENOSPC (write={key[:12]} attempt={attempt})",
+            )
+
+    def check_interrupt(self, n_completed: int) -> None:
+        """Owner-side interrupt site: cancel after N completed units.
+
+        The deterministic stand-in for a mid-run SIGINT — it raises
+        :class:`RunInterrupted` through exactly the code path the
+        signal handler uses, after completed work has been absorbed.
+        """
+        if (
+            self.interrupt_after is not None
+            and n_completed >= self.interrupt_after
+        ):
+            raise RunInterrupted(
+                f"injected interrupt after {n_completed} completed units"
+            )
+
+
+#: The no-chaos spec, shared so `active_chaos` is cheap when disabled.
+_INACTIVE = ChaosSpec()
+
+#: `active_chaos` memo: (raw env value, parsed spec).
+_PARSED: tuple[str, ChaosSpec] | None = None
+
+
+def parse_chaos(text: str) -> ChaosSpec:
+    """Parse a ``REPRO_CHAOS`` spec string; raises on malformed specs."""
+    text = text.strip()
+    if not text:
+        return _INACTIVE
+    fields: dict[str, object] = {}
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        name = parts[0].strip()
+        try:
+            if name in ("kill", "raise", "enospc") and len(parts) == 2:
+                p = float(parts[1])
+                if not 0.0 <= p <= 1.0:
+                    raise ValueError("probability outside [0, 1]")
+                fields[{"raise": "raise_p"}.get(name, f"{name}_p")] = p
+            elif name == "delay" and len(parts) == 3:
+                p = float(parts[1])
+                if not 0.0 <= p <= 1.0:
+                    raise ValueError("probability outside [0, 1]")
+                s = float(parts[2])
+                if s < 0.0:
+                    raise ValueError("delay must be >= 0")
+                fields["delay_p"] = p
+                fields["delay_s"] = s
+            elif name == "interrupt" and len(parts) == 2:
+                n = int(parts[1])
+                if n < 0:
+                    raise ValueError("interrupt threshold must be >= 0")
+                fields["interrupt_after"] = n
+            elif name == "seed" and len(parts) == 2:
+                fields["seed"] = int(parts[1])
+            else:
+                raise ValueError("unknown clause")
+        except ValueError as exc:
+            raise ResilienceError(
+                f"malformed chaos clause {clause!r} in spec {text!r}: {exc}"
+                "\nexpected kill:P | raise:P | delay:P:S | enospc:P"
+                " | interrupt:N | seed:N"
+            ) from exc
+    return ChaosSpec(**fields)  # type: ignore[arg-type]
+
+
+def active_chaos() -> ChaosSpec:
+    """The chaos schedule currently configured in the environment.
+
+    Re-resolves ``REPRO_CHAOS`` on every call (memoized against the raw
+    value), so owner and pool workers agree on the schedule and tests
+    need nothing beyond setting the variable.
+    """
+    global _PARSED
+    raw = os.environ.get(ENV_CHAOS, "")
+    if not raw.strip():
+        return _INACTIVE
+    if _PARSED is None or _PARSED[0] != raw:
+        _PARSED = (raw, parse_chaos(raw))
+    return _PARSED[1]

@@ -1,0 +1,111 @@
+"""Retry policy: bounded attempts, deadlines, deterministic backoff.
+
+One :class:`RetryPolicy` governs a whole pool run.  The backoff delay
+before attempt ``n`` of a unit of work is::
+
+    min(backoff_max_s, backoff_base_s * backoff_factor ** (n - 2))
+        * (1 + jitter * u)
+
+where ``u`` is a deterministic uniform draw keyed by the work's key and
+attempt number (:func:`~repro.resilience.chaos.chaos_draw`) — the
+Abouei-style retransmission schedule, but reproducible: the same work
+retried on the same schedule backs off identically on every run, and
+distinct units de-synchronise instead of thundering back together.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ResilienceError
+from .chaos import chaos_draw
+
+__all__ = ["RetryPolicy"]
+
+#: Environment overrides, applied by :meth:`RetryPolicy.from_env`.
+ENV_MAX_ATTEMPTS = "REPRO_RETRY_MAX_ATTEMPTS"
+ENV_TIMEOUT_S = "REPRO_WORK_TIMEOUT_S"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a supervised pool retries one unit of work.
+
+    Attributes:
+        max_attempts: total tries per unit (first attempt included)
+            before it is quarantined as ``failed`` with its attempt
+            history.
+        timeout_s: per-unit deadline from the moment a worker claims it;
+            ``None`` (the default) disables timeouts — evaluators have
+            no intrinsic bound, so deadlines are opt-in via
+            ``REPRO_WORK_TIMEOUT_S`` or an explicit policy.
+        backoff_base_s / backoff_factor / backoff_max_s: exponential
+            backoff shape (see module docstring).
+        jitter: fractional spread of the deterministic jitter
+            (``0.25`` = up to +25 % of the base delay).
+    """
+
+    max_attempts: int = 3
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ResilienceError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ResilienceError("backoff delays must be >= 0")
+        if self.jitter < 0:
+            raise ResilienceError(
+                f"jitter must be >= 0, got {self.jitter}"
+            )
+
+    @classmethod
+    def from_env(cls, **overrides) -> "RetryPolicy":
+        """The default policy with any environment overrides applied.
+
+        ``REPRO_RETRY_MAX_ATTEMPTS`` and ``REPRO_WORK_TIMEOUT_S``
+        (``0`` = no deadline) tune a run without touching call sites;
+        explicit keyword overrides win over the environment.
+        """
+        fields = dict(overrides)
+        raw = os.environ.get(ENV_MAX_ATTEMPTS)
+        if raw is not None and "max_attempts" not in fields:
+            try:
+                fields["max_attempts"] = int(raw)
+            except ValueError as exc:
+                raise ResilienceError(
+                    f"{ENV_MAX_ATTEMPTS} must be an integer, got {raw!r}"
+                ) from exc
+        raw = os.environ.get(ENV_TIMEOUT_S)
+        if raw is not None and "timeout_s" not in fields:
+            try:
+                timeout = float(raw)
+            except ValueError as exc:
+                raise ResilienceError(
+                    f"{ENV_TIMEOUT_S} must be a number, got {raw!r}"
+                ) from exc
+            fields["timeout_s"] = timeout if timeout > 0 else None
+        return cls(**fields)
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before ``attempt`` (>= 2) of the unit keyed ``key``."""
+        if attempt <= 1:
+            return 0.0
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 2),
+        )
+        # Seed 0: backoff jitter is part of the execution schedule, not
+        # the chaos schedule — it must not shift when chaos reseeds.
+        u = chaos_draw(0, "backoff", key, attempt)
+        return base * (1.0 + self.jitter * u)

@@ -145,6 +145,36 @@ def test_render_report_covers_all_sections():
     assert "Failures" in text and "ValueError: boom" in text
 
 
+def test_render_report_resilience_section():
+    events = _sample_events() + [
+        metric_event(
+            "run-1", "work.retries", "counter", 3.0, t=100.6, pid=7
+        ),
+        metric_event(
+            "run-1", "worker.restarts", "counter", 1.0, t=100.6, pid=7
+        ),
+    ]
+    text = render_report(events)
+    assert "Resilience (supervised execution):" in text
+    assert "retries" in text and "restarts" in text
+    # Resilience counters render in their own section only, with
+    # human labels — the raw names stay out of the generic Metrics list.
+    assert "work.retries" not in text
+    assert "worker.restarts" not in text
+
+
+def test_render_report_omits_resilience_section_when_clean():
+    # No counters at all, and all-zero counters, both stay silent: an
+    # undisturbed run's report is byte-stable across the PR.
+    assert "Resilience" not in render_report(_sample_events())
+    zeroed = _sample_events() + [
+        metric_event(
+            "run-1", "work.retries", "counter", 0.0, t=100.6, pid=7
+        ),
+    ]
+    assert "Resilience" not in render_report(zeroed)
+
+
 def test_bench_artefacts_speak_the_same_schema(tmp_path, monkeypatch):
     """write_bench output loads through the trace reader unchanged."""
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))

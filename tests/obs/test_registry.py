@@ -102,7 +102,7 @@ def test_empty_and_invalid_registrations_rejected(tmp_path):
     registry = RunRegistry(tmp_path)
     with pytest.raises(ObsError, match="non-empty"):
         registry.register("")
-    with pytest.raises(ObsError, match="'ok' or 'failed'"):
+    with pytest.raises(ObsError, match="'ok', 'failed' or 'interrupted'"):
         registry.finalize("whatever", "running")
 
 
@@ -112,6 +112,132 @@ def test_finalize_without_register_still_lands(tmp_path):
     record = registry.get("orphan-run")
     assert record.status == "ok"
     assert record.wall_s == 3.0
+
+
+def _dead_pid() -> int:
+    """The pid of a child that provably no longer exists (reaped)."""
+    import subprocess
+    import sys
+
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def _set_pid(registry: RunRegistry, run_id: str, pid) -> None:
+    """Rewrite one run's registered pid in place (crash simulation)."""
+    lines = [
+        json.loads(line)
+        for line in registry.path.read_text().splitlines()
+    ]
+    for record in lines:
+        if record["run_id"] == run_id:
+            record["pid"] = pid
+    registry.path.write_text(
+        "".join(json.dumps(record) + "\n" for record in lines)
+    )
+
+
+def test_stale_detection_needs_dead_owner_on_this_host(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register("live-run", started_at=1.0)
+    # This process registered it and is plainly alive.
+    assert not registry.get("live-run").is_stale()
+    assert registry.get("live-run").effective_status() == "running"
+
+    registry.register("crashed-run", started_at=2.0)
+    _set_pid(registry, "crashed-run", _dead_pid())
+    record = registry.get("crashed-run")
+    assert record.is_stale()
+    assert record.effective_status() == "stale"
+
+    # Terminal records are never stale, whatever their pid says.
+    registry.register("done-run", started_at=3.0)
+    _set_pid(registry, "done-run", _dead_pid())
+    registry.finalize("done-run", "ok", wall_s=1.0)
+    assert not registry.get("done-run").is_stale()
+
+    # Records without a pid (pre-1.6 writers) are assumed live.
+    _set_pid(registry, "live-run", None)
+    assert not registry.get("live-run").is_stale()
+
+
+def test_stale_is_undecidable_across_hosts(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register("remote-run", started_at=1.0)
+    _set_pid(registry, "remote-run", _dead_pid())
+    lines = [
+        json.loads(line)
+        for line in registry.path.read_text().splitlines()
+    ]
+    lines[0]["host"]["hostname"] = "some-other-machine"
+    registry.path.write_text(json.dumps(lines[0]) + "\n")
+    assert not registry.get("remote-run").is_stale()
+
+
+def test_runs_status_filter_separates_stale_from_running(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register("live-run", started_at=1.0)
+    registry.register("crashed-run", started_at=2.0)
+    _set_pid(registry, "crashed-run", _dead_pid())
+    assert [r.run_id for r in registry.runs(status="running")] == [
+        "live-run",
+    ]
+    assert [r.run_id for r in registry.runs(status="stale")] == [
+        "crashed-run",
+    ]
+
+
+def test_prune_stale_finalizes_as_interrupted(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.register("live-run", started_at=1.0)
+    registry.register("crashed-run", started_at=2.0)
+    dead = _dead_pid()
+    _set_pid(registry, "crashed-run", dead)
+
+    pruned = registry.runs(status="stale")
+    assert [r.run_id for r in pruned] == ["crashed-run"]
+    (record,) = registry.prune_stale()
+    assert record.run_id == "crashed-run"
+    assert record.status == "interrupted"
+    assert f"pruned: owner pid {dead} died" in record.error
+
+    # The live run is untouched; a second prune is a no-op.
+    assert registry.get("live-run").status == "running"
+    assert registry.get("crashed-run").status == "interrupted"
+    assert registry.prune_stale() == []
+
+
+def test_cli_runs_renders_stale_and_prunes(tmp_path, capsys):
+    registry = RunRegistry(tmp_path)
+    registry.register("crashed-run", name="crashy", kind="sweep",
+                      started_at=2.0)
+    dead = _dead_pid()
+    _set_pid(registry, "crashed-run", dead)
+
+    assert main(["runs", "--trace-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "stale" in out
+    assert f"owner pid {dead} is dead" in out
+    assert "--prune-stale" in out
+
+    assert main(
+        ["runs", "--trace-dir", str(tmp_path), "--status", "stale"]
+    ) == 0
+    assert "crashed-run" in capsys.readouterr().out
+
+    assert main(
+        ["runs", "--trace-dir", str(tmp_path), "--prune-stale"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "pruned stale run crashed-run -> interrupted" in out
+    assert registry.get("crashed-run").status == "interrupted"
+
+    # Nothing left to prune.
+    assert main(
+        ["runs", "--trace-dir", str(tmp_path), "--prune-stale"]
+    ) == 0
+    assert "no stale runs" in capsys.readouterr().out
 
 
 def test_resource_fields_round_trip(tmp_path):

@@ -317,3 +317,88 @@ def test_cli_report_empty_trace_exits_nonzero(tmp_path, capsys):
     sink.write_text("")
     assert main(["report", str(sink)]) == 1
     assert "Trace is empty" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------
+# Dead-run detection and the resilience pane (the robustness satellites)
+# --------------------------------------------------------------------------
+
+
+def test_watch_dead_run_exits_2_with_note():
+    stream = io.StringIO()
+    code = watch(
+        DATA / "mini_partial.jsonl", once=True, stream=stream,
+        is_dead=lambda: "owner pid 12345 of run mini-partial is dead",
+    )
+    assert code == 2
+    out = stream.getvalue()
+    assert "RUN DEAD: owner pid 12345" in out
+    assert "prune-stale" in out
+
+
+def test_watch_live_run_ignores_dead_probe_returning_none():
+    stream = io.StringIO()
+    code = watch(
+        DATA / "mini_partial.jsonl", once=True, stream=stream,
+        is_dead=lambda: None,
+    )
+    assert code == 0
+    assert "RUN DEAD" not in stream.getvalue()
+
+
+def test_cli_watch_stale_run_exits_2(tmp_path, capsys):
+    import json
+    import subprocess
+    import sys
+
+    registry = RunRegistry(tmp_path)
+    registry.register(
+        "mini-partial", name="mini",
+        trace_path=DATA / "mini_partial.jsonl", started_at=1.0,
+    )
+    # Rewrite the registered pid to one that provably no longer exists
+    # (a reaped child), making the record stale.
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    lines = [
+        json.loads(line)
+        for line in registry.path.read_text().splitlines()
+    ]
+    for record in lines:
+        record["pid"] = proc.pid
+    registry.path.write_text(
+        "".join(json.dumps(record) + "\n" for record in lines)
+    )
+    assert main(
+        ["watch", "mini-partial", "--once", "--trace-dir", str(tmp_path)]
+    ) == 2
+    out = capsys.readouterr().out
+    assert "RUN DEAD" in out and str(proc.pid) in out
+
+
+def test_watch_frame_renders_resilience_pane(tmp_path):
+    import json
+
+    events = load_trace(DATA / "mini_partial.jsonl")
+    events.append({
+        "event": "metric", "trace": "mini-partial",
+        "name": "work.retries", "kind": "counter", "value": 3,
+        "t": 1700000203.0, "pid": 200, "attrs": {},
+    })
+    events.append({
+        "event": "metric", "trace": "mini-partial",
+        "name": "worker.restarts", "kind": "counter", "value": 1,
+        "t": 1700000203.0, "pid": 200, "attrs": {},
+    })
+    sink = tmp_path / "chaotic.jsonl"
+    sink.write_text("".join(json.dumps(e) + "\n" for e in events))
+    stream = io.StringIO()
+    assert watch(sink, once=True, stream=stream) == 0
+    assert "Resilience: retries 3 · restarts 1" in stream.getvalue()
+
+
+def test_watch_frame_omits_resilience_pane_without_counters():
+    stream = io.StringIO()
+    assert watch(DATA / "mini_partial.jsonl", once=True,
+                 stream=stream) == 0
+    assert "Resilience" not in stream.getvalue()

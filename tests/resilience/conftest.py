@@ -1,0 +1,13 @@
+"""Shared fixtures for the supervised-execution tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_chaos(monkeypatch):
+    """Tests opt in to chaos explicitly; the environment never leaks in."""
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_RETRY_MAX_ATTEMPTS", raising=False)
+    monkeypatch.delenv("REPRO_WORK_TIMEOUT_S", raising=False)

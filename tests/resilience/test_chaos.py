@@ -1,0 +1,108 @@
+"""Tests for the deterministic chaos layer: grammar, draws, sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChaosError, ResilienceError, RunInterrupted
+from repro.resilience import (
+    ChaosSpec,
+    active_chaos,
+    chaos_draw,
+    parse_chaos,
+)
+
+
+class TestDraws:
+    def test_uniform_deterministic_and_independent(self):
+        a = chaos_draw(7, "kill", "work-1", 1)
+        assert a == chaos_draw(7, "kill", "work-1", 1)
+        assert 0.0 <= a < 1.0
+        # Any coordinate change re-draws.
+        assert a != chaos_draw(8, "kill", "work-1", 1)
+        assert a != chaos_draw(7, "raise", "work-1", 1)
+        assert a != chaos_draw(7, "kill", "work-2", 1)
+        assert a != chaos_draw(7, "kill", "work-1", 2)
+
+    def test_draws_are_roughly_uniform(self):
+        draws = [chaos_draw(0, "kill", f"k{i}", 1) for i in range(2000)]
+        assert 0.4 < sum(d < 0.5 for d in draws) / len(draws) < 0.6
+
+
+class TestGrammar:
+    def test_full_spec_parses(self):
+        spec = parse_chaos(
+            "kill:0.2, raise:0.1, delay:0.5:0.01, enospc:0.3, "
+            "interrupt:4, seed:11"
+        )
+        assert spec == ChaosSpec(
+            kill_p=0.2, raise_p=0.1, delay_p=0.5, delay_s=0.01,
+            enospc_p=0.3, interrupt_after=4, seed=11,
+        )
+        assert spec.active
+
+    def test_empty_spec_is_inactive(self):
+        assert not parse_chaos("").active
+        assert not parse_chaos("  ").active
+        assert not ChaosSpec().active
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["kill", "kill:2.0", "kill:-0.1", "delay:0.5", "boom:1",
+         "interrupt:-1", "kill:abc", "delay:0.1:-1"],
+    )
+    def test_malformed_clause_raises_with_grammar_hint(self, bad):
+        with pytest.raises(ResilienceError, match="expected kill:P"):
+            parse_chaos(bad)
+
+
+class TestActiveChaos:
+    def test_env_roundtrip_and_memoization(self, monkeypatch):
+        assert not active_chaos().active
+        monkeypatch.setenv("REPRO_CHAOS", "raise:0.5,seed:3")
+        first = active_chaos()
+        assert first.raise_p == 0.5
+        assert active_chaos() is first  # memoized on the raw value
+        monkeypatch.setenv("REPRO_CHAOS", "raise:0.25")
+        assert active_chaos().raise_p == 0.25
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert not active_chaos().active
+
+
+class TestSites:
+    def test_raise_site_fires_deterministically(self):
+        spec = ChaosSpec(raise_p=1.0)
+        with pytest.raises(ChaosError, match="injected transient"):
+            spec.inject_worker("w", 1)
+
+    def test_clean_draw_is_a_no_op(self):
+        ChaosSpec(raise_p=0.0, kill_p=0.0).inject_worker("w", 1)
+
+    def test_kill_site_respects_allow_kill(self):
+        # With allow_kill=False a certain kill draw must NOT SIGKILL the
+        # calling process (this test process).
+        ChaosSpec(kill_p=1.0).inject_worker("w", 1, allow_kill=False)
+
+    def test_enospc_site_raises_oserror(self):
+        import errno
+
+        spec = ChaosSpec(enospc_p=1.0)
+        with pytest.raises(OSError) as err:
+            spec.inject_store_write("deadbeef", 1)
+        assert err.value.errno == errno.ENOSPC
+        ChaosSpec(enospc_p=0.0).inject_store_write("deadbeef", 1)
+
+    def test_interrupt_site_threshold(self):
+        spec = ChaosSpec(interrupt_after=3)
+        spec.check_interrupt(2)
+        with pytest.raises(RunInterrupted, match="injected interrupt"):
+            spec.check_interrupt(3)
+        ChaosSpec().check_interrupt(10**6)
+
+    def test_delay_site_sleeps(self):
+        import time
+
+        spec = ChaosSpec(delay_p=1.0, delay_s=0.02)
+        started = time.perf_counter()
+        spec.inject_worker("w", 1)
+        assert time.perf_counter() - started >= 0.02

@@ -60,6 +60,27 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--voltages", "0.5, 0.9"])
         assert args.voltages == (0.5, 0.9)
 
+    def test_chaos_spec_exports_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert main(["--chaos", "delay:0.0:0.0,seed:3", "overheads"]) == 0
+        import os
+
+        assert os.environ.get("REPRO_CHAOS") == "delay:0.0:0.0,seed:3"
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+
+    def test_malformed_chaos_spec_errors_before_running(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert main(["--chaos", "kill:2.0", "overheads"]) == 1
+        err = capsys.readouterr().err
+        assert "malformed chaos clause" in err
+        assert "expected kill:P" in err
+        # The bad spec was rejected up front, never exported.
+        import os
+
+        assert "REPRO_CHAOS" not in os.environ
+
 
 class TestCommands:
     def test_overheads(self, capsys):
