@@ -142,10 +142,19 @@ class MultiprocessingBackend(ExecutionBackend):
         )
 
 
+def _service_backend(workers: int) -> ExecutionBackend:
+    """Factory of the ``service`` backend (lazy: breaks the import
+    cycle — :mod:`repro.service` itself imports this module)."""
+    from ..service.backend import ServiceBackend
+
+    return ServiceBackend(workers=workers)
+
+
 #: Registry of backend factories: name -> ``factory(workers) -> backend``.
 BACKENDS: dict[str, Callable[[int], ExecutionBackend]] = {
     "inline": lambda workers: InlineBackend(),
     "multiprocessing": lambda workers: MultiprocessingBackend(workers),
+    "service": _service_backend,
 }
 
 

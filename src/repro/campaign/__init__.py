@@ -44,7 +44,7 @@ from .evaluators import (
 )
 from .runner import CampaignResult, run_campaign
 from .spec import CampaignPoint, CampaignSpec, canonical_json, content_hash
-from .store import ResultStore, default_store_root
+from .store import ResultStore, ShardedResultStore, default_store_root
 
 __all__ = [
     "CampaignSpec",
@@ -54,6 +54,7 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "ResultStore",
+    "ShardedResultStore",
     "default_store_root",
     "EVALUATORS",
     "register_evaluator",

@@ -176,6 +176,7 @@ def run_campaign(
     n_workers: int = 1,
     progress: ProgressFn | None = None,
     resume: bool = True,
+    points: list[CampaignPoint] | None = None,
 ) -> CampaignResult:
     """Execute (or resume) a campaign.
 
@@ -190,6 +191,12 @@ def run_campaign(
         resume: when false, stored results are ignored and every point
             re-executes — but fresh records are still appended, so they
             supersede the stale ones (later records win on load).
+        points: explicit point list overriding ``spec.expand()`` — the
+            seam a remote executor uses to ship a grid whose filters
+            (arbitrary callables, applied at expansion time in the
+            submitting process) cannot cross a process boundary.  Point
+            content hashes depend only on kind + merged parameters, so
+            results are identical either way.
 
     Returns:
         A :class:`CampaignResult` with records in grid order.
@@ -200,7 +207,8 @@ def run_campaign(
         "campaign", campaign=spec.name, kind=spec.kind, workers=n_workers
     ) as campaign_span:
         result = _run_campaign_traced(
-            spec, store, n_workers, progress, resume, campaign_span
+            spec, store, n_workers, progress, resume, campaign_span,
+            points=points,
         )
         obs.counter("campaign.points_executed", result.n_executed)
         obs.counter("campaign.points_cached", result.n_cached)
@@ -216,9 +224,11 @@ def _run_campaign_traced(
     progress: ProgressFn | None,
     resume: bool,
     campaign_span,
+    points: list[CampaignPoint] | None = None,
 ) -> CampaignResult:
     """The body of :func:`run_campaign`, under its campaign span."""
-    points = spec.expand()
+    if points is None:
+        points = spec.expand()
     cached: dict[str, dict] = {}
     if store is not None and resume:
         stored = store.load()

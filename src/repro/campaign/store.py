@@ -27,6 +27,17 @@ of records.  The content fingerprint closes the staleness window a pure
 where ``compact()`` (or another process's ``append_many`` plus
 compaction) can replace the file with equal-size content inside one
 mtime tick.
+
+For write-concurrent deployments — many service workers appending into
+one campaign — :class:`ShardedResultStore` spreads the same records
+across N JSONL shard files inside a ``<campaign>.shards/`` directory,
+routed by content-hash key.  It presents the exact
+:class:`ResultStore` interface (``load``/``append_many``/``compact``/
+resume semantics are unchanged, and a given record lands in exactly one
+deterministic shard), so readers and the session layer cannot tell the
+difference.  :meth:`ResultStore.for_campaign` picks the layout: an
+existing shard directory always wins, and ``REPRO_STORE_SHARDS=N``
+makes *new* stores sharded.
 """
 
 from __future__ import annotations
@@ -41,7 +52,46 @@ from pathlib import Path
 from .. import obs
 from ..errors import CampaignError
 
-__all__ = ["ResultStore", "default_store_root", "quarantine_torn_lines"]
+__all__ = [
+    "ResultStore",
+    "ShardedResultStore",
+    "SHARDS_ENV",
+    "default_store_root",
+    "locked_append",
+    "quarantine_torn_lines",
+]
+
+#: Environment knob: shard count for *newly created* campaign stores
+#: resolved through :meth:`ResultStore.for_campaign` (0/unset = plain).
+SHARDS_ENV = "REPRO_STORE_SHARDS"
+
+
+def locked_append(path: Path, payload: bytes) -> None:
+    """Append ``payload`` under an exclusive lock, sealing torn tails.
+
+    The crash-consistency primitive shared by the result store and the
+    service job journal: one ``open``/``flock``/``write`` per call, and
+    if the previous writer died mid-line the torn tail is sealed with a
+    newline first so the debris stays an isolated (quarantinable) line
+    instead of merging with the first fresh record.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # a+b (read + append) so the torn-tail check can inspect the
+    # current last byte through the same locked descriptor.
+    with path.open("a+b") as handle:
+        try:
+            import fcntl
+
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        except (ImportError, OSError):  # pragma: no cover
+            # Best-effort locking: non-POSIX platforms have no fcntl,
+            # and some network filesystems refuse flock — appends stay
+            # as unlocked as they historically were.
+            pass
+        size = os.fstat(handle.fileno()).st_size
+        if size and os.pread(handle.fileno(), 1, size - 1) != b"\n":
+            handle.write(b"\n")
+        handle.write(payload)
 
 _LOG = logging.getLogger(__name__)
 
@@ -116,9 +166,31 @@ class ResultStore:
     def for_campaign(
         cls, name: str, root: Path | str | None = None
     ) -> "ResultStore":
-        """The store for campaign ``name`` under ``root`` (or the default)."""
+        """The store for campaign ``name`` under ``root`` (or the default).
+
+        Layout-aware: an existing ``<name>.shards/`` directory resolves
+        to a :class:`ShardedResultStore` regardless of configuration, so
+        every reader of a sharded campaign agrees on the layout.  When
+        neither layout exists yet, ``REPRO_STORE_SHARDS=N`` (N > 1, the
+        service daemon's default environment) creates a sharded store;
+        otherwise the historical single-file layout is used.
+        """
         root = Path(root) if root is not None else default_store_root()
-        return cls(root / f"{name}.jsonl")
+        shard_dir = root / f"{name}.shards"
+        plain = root / f"{name}.jsonl"
+        if shard_dir.is_dir():
+            return ShardedResultStore(shard_dir)
+        if not plain.exists():
+            raw = os.environ.get(SHARDS_ENV, "")
+            try:
+                n_shards = int(raw) if raw else 0
+            except ValueError:
+                raise CampaignError(
+                    f"{SHARDS_ENV} must be an integer, got {raw!r}"
+                ) from None
+            if n_shards > 1:
+                return ShardedResultStore.create(shard_dir, n_shards)
+        return ResultStore(plain)
 
     def _signature(self) -> tuple | None:
         """The file's identity, or None when absent.
@@ -228,27 +300,7 @@ class ResultStore:
             json.dumps(record, sort_keys=True) + "\n" for record in records
         ).encode("utf-8")
         started = time.perf_counter() if obs.enabled() else 0.0
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        # a+b (read + append) so the torn-tail check below can inspect
-        # the current last byte through the same locked descriptor.
-        with self.path.open("a+b") as handle:
-            try:
-                import fcntl
-
-                fcntl.flock(handle, fcntl.LOCK_EX)
-            except (ImportError, OSError):  # pragma: no cover
-                # Best-effort locking: non-POSIX platforms have no
-                # fcntl, and some network filesystems refuse flock —
-                # appends stay as unlocked as they historically were.
-                pass
-            # Crash consistency: if the previous writer died mid-line,
-            # seal the torn tail with a newline before appending, so
-            # the debris stays an isolated (quarantinable) line instead
-            # of merging with — and corrupting — the first new record.
-            size = os.fstat(handle.fileno()).st_size
-            if size and os.pread(handle.fileno(), 1, size - 1) != b"\n":
-                handle.write(b"\n")
-            handle.write(payload)
+        locked_append(self.path, payload)
         if obs.enabled():
             obs.observe("store.append_s", time.perf_counter() - started)
             obs.counter("store.records_appended", len(records))
@@ -283,3 +335,119 @@ class ResultStore:
 
     def __len__(self) -> int:
         return len(self.load())
+
+
+#: Name of the shard-layout metadata file inside a ``.shards`` directory.
+_SHARDS_META = "shards.json"
+
+
+class ShardedResultStore(ResultStore):
+    """One campaign's results spread across N content-hash-routed shards.
+
+    The store is a directory (``<root>/<campaign>.shards/``) holding a
+    ``shards.json`` layout descriptor plus ``shard-00.jsonl`` ...
+    ``shard-NN.jsonl`` files, each an ordinary :class:`ResultStore`.  A
+    record's shard is a pure function of its content hash, so every
+    writer — concurrent service workers included — agrees where a
+    record lives, resume/dedup semantics are per-record identical to
+    the single-file layout, and two appends of the same point can never
+    land in different shards.  The public interface is exactly
+    :class:`ResultStore`: ``load`` merges the shards, ``append_many``
+    groups records by shard (one locked append per touched shard), and
+    ``compact`` compacts each shard in place.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        super().__init__(path)
+        meta_path = self.path / _SHARDS_META
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            n_shards = int(meta["shards"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise CampaignError(
+                f"{self.path} is not a sharded result store: "
+                f"unreadable {_SHARDS_META} ({exc})"
+            ) from exc
+        if n_shards < 1:
+            raise CampaignError(
+                f"{self.path}: shard count must be >= 1, got {n_shards}"
+            )
+        self.n_shards = n_shards
+        self.shards = [
+            ResultStore(self.path / f"shard-{index:02d}.jsonl")
+            for index in range(n_shards)
+        ]
+
+    @classmethod
+    def create(
+        cls, path: Path | str, n_shards: int
+    ) -> "ShardedResultStore":
+        """Initialise (or re-open) a shard directory for ``n_shards``.
+
+        Idempotent: an existing layout descriptor wins — the store's
+        shard count is fixed at creation, because re-routing records
+        would orphan everything already written.
+        """
+        path = Path(path)
+        meta_path = path / _SHARDS_META
+        if not meta_path.is_file():
+            if n_shards < 1:
+                raise CampaignError(
+                    f"shard count must be >= 1, got {n_shards}"
+                )
+            path.mkdir(parents=True, exist_ok=True)
+            tmp = meta_path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps({"shards": n_shards, "version": 1}) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, meta_path)
+        return cls(path)
+
+    def shard_for(self, point_hash: str) -> ResultStore:
+        """The shard a record with this content hash belongs to."""
+        return self.shards[self._route(point_hash)]
+
+    def _route(self, point_hash: str) -> int:
+        try:
+            return int(point_hash[:8], 16) % self.n_shards
+        except ValueError:
+            # Non-hex keys (hand-written records) still route
+            # deterministically via the CRC of the full key.
+            return zlib.crc32(point_hash.encode("utf-8")) % self.n_shards
+
+    def load(self) -> dict[str, dict]:
+        """Merged view of every shard (each hash lives in one shard)."""
+        records: dict[str, dict] = {}
+        for shard in self.shards:
+            records.update(shard.load())
+        return records
+
+    def append_many(self, records: list[dict]) -> None:
+        """Route records to their shards; one locked append per shard."""
+        if not records:
+            return
+        by_shard: dict[int, list[dict]] = {}
+        for record in records:
+            if "hash" not in record:
+                raise CampaignError("record must carry the point hash")
+            by_shard.setdefault(self._route(record["hash"]), []).append(
+                record
+            )
+        for index in sorted(by_shard):
+            self.shards[index].append_many(by_shard[index])
+
+    def compact(self) -> int:
+        """Compact every shard; returns total superseded lines dropped."""
+        return sum(shard.compact() for shard in self.shards)
+
+    @property
+    def n_parses(self) -> int:  # type: ignore[override]
+        """Total full-file parses across the shards (diagnostic)."""
+        return sum(shard.n_parses for shard in self.shards)
+
+    @n_parses.setter
+    def n_parses(self, value: int) -> None:
+        # The base-class __init__ assigns 0; shard counters are
+        # authoritative, so the assignment is accepted and ignored.
+        pass

@@ -34,6 +34,12 @@ Utility subcommands (not experiments): ``overheads``, ``record``,
 ``bench trend`` (benchmark-history drift); see
 ``docs/observability.md``.
 
+The experiment service (``docs/service.md``) runs experiments as
+asynchronous jobs: ``serve`` starts the daemon, ``submit`` enqueues an
+experiment file and prints its job id, ``jobs`` lists the durable job
+journal, ``cancel`` withdraws a queued job, and ``fetch`` re-attaches
+to a finished job's result stores and prints the ordinary report.
+
 Global options come before the subcommand: ``--seed`` fixes the master
 Monte-Carlo seed of every experiment (overriding the file's ``seed``
 for ``run``), so any artefact is reproducible from the command line
@@ -456,6 +462,11 @@ def build_parser() -> argparse.ArgumentParser:
              "e.g. repro watch \"$(repro runs --latest)\")",
     )
     runs.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the matching registry records as a JSON array "
+             "instead of a table",
+    )
+    runs.add_argument(
         "--prune-stale", action="store_true",
         help="finalize stale runs (owner process dead, never finalized) "
              "as 'interrupted' so they stop rendering as running",
@@ -498,6 +509,120 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None,
         help="directory run ids resolve in (default: --trace/"
              "REPRO_TRACE_DIR, falling back to benchmarks/results/traces)",
+    )
+
+    # -- the experiment service -------------------------------------------
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the experiment-service daemon: accept submissions "
+             "over a unix socket, drain the durable job queue through "
+             "a supervised worker fleet (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--root", default=None,
+        help="service root directory: job journal, socket, discovery "
+             "file (default: benchmarks/results/service or "
+             "$REPRO_SERVICE_DIR)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="fleet size — jobs executing concurrently (default: 2)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for result stores created by service jobs "
+             "(default: 4; 1 keeps stores unsharded)",
+    )
+    serve.add_argument(
+        "--store-dir", default=None,
+        help="result-store directory jobs write into (default: "
+             "benchmarks/results/campaigns or $REPRO_CAMPAIGN_DIR)",
+    )
+    serve.add_argument(
+        "--trace-dir", default=None,
+        help="trace/registry directory for job runs (default: --trace/"
+             "REPRO_TRACE_DIR, falling back to benchmarks/results/traces)",
+    )
+    serve.add_argument(
+        "--stop", action="store_true",
+        help="ask the daemon at --root to drain in-flight jobs and "
+             "exit, instead of starting one",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit an experiment file to the service daemon; prints "
+             "the job id (content-hash keyed: identical resubmissions "
+             "are deduplicated)",
+    )
+    submit.add_argument("experiment", help="path to an experiment file")
+    submit.add_argument(
+        "--root", default=None,
+        help="service root the daemon was started with",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="dispatch priority; higher runs first (default: 0)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal, streaming progress "
+             "heartbeats to stderr; exits non-zero if the job failed",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up on --wait after this many seconds",
+    )
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="list service jobs from the journal (reads the journal "
+             "directly — works with the daemon down)",
+    )
+    jobs.add_argument(
+        "--root", default=None,
+        help="service root whose journal to read",
+    )
+    jobs.add_argument(
+        "--status", default=None,
+        help="only jobs in this state (queued/claimed/running/done/"
+             "failed/cancelled)",
+    )
+    jobs.add_argument(
+        "--kind", default=None,
+        help="only jobs of this kind (experiment/campaign)",
+    )
+    jobs.add_argument(
+        "--limit", type=int, default=None,
+        help="show at most this many jobs (newest first)",
+    )
+    jobs.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the matching job records as a JSON array instead "
+             "of a table",
+    )
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a queued service job (jobs already executing run "
+             "to completion)",
+    )
+    cancel.add_argument("job_id", help="the job id 'repro submit' printed")
+    cancel.add_argument(
+        "--root", default=None,
+        help="service root the daemon was started with",
+    )
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="fetch a finished service job's results from its stores "
+             "and print the experiment report (no daemon needed)",
+    )
+    fetch.add_argument("job_id", help="the job id 'repro submit' printed")
+    fetch.add_argument(
+        "--root", default=None,
+        help="service root the daemon was started with",
     )
 
     profile = sub.add_parser(
@@ -1257,6 +1382,19 @@ def _cmd_runs(args) -> int:
             )
         print(records[0].run_id)
         return 0
+    if args.as_json:
+        import json as _json
+
+        # Machine-readable registry dump: the effective status (with
+        # owner-pid staleness applied) rides along so scripts need no
+        # liveness logic of their own.
+        payload = [
+            {**record.to_dict(), "effective_status":
+             record.effective_status()}
+            for record in records
+        ]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not records:
         print(
             f"No runs registered in {trace_dir} — run a traced "
@@ -1343,6 +1481,161 @@ def _cmd_watch(args) -> int:
         is_dead=_dead,
         max_seconds=args.max_seconds,
     )
+
+
+# --------------------------------------------------------------------------
+# Experiment-service subcommands
+# --------------------------------------------------------------------------
+
+
+def _service_root(args) -> Path | None:
+    return Path(args.root) if getattr(args, "root", None) else None
+
+
+def _cmd_serve(args) -> int:
+    from .service import ExperimentService, ServiceClient
+
+    if args.stop:
+        client = ServiceClient(root=_service_root(args))
+        client.shutdown(wait=True)
+        print(f"service daemon at {client.root} drained and stopped")
+        return 0
+    service = ExperimentService(
+        root=_service_root(args),
+        workers=args.workers,
+        store_dir=args.store_dir,
+        trace_dir=args.trace_dir,
+        shards=args.shards,
+    )
+    _LOG.info(
+        "service daemon starting: root=%s workers=%d shards=%d "
+        "store_dir=%s trace_dir=%s (submit with 'repro submit', stop "
+        "with 'repro serve --stop' or SIGTERM)",
+        service.root, service.workers, service.shards,
+        service.store_dir, service.trace_dir,
+    )
+    return service.serve()
+
+
+def _cmd_submit(args) -> int:
+    from .api.schema import load_experiment
+    from .service import ServiceClient
+
+    client = ServiceClient(root=_service_root(args))
+    experiment = load_experiment(args.experiment)
+    if args.seed is not None:
+        experiment = experiment.with_seed(args.seed)
+    job, created = client.submit(experiment, priority=args.priority)
+    _LOG.info(
+        "job %s %s (status %s, priority %d)",
+        job.job_id,
+        "submitted" if created else "already known — deduplicated",
+        job.status, job.priority,
+    )
+    print(job.job_id)
+    if not args.wait:
+        return 0
+    for event in client.progress_stream(
+        job.job_id, timeout_s=args.timeout
+    ):
+        total = event.get("attrs", {}).get("total")
+        if _LOG.isEnabledFor(logging.INFO):
+            print(
+                f"\r  {job.job_id}: {int(event.get('value', 0))}"
+                f"/{int(total) if total else '?'} points",
+                end="", file=sys.stderr, flush=True,
+            )
+    if _LOG.isEnabledFor(logging.INFO):
+        print(file=sys.stderr)
+    record = client.status(job.job_id)
+    _LOG.info("job %s finished: %s", job.job_id, record.status)
+    if record.error:
+        _LOG.error(str(record.error))
+    return 0 if record.status == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    import datetime
+    import json as _json
+
+    from .service import ServiceClient
+
+    client = ServiceClient(root=_service_root(args))
+    records = client.jobs(
+        status=args.status, kind=args.kind, limit=args.limit
+    )
+    if args.as_json:
+        print(_json.dumps(
+            [record.to_dict() for record in records],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    if not records:
+        print(
+            f"No service jobs recorded in {client.queue.path} — submit "
+            "one with 'repro submit <experiment.toml>'"
+        )
+        return 0
+    print(
+        f"Jobs in {client.queue.path} ({len(records)} shown, newest "
+        "first):"
+    )
+    print(
+        f"  {'JOB ID':<36} {'KIND':<10} {'STATUS':<10} {'PRI':>4} "
+        f"{'SUBMITTED':<19} {'WALL':>9} {'NAME'}"
+    )
+    for record in records:
+        submitted = (
+            datetime.datetime.fromtimestamp(record.submitted_at)
+            .strftime("%Y-%m-%d %H:%M:%S")
+            if record.submitted_at
+            else "-"
+        )
+        wall = (
+            f"{record.updated_at - record.submitted_at:.1f} s"
+            if record.terminal and record.updated_at
+            else "-"
+        )
+        print(
+            f"  {record.job_id:<36} {record.kind:<10} "
+            f"{record.status:<10} {record.priority:>4} {submitted:<19} "
+            f"{wall:>9} {record.name}"
+        )
+        if record.error:
+            print(f"      error: {record.error}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(root=_service_root(args))
+    record = client.cancel(args.job_id)
+    print(f"job {record.job_id} cancelled")
+    return 0
+
+
+def _cmd_fetch(args) -> int:
+    from .api.schema import experiment_from_payload
+    from .errors import ServiceError
+    from .service import ServiceClient
+
+    client = ServiceClient(root=_service_root(args))
+    record = client.status(args.job_id)
+    if record.kind != "experiment":
+        raise ServiceError(
+            f"job {args.job_id} is a {record.kind} job; its records "
+            "live in its campaign store"
+        )
+    handle = client.fetch(args.job_id)
+    experiment = experiment_from_payload(record.payload)
+    if not handle.records:
+        raise ServiceError(
+            f"no stored results for job {args.job_id} (status "
+            f"{record.status}); experiments without a 'store' field "
+            "are not persisted"
+        )
+    return _REPORTERS[experiment.kind](experiment, handle, 1)
 
 
 def _cmd_profile(args) -> int:
@@ -1460,6 +1753,11 @@ _HANDLERS = {
     "report": _cmd_report,
     "runs": _cmd_runs,
     "watch": _cmd_watch,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "cancel": _cmd_cancel,
+    "fetch": _cmd_fetch,
     "profile": _cmd_profile,
     "bench": _cmd_bench,
 }

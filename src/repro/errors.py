@@ -99,6 +99,16 @@ class ChaosError(ResilienceError):
     """
 
 
+class ServiceError(ReproError):
+    """The experiment service was misused or is unreachable.
+
+    Raised by :mod:`repro.service` for malformed job submissions,
+    unknown job ids, invalid state transitions (e.g. cancelling a job
+    already running), and client requests against a daemon that is not
+    listening.
+    """
+
+
 class RunInterrupted(ReproError):
     """A run was cancelled (SIGINT/SIGTERM or an injected interrupt).
 

@@ -72,7 +72,16 @@ def pid_alive(pid: int) -> bool:
         return True
     except OSError:  # pragma: no cover - e.g. invalid pid value
         return False
-    return True
+    # Signal 0 succeeds for zombies, but a zombie finished long ago and
+    # merely awaits its parent's wait() — for liveness purposes (stale
+    # runs, daemon ownership) it is dead.  /proc exposes the state on
+    # Linux; elsewhere we keep the signal-0 answer.
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            fields = handle.read().rpartition(b") ")[2]
+    except OSError:
+        return True
+    return fields[:1] != b"Z"
 
 
 def host_metadata() -> dict[str, Any]:
@@ -261,12 +270,18 @@ class RunRegistry:
         spec_digest: str = "",
         trace_path: Path | str = "",
         started_at: float | None = None,
+        pid: int | None = None,
     ) -> RunRecord:
         """Append a ``running`` record for a run that just started.
 
         The owner pid is stamped so readers (``repro runs``, ``repro
         watch``) can tell a live run from one whose process crashed
-        without finalizing.
+        without finalizing.  ``pid`` overrides the default
+        (``os.getpid()``) for runs registered *on behalf of* another
+        process — the experiment service registers each accepted job
+        with the daemon's pid at submit time, so stale/dead heuristics
+        track the process that actually owns the run, never the
+        submitting CLI's (already exited) pid.
         """
         if not run_id:
             raise ObsError("registry run_id must be non-empty")
@@ -282,7 +297,7 @@ class RunRegistry:
                 ),
                 trace_path=str(trace_path),
                 host=host_metadata(),
-                pid=os.getpid(),
+                pid=os.getpid() if pid is None else pid,
             )
         )
 
@@ -334,6 +349,7 @@ class RunRegistry:
                 error=error,
                 peak_rss_bytes=peak_rss_bytes,
                 cpu_s=cpu_s,
+                pid=base.pid,
             )
         )
 

@@ -168,6 +168,15 @@ class SupervisedPool:
         name: label used in retry spans and error text.
         tick_s: supervision cadence — how often liveness and deadlines
             are checked while waiting for results.
+        daemon: whether worker processes are daemonic (the default, as
+            before this flag existed).  Pass ``False`` when units of
+            work spawn *nested* pools — daemonic processes cannot have
+            children, and the service fleet's jobs (whole experiments)
+            fan out internally.
+        on_claim: optional callback ``on_claim(key, pid)`` invoked when
+            a worker announces it picked up a unit — the seam a job
+            service uses to record queued -> running transitions (with
+            the executing worker's pid) in its journal.
     """
 
     def __init__(
@@ -179,6 +188,8 @@ class SupervisedPool:
         initargs: tuple = (),
         name: str = "work",
         tick_s: float = 0.05,
+        daemon: bool = True,
+        on_claim: Callable[[str, int], None] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ResilienceError(
@@ -191,6 +202,8 @@ class SupervisedPool:
         self.initargs = initargs
         self.name = name
         self.tick_s = tick_s
+        self.daemon = daemon
+        self.on_claim = on_claim
 
     def run(
         self, items: Sequence[tuple[str, Any]] | Iterable[tuple[str, Any]]
@@ -211,7 +224,44 @@ class SupervisedPool:
             )
         if not items:
             return
+        yield from self._supervise(
+            items, min(self.n_workers, len(items)), feed=None, stop=None
+        )
 
+    def serve(
+        self,
+        feed: Callable[[], Sequence[tuple[str, Any]]],
+        stop: Callable[[], bool] | None = None,
+    ) -> Iterator[list[WorkOutcome]]:
+        """Continuously supervise work arriving over time.
+
+        The streaming mode behind the experiment service's scheduler:
+        ``feed()`` is polled every supervision tick for newly available
+        ``(key, payload)`` units (return an empty sequence when there
+        is nothing to hand out), and outcome batches are yielded with
+        :meth:`run`'s exact cadence and retry/requeue/quarantine
+        semantics.  A key already accepted in this serve (in flight or
+        finished) is ignored — re-delivery by a stateless feed is safe.
+
+        ``stop()`` is consulted once per tick: when it returns true the
+        pool stops *feeding* but keeps supervising until everything in
+        flight has completed — a graceful drain — then shuts the
+        workers down and returns.  With ``stop=None`` the pool serves
+        until cancelled.  Cancellation (SIGINT/SIGTERM or an injected
+        interrupt) raises :class:`RunInterrupted` after yielding the
+        final batch of completed work, exactly like :meth:`run` — the
+        caller requeues whatever was still in flight.
+        """
+        yield from self._supervise([], self.n_workers, feed=feed, stop=stop)
+
+    def _supervise(
+        self,
+        items: list[tuple[str, Any]],
+        n_spawn: int,
+        feed: Callable[[], Sequence[tuple[str, Any]]] | None,
+        stop: Callable[[], bool] | None,
+    ) -> Iterator[list[WorkOutcome]]:
+        """Shared supervision core behind :meth:`run` and :meth:`serve`."""
         policy = self.policy
         chaos = active_chaos()
         ctx = multiprocessing.get_context()
@@ -227,7 +277,20 @@ class SupervisedPool:
         retry_heap: list[tuple[float, str]] = []
         outstanding = len(items)
         completed_total = 0
+        stopping = False
         batch: list[WorkOutcome] = []
+
+        def _admit(fresh: Sequence[tuple[str, Any]]) -> None:
+            """Accept newly fed units (serve mode); known keys ignored."""
+            nonlocal outstanding
+            for key, payload in fresh:
+                if key in payloads or key in finished:
+                    continue
+                payloads[key] = payload
+                attempt_of[key] = 1
+                history[key] = []
+                outstanding += 1
+                tasks.put((key, payload, 1))
 
         def _spawn() -> None:
             reader, writer = ctx.Pipe(duplex=False)
@@ -237,7 +300,7 @@ class SupervisedPool:
                     self.fn, self.initializer, self.initargs,
                     tasks, writer,
                 ),
-                daemon=True,
+                daemon=self.daemon,
             )
             proc.start()
             # Drop the parent's copy of the write end so EOF on the
@@ -317,6 +380,8 @@ class SupervisedPool:
                 _, _, attempt, pid = msg
                 if attempt == attempt_of[key]:
                     claimed[key] = (pid, time.monotonic())
+                    if self.on_claim is not None:
+                        self.on_claim(key, pid)
             elif kind == "done":
                 # A completed result is accepted even if a raced retry
                 # of the same key is pending — results are bit-identical
@@ -380,7 +445,7 @@ class SupervisedPool:
                         f"worker pid {pid} died holding the task",
                         now - claimed_at,
                     )
-                if outstanding:
+                if outstanding or (feed is not None and not stopping):
                     obs.counter("worker.restarts")
                     _spawn()
 
@@ -430,12 +495,19 @@ class SupervisedPool:
             restored = []
 
         try:
-            for _ in range(min(self.n_workers, len(items))):
+            for _ in range(n_spawn):
                 _spawn()
             for key, payload in items:
                 tasks.put((key, payload, 1))
 
-            while outstanding:
+            while True:
+                # A drain that just emptied exits *before* the signal
+                # check: completed work beats a late Ctrl-C, exactly as
+                # the historical `while outstanding:` loop behaved.
+                if feed is not None and not stopping:
+                    stopping = stop is not None and stop()
+                if not outstanding and (feed is None or stopping):
+                    break
                 if cancelled.is_set():
                     self._drain_completed(conns, _handle)
                     if batch:
@@ -446,6 +518,8 @@ class SupervisedPool:
                         "persisted"
                     )
                 batch.clear()
+                if feed is not None and not stopping:
+                    _admit(feed())
                 _release_due_retries()
                 if conns:
                     for conn in _conn_wait(

@@ -1,0 +1,52 @@
+"""Long-running experiment service: async job queue + worker fleet.
+
+The service layer turns one-shot experiment execution into a
+submit/poll workflow:
+
+* :class:`~repro.service.daemon.ExperimentService` — the daemon: a
+  unix-socket front end over a crash-consistent JSONL job journal
+  (:class:`~repro.service.queue.JobQueue`), drained by a supervised
+  worker fleet into ordinary (optionally sharded) campaign stores.
+* :class:`~repro.service.client.ServiceClient` — submit experiments or
+  campaigns, poll status, stream progress heartbeats, cancel queued
+  jobs, fetch finished results (no live daemon needed for reads).
+* :class:`~repro.service.backend.ServiceBackend` — the ``"service"``
+  entry in :data:`~repro.api.session.BACKENDS`; lets
+  ``Session.run(backend="service")`` route transparently through a
+  daemon.
+
+CLI verbs: ``repro serve``, ``repro submit``, ``repro jobs``,
+``repro cancel``, ``repro fetch``.  See ``docs/service.md``.
+"""
+
+from .backend import ServiceBackend
+from .client import ServiceClient
+from .daemon import (
+    ENV_SERVICE_DIR,
+    ExperimentService,
+    campaign_job_id,
+    campaign_job_payload,
+    default_service_root,
+)
+from .queue import (
+    JOB_KINDS,
+    JOB_STATUSES,
+    TERMINAL_STATUSES,
+    JobQueue,
+    JobRecord,
+)
+
+__all__ = [
+    "ENV_SERVICE_DIR",
+    "JOB_KINDS",
+    "JOB_STATUSES",
+    "TERMINAL_STATUSES",
+    "ExperimentService",
+    "JobQueue",
+    "JobRecord",
+    "ServiceBackend",
+    "ServiceClient",
+    "campaign_job_id",
+    "campaign_job_payload",
+    "default_service_root",
+]

@@ -77,6 +77,29 @@ class TestBackends:
         assert handle.ok
         assert calls == ["custom-backend"]
 
+    def test_registered_backend_receives_planned_spec_unchanged(self):
+        captured = []
+
+        class Capturing(InlineBackend):
+            name = "capturing"
+
+            def execute(self, spec, store=None, resume=True, progress=None):
+                captured.append(spec)
+                return super().execute(spec, store, resume, progress)
+
+        if "capturing" not in BACKENDS:
+            register_backend("capturing", lambda workers: Capturing())
+        experiment = tiny_fig2("spec-passthrough", backend="capturing")
+        assert Session().run(experiment).ok
+        planned = Session().plan(experiment)
+        assert [spec.name for spec in captured] == [
+            campaign.spec.name for campaign in planned
+        ]
+        for spec, campaign in zip(captured, planned):
+            assert spec.kind == campaign.spec.kind
+            assert spec.axes == campaign.spec.axes
+            assert spec.fixed == campaign.spec.fixed
+
     def test_resolution_precedence(self):
         session = Session(backend="inline", workers=1)
         experiment = tiny_fig2(

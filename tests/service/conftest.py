@@ -1,0 +1,124 @@
+"""Shared fixtures for the experiment-service tests.
+
+The daemon deliberately mutates process-global state — the sharding
+environment knob, the tracer's configured directory — so every test
+here runs against private tmp roots and restores the environment on the
+way out, exactly like the obs suite does for the tracer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.campaign.store import SHARDS_ENV
+from repro.errors import ServiceError
+from repro.obs.core import (
+    ENV_DIR,
+    ENV_FILE,
+    ENV_FLAG,
+    ENV_PARENT,
+    ENV_RUN,
+    ENV_TRACEMALLOC,
+)
+from repro.service import ExperimentService, ServiceClient
+
+_GLOBAL_ENV = (
+    ENV_FILE,
+    ENV_RUN,
+    ENV_PARENT,
+    ENV_DIR,
+    ENV_FLAG,
+    ENV_TRACEMALLOC,
+    SHARDS_ENV,
+    "REPRO_SERVICE_DIR",
+    "REPRO_CAMPAIGN_DIR",
+    "REPRO_CHAOS",
+    "REPRO_RETRY_MAX_ATTEMPTS",
+    "REPRO_WORK_TIMEOUT_S",
+)
+
+
+def _reset() -> None:
+    obs.disable()
+    for key in _GLOBAL_ENV:
+        os.environ.pop(key, None)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_service_env(tmp_path, monkeypatch):
+    """Private service/store roots per test; no global state leaks out."""
+    _reset()
+    monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "service"))
+    monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path / "stores"))
+    yield
+    _reset()
+
+
+@pytest.fixture()
+def service_paths(tmp_path):
+    """The per-test root/store/trace directories, as one namespace."""
+    return {
+        "root": tmp_path / "service",
+        "store": tmp_path / "stores",
+        "trace": tmp_path / "traces",
+    }
+
+
+@contextmanager
+def daemon(paths, **overrides):
+    """An in-process daemon on private roots, torn down on exit.
+
+    Runs :meth:`ExperimentService.serve` in a thread (signal-handler
+    installation degrades gracefully off the main thread) and yields
+    ``(service, client)`` once the socket answers pings.
+    """
+    settings = {
+        "root": paths["root"],
+        "workers": 1,
+        "store_dir": paths["store"],
+        "trace_dir": paths["trace"],
+        "shards": 2,
+        "poll_s": 0.02,
+    }
+    settings.update(overrides)
+    service = ExperimentService(**settings)
+    exit_code: list[int] = []
+    thread = threading.Thread(
+        target=lambda: exit_code.append(service.serve()), daemon=True
+    )
+    thread.start()
+    client = ServiceClient(root=service.root, timeout_s=5.0)
+    deadline = time.monotonic() + 15.0
+    while True:
+        try:
+            client.ping()
+            break
+        except ServiceError:
+            if not thread.is_alive():
+                raise AssertionError("daemon thread died during startup")
+            if time.monotonic() > deadline:
+                raise AssertionError("daemon never became reachable")
+            time.sleep(0.05)
+    try:
+        yield service, client
+    finally:
+        service.request_stop()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive(), "daemon failed to drain and stop"
+
+
+@pytest.fixture()
+def run_daemon(service_paths):
+    """Factory fixture: ``with run_daemon(workers=2) as (service, client)``."""
+
+    def _start(**overrides):
+        return daemon(service_paths, **overrides)
+
+    return _start

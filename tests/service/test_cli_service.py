@@ -1,0 +1,175 @@
+"""The service CLI verbs, exercised in-process through ``main``.
+
+Everything here runs against the journal/registry on disk with no live
+daemon — the offline paths are exactly what must keep working after a
+daemon exits (that is the service's inspectability contract).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.obs import RunRegistry
+from repro.service import JobQueue
+
+from test_daemon import tiny_fig2
+
+
+@pytest.fixture()
+def populated(service_paths):
+    queue = JobQueue(service_paths["root"])
+    queue.submit("alpha-123", "experiment", {}, name="alpha", priority=2)
+    queue.submit("svc-beta", "campaign", {}, name="beta")
+    queue.mark("svc-beta", "done", result={"status": "ok", "n_points": 3})
+    return queue
+
+
+class TestJobs:
+    def test_table_lists_jobs(self, populated, capsys):
+        assert main(["jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha-123" in out and "svc-beta" in out
+        assert "queued" in out and "done" in out
+
+    def test_json_output_is_parsable(self, populated, capsys):
+        assert main(["jobs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {job["job_id"] for job in payload} == {
+            "alpha-123", "svc-beta",
+        }
+        assert all("status" in job for job in payload)
+
+    def test_filters(self, populated, capsys):
+        assert main(["jobs", "--status", "done", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [job["job_id"] for job in payload] == ["svc-beta"]
+
+    def test_empty_journal(self, capsys):
+        assert main(["jobs"]) == 0
+        assert "No service jobs" in capsys.readouterr().out
+
+
+class TestRunsJson:
+    def test_runs_json_includes_effective_status(
+        self, service_paths, capsys
+    ):
+        registry = RunRegistry(service_paths["trace"])
+        registry.register("run-x", name="x", kind="figure")
+        registry.finalize("run-x", "ok", wall_s=1.0)
+        assert main([
+            "runs", "--json", "--trace-dir", str(service_paths["trace"]),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["run_id"] == "run-x"
+        assert payload[0]["effective_status"] == "ok"
+        assert payload[0]["pid"] is not None
+
+
+class TestCancel:
+    def test_cancel_queued_offline(self, populated, capsys):
+        assert main(["cancel", "alpha-123"]) == 0
+        assert populated.get("alpha-123").status == "cancelled"
+
+    def test_cancel_terminal_job_fails_cleanly(self, populated, capsys):
+        assert main(["cancel", "svc-beta"]) == 1
+        assert "only queued" in capsys.readouterr().err
+
+
+class TestFetch:
+    def test_fetch_campaign_job_refused(self, populated, capsys):
+        assert main(["fetch", "svc-beta"]) == 1
+        assert "campaign store" in capsys.readouterr().err
+
+    def test_fetch_unfinished_job_refused(self, populated, capsys):
+        assert main(["fetch", "alpha-123"]) == 1
+        assert "once it is done" in capsys.readouterr().err
+
+    def test_fetch_unknown_job(self, capsys):
+        assert main(["fetch", "nope"]) == 1
+        assert "unknown job id" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_stop_without_daemon_fails_cleanly(self, capsys):
+        assert main(["serve", "--stop"]) == 1
+        assert "repro serve" in capsys.readouterr().err
+
+    def test_submit_requires_daemon(self, tmp_path, capsys):
+        from repro.api.schema import dump_experiment
+
+        path = tmp_path / "exp.toml"
+        dump_experiment(tiny_fig2(name="cli-sub"), path)
+        assert main(["submit", str(path)]) == 1
+        assert "repro serve" in capsys.readouterr().err
+
+
+class TestWatchDeadRuns:
+    """Satellite: dead-run detection for runs owned by another process.
+
+    A service job's registry row carries the *daemon's* pid (stamped at
+    submit time), not the submitting CLI's.  When that owner dies
+    without finalizing, ``repro watch`` must call the run dead instead
+    of tailing forever — even though the watching process never was in
+    the run's process tree.
+    """
+
+    def _dead_owner_pid(self) -> int:
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_watch_reports_dead_owner(self, service_paths, capsys):
+        trace_dir = service_paths["trace"]
+        registry = RunRegistry(trace_dir)
+        registry.register(
+            "svc-dead-run", name="doomed", kind="experiment",
+            trace_path=trace_dir / "svc-dead-run.jsonl",
+            pid=self._dead_owner_pid(),
+        )
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        (trace_dir / "svc-dead-run.jsonl").touch()
+        rc = main([
+            "watch", "svc-dead-run", "--once",
+            "--trace-dir", str(trace_dir),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "RUN DEAD" in out
+        assert "owner pid" in out
+
+    def test_live_owner_is_not_dead(self, service_paths, capsys):
+        import os
+
+        trace_dir = service_paths["trace"]
+        registry = RunRegistry(trace_dir)
+        registry.register(
+            "svc-live-run", name="fine", kind="experiment",
+            trace_path=trace_dir / "svc-live-run.jsonl",
+            pid=os.getpid(),
+        )
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        (trace_dir / "svc-live-run.jsonl").touch()
+        rc = main([
+            "watch", "svc-live-run", "--once",
+            "--trace-dir", str(trace_dir),
+        ])
+        assert rc == 0
+        assert "RUN DEAD" not in capsys.readouterr().out
+
+    def test_finalized_run_is_never_stale(self, service_paths):
+        registry = RunRegistry(service_paths["trace"])
+        registry.register(
+            "svc-closed", name="done", kind="experiment",
+            pid=self._dead_owner_pid(),
+        )
+        record = registry.finalize("svc-closed", "ok", wall_s=0.1)
+        # finalize carries the owner pid forward but a terminal status
+        # can never be stale, dead owner or not.
+        assert record.pid is not None
+        assert not record.is_stale()
+        assert record.effective_status() == "ok"
